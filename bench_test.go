@@ -1,0 +1,382 @@
+// Benchmarks regenerating the experiments of EXPERIMENTS.md, one per
+// table/figure claim (see DESIGN.md §4 for the index). Absolute numbers
+// are machine-dependent; the shapes (flat vs logarithmic vs linear vs
+// exponential) are what reproduce the paper.
+package enumtrees_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	enumtrees "repro"
+	"repro/internal/baseline"
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/forest"
+	"repro/internal/markedanc"
+	"repro/internal/spanner"
+	"repro/internal/tree"
+	"repro/internal/tva"
+	"repro/internal/workload"
+)
+
+// mustTree builds a workload tree or fails the benchmark.
+func mustTree(b *testing.B, shape string, n int, rng *rand.Rand) *tree.Unranked {
+	b.Helper()
+	t, err := workload.Tree(shape, n, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+func mustEnum(b *testing.B, t *tree.Unranked, q *tva.Unranked, opts core.Options) *core.TreeEnumerator {
+	b.Helper()
+	e, err := core.NewTreeEnumerator(t, q, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkE1Table1 measures one update followed by re-enumerating the
+// first results — the workload the Table 1 comparison is about — for the
+// paper's algorithm and the rebuild baseline.
+func BenchmarkE1Table1(b *testing.B) {
+	q := workload.AncestorQuery()
+	for _, n := range []int{1000, 16000} {
+		rng := rand.New(rand.NewSource(1))
+		ut := mustTree(b, workload.ShapeRandom, n, rng)
+		b.Run(fmt.Sprintf("ours/n=%d", n), func(b *testing.B) {
+			e := mustEnum(b, ut.Clone(), q, core.Options{})
+			ed := workload.NewEditor(e, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ed.Step(); err != nil {
+					b.Fatal(err)
+				}
+				k := 0
+				for range e.Results() {
+					if k++; k >= 10 {
+						break
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/n=%d", n), func(b *testing.B) {
+			e, err := baseline.NewRebuildEnumerator(ut.Clone(), q, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			edits := workload.RandomEdits(b.N, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := workload.Apply(e, edits[i]); err != nil {
+					b.Fatal(err)
+				}
+				k := 0
+				for range e.Results() {
+					if k++; k >= 10 {
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE2Preprocessing measures full preprocessing; ns/op divided by
+// n must stay flat across sizes (linear preprocessing).
+func BenchmarkE2Preprocessing(b *testing.B) {
+	q := workload.AncestorQuery()
+	for _, n := range []int{2000, 16000, 128000} {
+		rng := rand.New(rand.NewSource(2))
+		ut := mustTree(b, workload.ShapeRandom, n, rng)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := mustEnum(b, ut.Clone(), q, core.Options{})
+				_ = e
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/node")
+		})
+	}
+}
+
+// BenchmarkE3Delay measures per-result delay; must not grow with n.
+func BenchmarkE3Delay(b *testing.B) {
+	q := workload.AncestorQuery()
+	for _, n := range []int{1000, 16000, 256000} {
+		rng := rand.New(rand.NewSource(3))
+		e := mustEnum(b, mustTree(b, workload.ShapeRandom, n, rng), q, core.Options{})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			produced := 0
+			b.ResetTimer()
+			for produced < b.N {
+				for range e.Results() {
+					if produced++; produced >= b.N {
+						break
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/result")
+		})
+	}
+}
+
+// BenchmarkE4Updates measures one tree update; must grow like log n.
+func BenchmarkE4Updates(b *testing.B) {
+	q := workload.AncestorQuery()
+	for _, n := range []int{1000, 16000, 256000} {
+		rng := rand.New(rand.NewSource(4))
+		e := mustEnum(b, mustTree(b, workload.ShapeRandom, n, rng), q, core.Options{})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ed := workload.NewEditor(e, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ed.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Combined sweeps the nondeterministic automaton size: ours
+// polynomial, determinize-first exponential.
+func BenchmarkE5Combined(b *testing.B) {
+	alpha := []tree.Label{"a", "b"}
+	rng := rand.New(rand.NewSource(5))
+	ut := tva.RandomUnrankedTree(rng, 2000, alpha)
+	for _, k := range []int{2, 4, 5} {
+		q := tva.DescendantAtDepth(alpha, "b", k, 0)
+		b.Run(fmt.Sprintf("ours/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustEnum(b, ut.Clone(), q, core.Options{})
+			}
+		})
+		b.Run(fmt.Sprintf("determinize/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := baseline.DeterminizeFirst(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Words measures word updates and delay (Theorem 8.5).
+func BenchmarkE6Words(b *testing.B) {
+	p := spanner.Contains(spanner.Cat(
+		spanner.Lit{Label: "a"},
+		spanner.Capture{Var: 0, Inner: spanner.Plus{Inner: spanner.Lit{Label: "b"}}},
+	))
+	q, err := spanner.CompileWVA(p, []tree.Label{"a", "b", "c"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1000, 16000, 256000} {
+		rng := rand.New(rand.NewSource(6))
+		e, err := core.NewWordEnumerator(workload.Word(n, rng), q, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("update/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ids, _ := e.Word()
+				if err := e.Relabel(ids[rng.Intn(len(ids))], workload.Word(1, rng)[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7MarkedAncestor measures one marked-ancestor operation via
+// the enumeration reduction on deep paths vs the walk baseline.
+func BenchmarkE7MarkedAncestor(b *testing.B) {
+	for _, n := range []int{1000, 16000} {
+		rng := rand.New(rand.NewSource(7))
+		ut := mustTree(b, workload.ShapePath, n, rng)
+		for _, nd := range ut.Nodes() {
+			if err := ut.Relabel(nd.ID, markedanc.Unmarked); err != nil {
+				b.Fatal(err)
+			}
+		}
+		nodes := ut.Nodes()
+		deepest := nodes[len(nodes)-1]
+		enum, err := markedanc.NewEnumerationSolver(ut)
+		if err != nil {
+			b.Fatal(err)
+		}
+		walk := markedanc.NewWalkSolver(ut)
+		b.Run(fmt.Sprintf("enum/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := enum.Query(deepest.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("walk/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := walk.Query(deepest.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8JumpAblation measures a full enumeration pass on deep combs
+// with matches only at the bottom: indexed flat, naive linear in depth.
+func BenchmarkE8JumpAblation(b *testing.B) {
+	x := tree.NewVarSet(0)
+	raw := &tva.Binary{
+		NumStates: 2,
+		Alphabet:  []tree.Label{"a", "b"},
+		Vars:      x,
+		Init: []tva.InitRule{
+			{Label: "a", Set: 0, State: 0}, {Label: "b", Set: 0, State: 0},
+			{Label: "a", Set: x, State: 1},
+		},
+		Final: []tva.State{1},
+	}
+	for _, l := range []tree.Label{"a", "b"} {
+		raw.Delta = append(raw.Delta,
+			tva.Triple{Label: l, Left: 0, Right: 0, Out: 0},
+			tva.Triple{Label: l, Left: 1, Right: 0, Out: 1},
+			tva.Triple{Label: l, Left: 0, Right: 1, Out: 1},
+		)
+	}
+	bd, err := circuit.NewBuilder(raw.Homogenize())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, depth := range []int{1000, 20000} {
+		bt := tree.NewBinary()
+		cur := bt.Leaf("a")
+		for i := 0; i < depth; i++ {
+			lab := tree.Label("b")
+			if i < 15 {
+				lab = "a"
+			}
+			cur = bt.Inner("b", cur, bt.Leaf(lab))
+		}
+		bt.SetRoot(cur)
+		c := bd.Build(bt)
+		enumerate.BuildIndex(c)
+		gamma, emptyOK := bd.RootAccepting(c)
+		for _, mode := range []struct {
+			name string
+			m    enumerate.Mode
+		}{{"indexed", enumerate.ModeIndexed}, {"naive", enumerate.ModeNaive}} {
+			b.Run(fmt.Sprintf("%s/depth=%d", mode.name, depth), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					k := 0
+					for range enumerate.Assignments(c.Root, gamma, emptyOK, mode.m) {
+						k++
+					}
+					if k != 16 {
+						b.Fatalf("got %d results", k)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE9CircuitSize builds circuits and reports gates per node.
+func BenchmarkE9CircuitSize(b *testing.B) {
+	q := workload.AncestorQuery()
+	for _, n := range []int{4000, 64000} {
+		rng := rand.New(rand.NewSource(9))
+		ut := mustTree(b, workload.ShapeRandom, n, rng)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var st core.Stats
+			for i := 0; i < b.N; i++ {
+				st = mustEnum(b, ut.Clone(), q, core.Options{}).Stats()
+			}
+			gates := st.UnionGates + st.TimesGates + st.VarGates
+			b.ReportMetric(float64(gates)/float64(n), "gates/node")
+			b.ReportMetric(float64(st.CircuitWidth), "width")
+		})
+	}
+}
+
+// BenchmarkE10MatMul compares the two relation compositions.
+func BenchmarkE10MatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	for _, w := range []int{16, 64, 256} {
+		a := bitset.NewMatrix(w, w)
+		c := bitset.NewMatrix(w, w)
+		for i := 0; i < w; i++ {
+			for j := 0; j < w; j++ {
+				if rng.Float64() < 0.3 {
+					a.Set(i, j)
+				}
+				if rng.Float64() < 0.3 {
+					c.Set(i, j)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("naive/w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bitset.ComposeNaive(a, c)
+			}
+		})
+		b.Run(fmt.Sprintf("packed/w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bitset.Compose(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkT1Homogenize measures Lemma 2.1.
+func BenchmarkT1Homogenize(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for _, q := range []int{16, 64} {
+		a := tva.RandomBinary(rng, q, []tree.Label{"a", "b"}, tree.NewVarSet(0), 0.02)
+		b.Run(fmt.Sprintf("Q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a.Homogenize()
+			}
+		})
+	}
+}
+
+// BenchmarkT2Translation measures the Lemma 7.4 translation.
+func BenchmarkT2Translation(b *testing.B) {
+	alpha := []tree.Label{"a", "b"}
+	for _, k := range []int{2, 4, 5} {
+		q := tva.DescendantAtDepth(alpha, "b", k, 0)
+		b.Run(fmt.Sprintf("tree/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := forest.Translate(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFacadeQuickstart keeps the README flow honest under -bench.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	tr, err := enumtrees.ParseTree("(a (b) (a (b)))")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := enumtrees.SelectLabel([]enumtrees.Label{"a", "b"}, "b", 0)
+	e, err := enumtrees.New(tr, q, enumtrees.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if e.Count() != 2 {
+			b.Fatal("wrong count")
+		}
+	}
+}

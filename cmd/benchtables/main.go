@@ -1,0 +1,61 @@
+// Command benchtables regenerates every table of EXPERIMENTS.md by
+// running the experiment harness and printing markdown.
+//
+// Usage:
+//
+//	benchtables              # full sizes (minutes)
+//	benchtables -quick       # reduced sizes (tens of seconds)
+//	benchtables -only E4,E7  # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced input sizes")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E4,T2)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	all := map[string]func() experiments.Table{
+		"E1":  func() experiments.Table { return experiments.E1Table1(*quick) },
+		"E2":  func() experiments.Table { return experiments.E2Preprocessing(*quick) },
+		"E3":  func() experiments.Table { return experiments.E3Delay(*quick) },
+		"E4":  func() experiments.Table { return experiments.E4Updates(*quick) },
+		"E5":  func() experiments.Table { return experiments.E5Combined(*quick) },
+		"E6":  func() experiments.Table { return experiments.E6Words(*quick) },
+		"E7":  func() experiments.Table { return experiments.E7MarkedAncestor(*quick) },
+		"E8":  func() experiments.Table { return experiments.E8JumpAblation(*quick) },
+		"E9":  func() experiments.Table { return experiments.E9CircuitSize(*quick) },
+		"E10": func() experiments.Table { return experiments.E10MatMul(*quick) },
+		"T1":  experiments.T1Homogenize,
+		"T2":  experiments.T2Translation,
+		"F1":  experiments.F1Order,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "T1", "T2", "F1"}
+
+	start := time.Now()
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		t0 := time.Now()
+		tb := all[id]()
+		fmt.Println(tb.Markdown())
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+}

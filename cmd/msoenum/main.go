@@ -1,0 +1,205 @@
+// Command msoenum evaluates a query on a tree from the command line,
+// optionally replaying a stream of edits, re-enumerating after each.
+//
+// Usage:
+//
+//	msoenum -tree '(a (b) (a (b)))' -query select:b
+//	msoenum -tree '(u (u (u)))' -query ancestor:m:u:s \
+//	        -edits 'relabel 0 m; relabel 2 s'
+//
+// Queries:
+//
+//	select:<label>              X0 selects a node with the label
+//	ancestor:<m>:<u>:<s>        special s-nodes with an m-labeled proper
+//	                            ancestor over alphabet {m,u,s} (Thm 9.2)
+//	descdepth:<witness>:<k>     nodes with a witness-descendant at depth k
+//	figure:<fig>:<cap>          fig-nodes with no cap child (MSO-compiled)
+//
+// Edits (semicolon-separated):
+//
+//	relabel <id> <label>
+//	insert <id> <label>      (first child)
+//	insertR <id> <label>     (right sibling)
+//	delete <id>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	enumtrees "repro"
+)
+
+func main() {
+	treeFlag := flag.String("tree", "", "tree as an S-expression, e.g. '(a (b))'")
+	queryFlag := flag.String("query", "", "query spec (see -help)")
+	editsFlag := flag.String("edits", "", "semicolon-separated edit stream")
+	maxPrint := flag.Int("max", 20, "maximum results to print per enumeration")
+	statsFlag := flag.Bool("stats", false, "print structure statistics")
+	flag.Parse()
+
+	if *treeFlag == "" || *queryFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	t, err := enumtrees.ParseTree(*treeFlag)
+	if err != nil {
+		log.Fatalf("tree: %v", err)
+	}
+	alphabet := collectLabels(t)
+	q, err := buildQuery(*queryFlag, alphabet)
+	if err != nil {
+		log.Fatalf("query: %v", err)
+	}
+	e, err := enumtrees.New(t, q, enumtrees.Options{})
+	if err != nil {
+		log.Fatalf("preprocess: %v", err)
+	}
+	printResults(e, t, *maxPrint)
+
+	if *editsFlag != "" {
+		for _, ed := range strings.Split(*editsFlag, ";") {
+			ed = strings.TrimSpace(ed)
+			if ed == "" {
+				continue
+			}
+			if err := applyEdit(e, ed); err != nil {
+				log.Fatalf("edit %q: %v", ed, err)
+			}
+			fmt.Printf("\nafter %q: %s\n", ed, t)
+			printResults(e, t, *maxPrint)
+		}
+	}
+	if *statsFlag {
+		fmt.Printf("\nstats: %+v\n", e.Stats())
+	}
+}
+
+func collectLabels(t *enumtrees.Tree) []enumtrees.Label {
+	seen := map[enumtrees.Label]bool{}
+	var out []enumtrees.Label
+	for _, n := range t.Nodes() {
+		if !seen[n.Label] {
+			seen[n.Label] = true
+			out = append(out, n.Label)
+		}
+	}
+	return out
+}
+
+func buildQuery(spec string, alphabet []enumtrees.Label) (*enumtrees.TreeAutomaton, error) {
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "select":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("usage: select:<label>")
+		}
+		alphabet = withLabels(alphabet, enumtrees.Label(parts[1]))
+		return enumtrees.SelectLabel(alphabet, enumtrees.Label(parts[1]), 0), nil
+	case "ancestor":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("usage: ancestor:<marked>:<unmarked>:<special>")
+		}
+		return enumtrees.MarkedAncestor(
+			enumtrees.Label(parts[1]), enumtrees.Label(parts[2]), enumtrees.Label(parts[3]), 0), nil
+	case "descdepth":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("usage: descdepth:<witness>:<k>")
+		}
+		k, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		alphabet = withLabels(alphabet, enumtrees.Label(parts[1]))
+		return enumtrees.DescendantAtDepth(alphabet, enumtrees.Label(parts[1]), k, 0), nil
+	case "figure":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("usage: figure:<fig>:<cap>")
+		}
+		alphabet = withLabels(alphabet, enumtrees.Label(parts[1]), enumtrees.Label(parts[2]))
+		phi := enumtrees.Conj(
+			enumtrees.HasLabel{X: 0, Label: enumtrees.Label(parts[1])},
+			enumtrees.Not{F: enumtrees.Exists{X: 1, F: enumtrees.Conj(
+				enumtrees.Sing{X: 1},
+				enumtrees.HasLabel{X: 1, Label: enumtrees.Label(parts[2])},
+				enumtrees.Child{X: 0, Y: 1},
+			)}},
+		)
+		return enumtrees.CompileMSOFirstOrder(phi, alphabet, 0)
+	default:
+		return nil, fmt.Errorf("unknown query kind %q", parts[0])
+	}
+}
+
+func withLabels(alphabet []enumtrees.Label, ls ...enumtrees.Label) []enumtrees.Label {
+	seen := map[enumtrees.Label]bool{}
+	for _, l := range alphabet {
+		seen[l] = true
+	}
+	for _, l := range ls {
+		if !seen[l] {
+			seen[l] = true
+			alphabet = append(alphabet, l)
+		}
+	}
+	return alphabet
+}
+
+func applyEdit(e *enumtrees.Enumerator, ed string) error {
+	fields := strings.Fields(ed)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed edit")
+	}
+	id64, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return err
+	}
+	id := enumtrees.NodeID(id64)
+	switch fields[0] {
+	case "relabel":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: relabel <id> <label>")
+		}
+		return e.Relabel(id, enumtrees.Label(fields[2]))
+	case "insert":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: insert <id> <label>")
+		}
+		v, err := e.InsertFirstChild(id, enumtrees.Label(fields[2]))
+		if err == nil {
+			fmt.Printf("  (new node %d)\n", v)
+		}
+		return err
+	case "insertR":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: insertR <id> <label>")
+		}
+		v, err := e.InsertRightSibling(id, enumtrees.Label(fields[2]))
+		if err == nil {
+			fmt.Printf("  (new node %d)\n", v)
+		}
+		return err
+	case "delete":
+		return e.Delete(id)
+	default:
+		return fmt.Errorf("unknown edit %q", fields[0])
+	}
+}
+
+func printResults(e *enumtrees.Enumerator, t *enumtrees.Tree, max int) {
+	n := 0
+	for asg := range e.Results() {
+		if n < max {
+			fmt.Printf("  %v\n", asg)
+		}
+		n++
+	}
+	if n > max {
+		fmt.Printf("  … %d more\n", n-max)
+	}
+	fmt.Printf("%d result(s)\n", n)
+}

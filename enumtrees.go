@@ -1,0 +1,255 @@
+// Package enumtrees is a reproduction of "Enumeration on Trees with
+// Tractable Combined Complexity and Efficient Updates" (Amarilli,
+// Bourhis, Mengel, Niewerth — PODS 2019): an update-aware enumeration
+// engine for MSO queries on unranked trees and words.
+//
+// Given a query — a nondeterministic stepwise tree variable automaton, a
+// word variable automaton, an MSO formula, or a spanner pattern — and a
+// tree or word, the engine preprocesses in (quasi)linear time, then:
+//
+//   - enumerates all satisfying assignments without duplicates, with
+//     delay independent of the input size (linear only in each produced
+//     assignment; constant for first-order queries);
+//   - supports leaf insertion, leaf deletion and relabeling in
+//     logarithmic (amortized) time, after which enumeration restarts on
+//     the updated input;
+//   - stays polynomial in the query automaton even when it is
+//     nondeterministic (the paper's combined-complexity contribution).
+//
+// The package is a facade over the internal packages that implement the
+// paper layer by layer: see DESIGN.md for the map from lemmas and
+// theorems to code, and EXPERIMENTS.md for the measured reproduction of
+// every claimed bound.
+//
+// # Quick start
+//
+//	t, _ := enumtrees.ParseTree("(a (b) (a (b)))")
+//	q := enumtrees.SelectLabel([]enumtrees.Label{"a", "b"}, "b", 0)
+//	e, _ := enumtrees.New(t, q, enumtrees.Options{})
+//	for asg := range e.Results() {
+//	    fmt.Println(asg) // {⟨X0:n1⟩}, {⟨X0:n3⟩}
+//	}
+//	id, _ := e.InsertFirstChild(t.Root.ID, "b") // O(log n)
+//	_ = id
+//	fmt.Println(e.Count()) // 3
+package enumtrees
+
+import (
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/mso"
+	"repro/internal/paths"
+	"repro/internal/spanner"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// Core data types.
+type (
+	// Label is a node or letter label.
+	Label = tree.Label
+	// Var is a query variable index (at most 32 variables).
+	Var = tree.Var
+	// VarSet is a set of variables.
+	VarSet = tree.VarSet
+	// NodeID is a stable node (or letter) identifier.
+	NodeID = tree.NodeID
+	// Singleton is one ⟨variable : node⟩ pair of an assignment.
+	Singleton = tree.Singleton
+	// Assignment is a query result: a set of singletons.
+	Assignment = tree.Assignment
+	// Valuation maps nodes to the variables placed on them.
+	Valuation = tree.Valuation
+	// Tree is a mutable unranked labeled tree.
+	Tree = tree.Unranked
+	// Node is a node of a Tree.
+	Node = tree.UNode
+)
+
+// NewTree creates a single-node tree.
+func NewTree(rootLabel Label) *Tree { return tree.NewUnranked(rootLabel) }
+
+// ParseTree parses the S-expression tree syntax, e.g. "(a (b) (c (d)))".
+func ParseTree(s string) (*Tree, error) { return tree.ParseUnranked(s) }
+
+// Queries as automata.
+type (
+	// TreeAutomaton is a stepwise tree variable automaton on unranked
+	// trees (the paper's query formalism; may be nondeterministic).
+	TreeAutomaton = tva.Unranked
+	// WordAutomaton is a word variable automaton.
+	WordAutomaton = tva.WVA
+	// InitRule is an element of a TreeAutomaton's initial relation.
+	InitRule = tva.InitRule
+	// StepTriple is an element of a TreeAutomaton's transition relation.
+	StepTriple = tva.StepTriple
+	// State is an automaton state.
+	State = tva.State
+)
+
+// Ready-made example queries.
+var (
+	// SelectLabel selects one node with a given label.
+	SelectLabel = tva.SelectLabel
+	// MarkedAncestor is the Theorem 9.2 query: special nodes with a
+	// marked proper ancestor.
+	MarkedAncestor = tva.MarkedAncestor
+	// DescendantAtDepth selects nodes with a witness-labeled descendant
+	// at exact depth k (the combined-complexity family of experiment E5).
+	DescendantAtDepth = tva.DescendantAtDepth
+)
+
+// Options configures an enumerator.
+type Options = core.Options
+
+// Enumeration modes.
+const (
+	// ModeIndexed is the paper's full algorithm (default).
+	ModeIndexed = enumerate.ModeIndexed
+	// ModeNaive keeps Algorithm 2 but uses the naive box enumeration
+	// (delay grows with the circuit depth).
+	ModeNaive = enumerate.ModeNaive
+)
+
+// Enumerator is the update-aware tree enumerator (Theorem 8.1).
+type Enumerator = core.TreeEnumerator
+
+// New preprocesses a tree and a tree automaton query.
+func New(t *Tree, q *TreeAutomaton, opts Options) (*Enumerator, error) {
+	return core.NewTreeEnumerator(t, q, opts)
+}
+
+// WordEnumerator is the update-aware word enumerator (Theorem 8.5).
+type WordEnumerator = core.WordEnumerator
+
+// NewWord preprocesses a word and a word automaton query.
+func NewWord(letters []Label, q *WordAutomaton, opts Options) (*WordEnumerator, error) {
+	return core.NewWordEnumerator(letters, q, opts)
+}
+
+// Stats describes preprocessed structure sizes and cumulative update
+// work.
+type Stats = core.Stats
+
+// MSO formulas (Corollaries 8.2 and 8.3).
+type (
+	// Formula is an MSO formula over unranked trees.
+	Formula = mso.Formula
+	// True is ⊤.
+	True = mso.TrueF
+	// False is ⊥.
+	False = mso.FalseF
+	// Subset is X ⊆ Y.
+	Subset = mso.Subset
+	// Sing asserts X is a singleton.
+	Sing = mso.Singleton
+	// HasLabel asserts every X-node has a label.
+	HasLabel = mso.HasLabel
+	// Child relates singleton X to a child Y.
+	Child = mso.Child
+	// NextSibling relates singleton X to its right neighbor Y.
+	NextSibling = mso.NextSibling
+	// Root asserts singleton X is the root.
+	Root = mso.Root
+	// Leaf asserts singleton X is a leaf.
+	Leaf = mso.Leaf
+	// Descendant relates singleton X to a proper descendant Y.
+	Descendant = mso.Descendant
+	// And is conjunction.
+	And = mso.And
+	// Or is disjunction.
+	Or = mso.Or
+	// Not is negation.
+	Not = mso.Not
+	// Exists is second-order existential quantification.
+	Exists = mso.Exists
+)
+
+// MSO helper constructors.
+var (
+	// Conj conjoins formulas.
+	Conj = mso.Conj
+	// Disj disjoins formulas.
+	Disj = mso.Disj
+	// Forall is universal quantification.
+	Forall = mso.Forall
+	// Implies is implication.
+	Implies = mso.Implies
+)
+
+// CompileMSO compiles an MSO formula to a tree automaton
+// (Thatcher-Wright; can be expensive in the formula, as it must be).
+func CompileMSO(f Formula, alphabet []Label) (*TreeAutomaton, error) {
+	return mso.Compile(f, alphabet)
+}
+
+// CompileMSOFirstOrder compiles a formula whose listed variables are
+// first-order (singleton-constrained): the constant-delay case of
+// Corollary 8.3.
+func CompileMSOFirstOrder(f Formula, alphabet []Label, foVars ...Var) (*TreeAutomaton, error) {
+	return mso.CompileFO(f, alphabet, foVars...)
+}
+
+// Spanner patterns over words (Theorem 8.5 applications).
+type (
+	// Pattern is a regex-like pattern with captures.
+	Pattern = spanner.Pattern
+	// Lit matches one letter.
+	Lit = spanner.Lit
+	// AnyLetter matches any letter.
+	AnyLetter = spanner.Any
+	// SeqP concatenates patterns.
+	SeqP = spanner.Seq
+	// AltP alternates patterns.
+	AltP = spanner.Alt
+	// StarP is Kleene star.
+	StarP = spanner.Star
+	// PlusP is one-or-more.
+	PlusP = spanner.Plus
+	// OptP is zero-or-one.
+	OptP = spanner.Opt
+	// Capture binds every matched position to a variable.
+	Capture = spanner.Capture
+)
+
+// Spanner helpers.
+var (
+	// Cat concatenates patterns.
+	Cat = spanner.Cat
+	// OrP alternates patterns.
+	OrP = spanner.Or
+	// Contains matches the pattern anywhere in the word.
+	Contains = spanner.Contains
+	// TextLabels converts a string to one label per rune.
+	TextLabels = spanner.TextLabels
+	// ByteAlphabet collects the runes of sample strings as an alphabet.
+	ByteAlphabet = spanner.ByteAlphabet
+	// Spans groups an assignment by capture variable.
+	Spans = spanner.Spans
+)
+
+// CompilePattern compiles a spanner pattern to a word automaton.
+func CompilePattern(p Pattern, alphabet []Label) (*WordAutomaton, error) {
+	return spanner.CompileWVA(p, alphabet)
+}
+
+// PathQuery is a parsed XPath-like forward path query ("/doc//sec/fig").
+type PathQuery = paths.Query
+
+// ParsePath parses a path query.
+func ParsePath(s string) (PathQuery, error) { return paths.Parse(s) }
+
+// CompilePath compiles a path query to a compact nondeterministic tree
+// automaton (2k states for k steps) selecting the last step's node as x.
+// Path queries are the natural showcase of the paper's combined
+// complexity: the automaton stays small precisely because it does not
+// have to be determinized.
+func CompilePath(q PathQuery, alphabet []Label, x Var) (*TreeAutomaton, error) {
+	return paths.Compile(q, alphabet, x)
+}
+
+// MustCompilePath parses and compiles a literal path query, panicking on
+// syntax errors.
+func MustCompilePath(path string, alphabet []Label, x Var) *TreeAutomaton {
+	return paths.MustCompile(path, alphabet, x)
+}

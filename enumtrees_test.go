@@ -1,0 +1,149 @@
+package enumtrees_test
+
+import (
+	"fmt"
+	"testing"
+
+	enumtrees "repro"
+)
+
+// TestQuickstart is the README flow.
+func TestQuickstart(t *testing.T) {
+	tr, err := enumtrees.ParseTree("(a (b) (a (b)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := enumtrees.SelectLabel([]enumtrees.Label{"a", "b"}, "b", 0)
+	e, err := enumtrees.New(tr, q, enumtrees.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d, want 2", e.Count())
+	}
+	if _, err := e.InsertFirstChild(tr.Root.ID, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("count = %d, want 3", e.Count())
+	}
+	for asg := range e.Results() {
+		if len(asg) != 1 {
+			t.Fatalf("assignment %v", asg)
+		}
+		if tr.Node(asg[0].Node).Label != "b" {
+			t.Fatal("selected non-b node")
+		}
+	}
+}
+
+// TestMSOEndToEnd exercises the MSO facade.
+func TestMSOEndToEnd(t *testing.T) {
+	alpha := []enumtrees.Label{"dir", "file"}
+	// Φ(x): x is a dir containing (somewhere below) a file.
+	phi := enumtrees.Conj(
+		enumtrees.HasLabel{X: 0, Label: "dir"},
+		enumtrees.Exists{X: 1, F: enumtrees.Conj(
+			enumtrees.Sing{X: 1},
+			enumtrees.HasLabel{X: 1, Label: "file"},
+			enumtrees.Descendant{X: 0, Y: 1},
+		)},
+	)
+	q, err := enumtrees.CompileMSOFirstOrder(phi, alpha, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := enumtrees.ParseTree("(dir (dir (file)) (dir))")
+	e, err := enumtrees.New(tr, q, enumtrees.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root dir and its first child contain files; the empty dir does not.
+	if e.Count() != 2 {
+		t.Fatalf("count = %d, want 2", e.Count())
+	}
+	// Add a file to the empty dir.
+	var emptyDir enumtrees.NodeID
+	for _, n := range tr.Nodes() {
+		if n.Label == "dir" && n.IsLeaf() {
+			emptyDir = n.ID
+		}
+	}
+	if _, err := e.InsertFirstChild(emptyDir, "file"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("count = %d, want 3", e.Count())
+	}
+}
+
+// TestSpannerEndToEnd exercises the word facade.
+func TestSpannerEndToEnd(t *testing.T) {
+	alpha := enumtrees.ByteAlphabet("abc")
+	p := enumtrees.Contains(enumtrees.Cat(
+		enumtrees.Lit{Label: "a"},
+		enumtrees.Capture{Var: 0, Inner: enumtrees.PlusP{Inner: enumtrees.Lit{Label: "b"}}},
+		enumtrees.Lit{Label: "c"},
+	))
+	q, err := enumtrees.CompilePattern(p, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := enumtrees.NewWord(enumtrees.TextLabels("abbcab"), q, enumtrees.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One match: positions 1-2 ("bb" between a and c).
+	res := e.All()
+	if len(res) != 1 {
+		t.Fatalf("results = %v", res)
+	}
+	spans := enumtrees.Spans(res[0])
+	if len(spans[0]) != 2 {
+		t.Fatalf("span = %v", spans)
+	}
+	// Fix the trailing "ab" into "abc": a second match appears.
+	ids, _ := e.Word()
+	if _, err := e.InsertAfter(ids[len(ids)-1], "c"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d, want 2", e.Count())
+	}
+}
+
+func ExampleNew() {
+	tr, _ := enumtrees.ParseTree("(a (b) (a))")
+	q := enumtrees.SelectLabel([]enumtrees.Label{"a", "b"}, "a", 0)
+	e, _ := enumtrees.New(tr, q, enumtrees.Options{})
+	fmt.Println(e.Count())
+	// Output: 2
+}
+
+// TestPathAndAggregates exercises the path front-end and the semiring
+// aggregates through the facade.
+func TestPathAndAggregates(t *testing.T) {
+	alpha := []enumtrees.Label{"doc", "sec", "fig", "par"}
+	q := enumtrees.MustCompilePath("/doc//sec/fig", alpha, 0)
+	tr, _ := enumtrees.ParseTree("(doc (sec (fig) (par)) (par (sec (fig) (fig))))")
+	e, err := enumtrees.New(tr, q, enumtrees.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sec under doc has one fig; the sec under par is still a descendant
+	// of doc, so its two figs match as well.
+	if e.Count() != 3 {
+		t.Fatalf("count = %d, want 3", e.Count())
+	}
+	// Path automata are unambiguous on these queries... not in general;
+	// but derivation count must be >= result count.
+	if e.DerivationCount().Int64() < 3 {
+		t.Fatalf("derivations = %v", e.DerivationCount())
+	}
+	if mn, ok := e.MinResultSize(); !ok || mn != 1 {
+		t.Fatalf("min size = %d, %v", mn, ok)
+	}
+	if !e.NonEmptyAlgebraic() {
+		t.Fatal("algebraic nonemptiness wrong")
+	}
+}

@@ -1,0 +1,53 @@
+// Command quickstart is the smallest end-to-end tour of the library:
+// build a tree, run an automaton query, enumerate, edit the tree, and
+// enumerate again — all through the public facade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	enumtrees "repro"
+)
+
+func main() {
+	// A small document tree.
+	t, err := enumtrees.ParseTree("(doc (sec (par) (fig)) (sec (par)))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tree:", t)
+
+	// Query: X0 selects a node labeled "fig".
+	alpha := []enumtrees.Label{"doc", "sec", "par", "fig"}
+	q := enumtrees.SelectLabel(alpha, "fig", 0)
+
+	// Preprocess (linear time) and enumerate (constant delay per result).
+	e, err := enumtrees.New(t, q, enumtrees.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("figures:")
+	for asg := range e.Results() {
+		fmt.Printf("  %v (node %d)\n", asg, asg[0].Node)
+	}
+
+	// Edit the tree: add a figure to the second section (O(log n)).
+	var secondSec enumtrees.NodeID
+	for _, n := range t.Nodes() {
+		if n.Label == "sec" {
+			secondSec = n.ID // last one wins
+		}
+	}
+	newFig, err := e.InsertFirstChild(secondSec, "fig")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted fig as node %d\n", newFig)
+
+	// Enumeration restarts on the updated tree.
+	fmt.Println("figures now:", e.Count())
+	st := e.Stats()
+	fmt.Printf("structures: %d boxes, width %d, term height %d\n",
+		st.Boxes, st.CircuitWidth, st.TermHeight)
+}

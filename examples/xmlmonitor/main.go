@@ -1,0 +1,111 @@
+// Command xmlmonitor maintains an MSO query over a mutating XML-like
+// document: "report every section that contains a figure without a
+// caption". The query is written as an MSO formula (Corollary 8.3),
+// compiled once to a tree automaton, and kept up to date through edits
+// in logarithmic time — the scenario the paper's introduction motivates
+// for tree-shaped data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	enumtrees "repro"
+)
+
+var alpha = []enumtrees.Label{"doc", "sec", "par", "fig", "caption"}
+
+func report(e *enumtrees.Enumerator, t *enumtrees.Tree) {
+	n := 0
+	for asg := range e.Results() {
+		node := t.Node(asg[0].Node)
+		fmt.Printf("  uncaptioned figure in section node %d (parent %d)\n",
+			asg[0].Node, node.Parent.ID)
+		n++
+	}
+	if n == 0 {
+		fmt.Println("  all figures captioned ✓")
+	}
+}
+
+func main() {
+	// Φ(x): x is a fig node with no caption child.
+	phi := enumtrees.Conj(
+		enumtrees.HasLabel{X: 0, Label: "fig"},
+		enumtrees.Not{F: enumtrees.Exists{X: 1, F: enumtrees.Conj(
+			enumtrees.Sing{X: 1},
+			enumtrees.HasLabel{X: 1, Label: "caption"},
+			enumtrees.Child{X: 0, Y: 1},
+		)}},
+	)
+	q, err := enumtrees.CompileMSOFirstOrder(phi, alpha, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled MSO query: %d automaton states\n", q.NumStates)
+
+	t, err := enumtrees.ParseTree(
+		"(doc (sec (par) (fig (caption))) (sec (fig) (par (fig (caption)))))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := enumtrees.New(t, q, enumtrees.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("initial document:", t)
+	report(e, t)
+
+	// An editing session: captions appear and disappear, figures are
+	// added; after each edit the standing query re-answers instantly.
+	var uncaptioned enumtrees.NodeID = -1
+	for _, n := range t.Nodes() {
+		if n.Label == "fig" && n.IsLeaf() {
+			uncaptioned = n.ID
+		}
+	}
+	fmt.Println("\nedit: caption the bare figure")
+	if _, err := e.InsertFirstChild(uncaptioned, "caption"); err != nil {
+		log.Fatal(err)
+	}
+	report(e, t)
+
+	fmt.Println("\nedit: grow the document with 500 random captioned figures")
+	rng := rand.New(rand.NewSource(42))
+	secs := []enumtrees.NodeID{}
+	for _, n := range t.Nodes() {
+		if n.Label == "sec" {
+			secs = append(secs, n.ID)
+		}
+	}
+	var lastFig enumtrees.NodeID
+	for i := 0; i < 500; i++ {
+		fig, err := e.InsertFirstChild(secs[rng.Intn(len(secs))], "fig")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := e.InsertFirstChild(fig, "caption"); err != nil {
+			log.Fatal(err)
+		}
+		lastFig = fig
+	}
+	report(e, t)
+
+	fmt.Println("\nedit: delete one caption deep in the document")
+	var cap enumtrees.NodeID = -1
+	for c := t.Node(lastFig).FirstChild; c != nil; c = c.NextSib {
+		if c.Label == "caption" {
+			cap = c.ID
+		}
+	}
+	if err := e.Delete(cap); err != nil {
+		log.Fatal(err)
+	}
+	report(e, t)
+
+	st := e.Stats()
+	fmt.Printf("\nfinal: %d nodes, %d boxes, width %d, %d boxes rebuilt over the session\n",
+		t.Size(), st.Boxes, st.CircuitWidth, st.BoxesRebuilt)
+}

@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+var alphaAB = []tree.Label{"a", "b"}
+
+// TestRebuildMatchesIncremental compares the rebuild baseline and the
+// incremental enumerator on the same edit sequence.
+func TestRebuildMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	ut := tva.RandomUnrankedTree(rng, 10, alphaAB)
+	inc, err := core.NewTreeEnumerator(ut.Clone(), q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb, err := NewRebuildEnumerator(ut.Clone(), q, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 25; step++ {
+		nodes := inc.Tree().Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		l := alphaAB[rng.Intn(2)]
+		switch rng.Intn(3) {
+		case 0:
+			if err := inc.Relabel(n.ID, l); err != nil {
+				t.Fatal(err)
+			}
+			if err := reb.Relabel(n.ID, l); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			v1, err := inc.InsertFirstChild(n.ID, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := reb.InsertFirstChild(n.ID, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v1 != v2 {
+				t.Fatalf("diverging node IDs %d vs %d", v1, v2)
+			}
+		default:
+			if n.IsLeaf() && n.Parent != nil {
+				if err := inc.Delete(n.ID); err != nil {
+					t.Fatal(err)
+				}
+				if err := reb.Delete(n.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		a := map[string]bool{}
+		for asg := range inc.Results() {
+			a[asg.Key()] = true
+		}
+		b := map[string]bool{}
+		for asg := range reb.Results() {
+			b[asg.Key()] = true
+		}
+		if len(a) != len(b) {
+			t.Fatalf("step %d: incremental %d vs rebuild %d", step, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("step %d: rebuild missing %q", step, k)
+			}
+		}
+	}
+	// InsertRightSibling parity too.
+	nodes := inc.Tree().Nodes()
+	for _, n := range nodes {
+		if n.Parent != nil {
+			v1, err := inc.InsertRightSibling(n.ID, "b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := reb.InsertRightSibling(n.ID, "b")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v1 != v2 || inc.Count() != reb.Count() {
+				t.Fatal("insertR parity broken")
+			}
+			break
+		}
+	}
+}
+
+// TestDeterminizeFirstExplodes verifies the E5 premise: the determinized
+// route grows much faster in |Q| than the nondeterministic one.
+func TestDeterminizeFirstExplodes(t *testing.T) {
+	alpha := []tree.Label{"a", "b"}
+	var lastRatio float64
+	for k := 1; k <= 4; k++ {
+		q := tva.DescendantAtDepth(alpha, "b", k, 0)
+		db, st, err := DeterminizeFirst(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !db.IsDeterministic() {
+			t.Fatal("determinize-first route produced a nondeterministic automaton")
+		}
+		if st.DetStates < st.NondetStates {
+			// Trimming may shrink it on tiny k, but by k=4 the blowup
+			// must show.
+			if k >= 4 {
+				t.Fatalf("k=%d: det %d < nondet %d", k, st.DetStates, st.NondetStates)
+			}
+		}
+		lastRatio = float64(st.DetStates) / float64(st.NondetStates)
+	}
+	if lastRatio < 1.5 {
+		t.Fatalf("expected determinization blowup, ratio %.2f", lastRatio)
+	}
+}
+
+// TestStaticBinaryRelabel checks the ABM'18-style comparison point.
+func TestStaticBinaryRelabel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	raw := tva.RandomBinary(rng, 2, alphaAB, tree.NewVarSet(0), 0.5)
+	bt := tva.RandomBinaryTree(rng, 6, alphaAB)
+	s, err := NewStaticBinaryRelabel(bt, raw, enumerate.ModeIndexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		want, err := raw.SatisfyingAssignments(bt, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for asg := range s.Results() {
+			got[asg.Key()] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d, want %d", len(got), len(want))
+		}
+	}
+	check()
+	leaves := bt.Leaves()
+	for step := 0; step < 10; step++ {
+		s.Relabel(leaves[rng.Intn(len(leaves))], alphaAB[rng.Intn(2)])
+		check()
+	}
+}

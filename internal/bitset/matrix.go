@@ -1,0 +1,172 @@
+package bitset
+
+import "fmt"
+
+// Matrix is a boolean matrix with word-packed rows. Entry (i, j) set means
+// the relation contains the pair (row element i, column element j).
+//
+// In the enumeration engine rows index the ∪-gates of a descendant box B′
+// and columns index the ∪-gates of an ancestor box B (or a boxed set Γ),
+// so the matrix is the ∪-reachability relation R(B′, B) of Section 5.
+type Matrix struct {
+	Rows   int
+	Cols   int
+	stride int // words per row
+	bits   []uint64
+}
+
+// NewMatrix returns an all-false rows×cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	stride := (cols + 63) / 64
+	return Matrix{Rows: rows, Cols: cols, stride: stride, bits: make([]uint64, rows*stride)}
+}
+
+// Identity returns the n×n identity relation.
+func Identity(n int) Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i)
+	}
+	return m
+}
+
+// Set makes (i, j) true.
+func (m Matrix) Set(i, j int) { m.bits[i*m.stride+j>>6] |= 1 << uint(j&63) }
+
+// Unset makes (i, j) false.
+func (m Matrix) Unset(i, j int) { m.bits[i*m.stride+j>>6] &^= 1 << uint(j&63) }
+
+// Get reports whether (i, j) is true.
+func (m Matrix) Get(i, j int) bool { return m.bits[i*m.stride+j>>6]&(1<<uint(j&63)) != 0 }
+
+// Row returns row i as a Set sharing the matrix storage: mutating the set
+// mutates the matrix.
+func (m Matrix) Row(i int) Set {
+	return Set{words: m.bits[i*m.stride : (i+1)*m.stride], n: m.Cols}
+}
+
+// Clone returns an independent copy.
+func (m Matrix) Clone() Matrix {
+	c := m
+	c.bits = make([]uint64, len(m.bits))
+	copy(c.bits, m.bits)
+	return c
+}
+
+// Empty reports whether no entry is set.
+func (m Matrix) Empty() bool {
+	for _, w := range m.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of true entries.
+func (m Matrix) Count() int {
+	c := 0
+	for i := 0; i < m.Rows; i++ {
+		c += m.Row(i).Count()
+	}
+	return c
+}
+
+// Equal reports whether m and o have identical dimensions and entries.
+func (m Matrix) Equal(o Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i := range m.bits {
+		if m.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonEmptyRows returns the set of row indices with at least one true entry.
+// This is π₁(R), the projection to the first component used by the
+// enumeration algorithms (Algorithm 2 line 4, Algorithm 3 lines 4 and 11).
+func (m Matrix) NonEmptyRows() Set {
+	s := NewSet(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		if !m.Row(i).Empty() {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// ColUnion returns the union of the rows indexed by rows, i.e. the image of
+// the set rows under the relation.
+func (m Matrix) ColUnion(rows Set) Set {
+	out := NewSet(m.Cols)
+	rows.ForEach(func(i int) bool {
+		out.Or(m.Row(i))
+		return true
+	})
+	return out
+}
+
+// Compose returns the relational composition a∘b as a matrix:
+// (i, k) ∈ a∘b iff ∃j: (i, j) ∈ a ∧ (j, k) ∈ b.
+// a must be rows×mid and b mid×cols. This is boolean matrix multiplication
+// implemented word-parallel: for each true (i, j) the whole row b[j] is
+// OR-ed into the output row in Cols/64 operations.
+func Compose(a, b Matrix) Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("bitset: Compose dimension mismatch %d != %d", a.Cols, b.Rows))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		dst := out.bits[i*out.stride : (i+1)*out.stride]
+		a.Row(i).ForEach(func(j int) bool {
+			src := b.bits[j*b.stride : (j+1)*b.stride]
+			for w := range src {
+				dst[w] |= src[w]
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ComposeNaive is the textbook O(rows·mid·cols) triple loop. It exists to
+// make benchmark E10 (naive join vs word-packed composition, the paper's ω
+// remark) honest; the engine always uses Compose.
+func ComposeNaive(a, b Matrix) Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("bitset: ComposeNaive dimension mismatch %d != %d", a.Cols, b.Rows))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if !a.Get(i, j) {
+				continue
+			}
+			for k := 0; k < b.Cols; k++ {
+				if b.Get(j, k) {
+					out.Set(i, k)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders the matrix as 0/1 rows, for debugging.
+func (m Matrix) String() string {
+	out := make([]byte, 0, m.Rows*(m.Cols+1))
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.Get(i, j) {
+				out = append(out, '1')
+			} else {
+				out = append(out, '0')
+			}
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

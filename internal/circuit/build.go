@@ -1,0 +1,264 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// Builder constructs assignment circuits for a fixed homogenized binary
+// TVA, one box per tree node, exactly as in the proof of Lemma 3.7
+// (Appendix B): ⊤- and ⊥-gates are represented implicitly in the γ arrays
+// and never wired into the circuit; a ×-gate whose left (right) input
+// would be ⊤ degenerates to an alias wire to the other child's ∪-gate.
+//
+// The builder exposes the two per-node steps (LeafBox, InnerBox) so that
+// the update machinery of Section 7 can rebuild exactly the boxes touched
+// by a tree hollowing.
+type Builder struct {
+	A       *tva.Binary
+	initBy  map[tree.Label][]tva.InitRule
+	deltaBy map[tree.Label][]tva.Triple
+}
+
+// NewBuilder validates that the automaton is homogenized (Lemma 2.1) and
+// that its OneStates metadata matches the semantic 0/1-state
+// classification, then returns a Builder for it.
+func NewBuilder(a *tva.Binary) (*Builder, error) {
+	if !a.Homogenized {
+		return nil, fmt.Errorf("circuit: automaton is not homogenized; call Homogenize first")
+	}
+	zero, one := a.ZeroOneStates()
+	for q := 0; q < a.NumStates; q++ {
+		if zero.Has(q) && one.Has(q) {
+			return nil, fmt.Errorf("circuit: state %d is both a 0-state and a 1-state", q)
+		}
+		if one.Has(q) != a.OneStates.Has(q) && (zero.Has(q) || one.Has(q)) {
+			return nil, fmt.Errorf("circuit: OneStates metadata wrong for state %d", q)
+		}
+	}
+	return &Builder{
+		A:       a,
+		initBy:  a.InitByLabel(),
+		deltaBy: a.DeltaByLabel(),
+	}, nil
+}
+
+// LeafBox builds the box B_n for a leaf node n with the given label,
+// following the leaf case of Lemma 3.7.
+func (bd *Builder) LeafBox(label tree.Label, node tree.NodeID) *Box {
+	nq := bd.A.NumStates
+	b := &Box{Node: node, Label: label, GammaKind: make([]GammaKind, nq), GammaIdx: make([]int32, nq)}
+	for i := range b.GammaIdx {
+		b.GammaIdx[i] = -1
+	}
+	varIdx := map[tree.VarSet]int32{}
+	// Collect the nonempty-annotation rules per state.
+	ruleSets := make([][]tree.VarSet, nq)
+	emptyRule := make([]bool, nq)
+	for _, r := range bd.initBy[label] {
+		if r.Set.Empty() {
+			emptyRule[r.State] = true
+		} else {
+			ruleSets[r.State] = append(ruleSets[r.State], r.Set)
+		}
+	}
+	for q := 0; q < nq; q++ {
+		if !bd.A.OneStates.Has(q) {
+			// 0-state: ⊤ iff the empty annotation reaches q here.
+			if emptyRule[q] {
+				b.GammaKind[q] = GammaTop
+			} else {
+				b.GammaKind[q] = GammaBottom
+			}
+			continue
+		}
+		sets := ruleSets[q]
+		if len(sets) == 0 {
+			b.GammaKind[q] = GammaBottom
+			continue
+		}
+		u := UnionGate{}
+		seen := map[tree.VarSet]bool{}
+		for _, y := range sets {
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			vi, ok := varIdx[y]
+			if !ok {
+				vi = int32(len(b.Vars))
+				varIdx[y] = vi
+				b.Vars = append(b.Vars, VarGate{Set: y, Node: node})
+			}
+			u.Vars = append(u.Vars, vi)
+		}
+		sort.Slice(u.Vars, func(i, j int) bool { return u.Vars[i] < u.Vars[j] })
+		b.GammaKind[q] = GammaUnion
+		b.GammaIdx[q] = int32(len(b.Unions))
+		b.Unions = append(b.Unions, u)
+	}
+	b.rebuildReverse()
+	return b
+}
+
+// InnerBox builds the box B_n for an inner node with the given label and
+// child boxes, following the inner case of Lemma 3.7: one (deduplicated)
+// ×-gate per pair (q1, q2) of child states that some transition uses and
+// whose γ gates are both ∪-gates; alias wires when one side is ⊤.
+func (bd *Builder) InnerBox(label tree.Label, left, right *Box) *Box {
+	nq := bd.A.NumStates
+	b := &Box{Label: label, Left: left, Right: right, GammaKind: make([]GammaKind, nq), GammaIdx: make([]int32, nq)}
+	left.Parent = b
+	right.Parent = b
+	for i := range b.GammaIdx {
+		b.GammaIdx[i] = -1
+	}
+	timesIdx := map[[2]int32]int32{}
+	type unionAcc struct {
+		times, lu, ru map[int32]bool
+	}
+	accs := make([]*unionAcc, nq)
+	for _, t := range bd.deltaBy[label] {
+		q := int(t.Out)
+		g1k, g2k := left.GammaKind[t.Left], right.GammaKind[t.Right]
+		if g1k == GammaBottom || g2k == GammaBottom {
+			continue
+		}
+		if !bd.A.OneStates.Has(q) {
+			// 0-state: ⊤ iff both children are ⊤ for some transition.
+			if g1k == GammaTop && g2k == GammaTop {
+				b.GammaKind[q] = GammaTop
+			}
+			continue
+		}
+		acc := accs[q]
+		if acc == nil {
+			acc = &unionAcc{times: map[int32]bool{}, lu: map[int32]bool{}, ru: map[int32]bool{}}
+			accs[q] = acc
+		}
+		switch {
+		case g1k == GammaTop && g2k == GammaTop:
+			// Both children reach their states only under the empty
+			// valuation, so q would be a 0-state; homogenization rules
+			// this out.
+			panic(fmt.Sprintf("circuit: 1-state %d produced by two ⊤ children (automaton not homogenized)", q))
+		case g1k == GammaTop:
+			acc.ru[right.GammaIdx[t.Right]] = true
+		case g2k == GammaTop:
+			acc.lu[left.GammaIdx[t.Left]] = true
+		default:
+			pair := [2]int32{left.GammaIdx[t.Left], right.GammaIdx[t.Right]}
+			ti, ok := timesIdx[pair]
+			if !ok {
+				ti = int32(len(b.Times))
+				timesIdx[pair] = ti
+				b.Times = append(b.Times, TimesGate{Left: pair[0], Right: pair[1]})
+			}
+			acc.times[ti] = true
+		}
+	}
+	for q := 0; q < nq; q++ {
+		acc := accs[q]
+		if acc == nil {
+			continue // stays GammaBottom or was set to GammaTop above
+		}
+		u := UnionGate{
+			Times:       sortedKeys(acc.times),
+			LeftUnions:  sortedKeys(acc.lu),
+			RightUnions: sortedKeys(acc.ru),
+		}
+		b.GammaKind[q] = GammaUnion
+		b.GammaIdx[q] = int32(len(b.Unions))
+		b.Unions = append(b.Unions, u)
+	}
+	b.rebuildWires()
+	b.rebuildReverse()
+	return b
+}
+
+// rebuildWires recomputes the WLeft/WRight matrices from the ∪-gate input
+// lists. Only the direct ∪→∪ alias wires enter these relations: the
+// ∪-reachability of Section 5 follows paths of ∪-gates exclusively, and
+// ×-gates are endpoints (elements of ↓), not conduits.
+func (b *Box) rebuildWires() {
+	if b.IsLeaf() {
+		return
+	}
+	b.WLeft = bitset.NewMatrix(len(b.Left.Unions), len(b.Unions))
+	b.WRight = bitset.NewMatrix(len(b.Right.Unions), len(b.Unions))
+	for ui, u := range b.Unions {
+		for _, l := range u.LeftUnions {
+			b.WLeft.Set(int(l), ui)
+		}
+		for _, r := range u.RightUnions {
+			b.WRight.Set(int(r), ui)
+		}
+	}
+}
+
+// rebuildReverse recomputes the VarOut/TimesOut reverse wire lists.
+func (b *Box) rebuildReverse() {
+	b.VarOut = make([][]int32, len(b.Vars))
+	b.TimesOut = make([][]int32, len(b.Times))
+	for ui, u := range b.Unions {
+		for _, v := range u.Vars {
+			b.VarOut[v] = append(b.VarOut[v], int32(ui))
+		}
+		for _, t := range u.Times {
+			b.TimesOut[t] = append(b.TimesOut[t], int32(ui))
+		}
+	}
+}
+
+func sortedKeys(m map[int32]bool) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Build constructs the assignment circuit of the automaton on the whole
+// binary tree (Lemma 3.7): one box per node, bottom-up.
+func (bd *Builder) Build(t *tree.Binary) *Circuit {
+	var rec func(n *tree.BNode) *Box
+	rec = func(n *tree.BNode) *Box {
+		if n.IsLeaf() {
+			b := bd.LeafBox(n.Label, n.ID)
+			return b
+		}
+		l := rec(n.Left)
+		r := rec(n.Right)
+		b := bd.InnerBox(n.Label, l, r)
+		b.Node = n.ID
+		return b
+	}
+	if t.Root == nil {
+		return &Circuit{}
+	}
+	return &Circuit{Root: rec(t.Root)}
+}
+
+// RootAccepting returns the boxed set Γ of root ∪-gates γ(root, q) for
+// final 1-states q, together with a flag telling whether the empty
+// assignment is accepted (some final 0-state has γ(root, q) = ⊤). The
+// satisfying assignments of the automaton are S(Γ), plus the empty
+// assignment if the flag is set (see the proof of Theorem 8.1).
+func (bd *Builder) RootAccepting(c *Circuit) (gamma bitset.Set, emptyAccepted bool) {
+	root := c.Root
+	gamma = bitset.NewSet(len(root.Unions))
+	for _, q := range bd.A.Final {
+		switch root.GammaKind[q] {
+		case GammaTop:
+			emptyAccepted = true
+		case GammaUnion:
+			gamma.Add(int(root.GammaIdx[q]))
+		}
+	}
+	return gamma, emptyAccepted
+}

@@ -1,0 +1,279 @@
+// Package circuit implements the set circuits of Section 3: complete
+// structured DNNFs whose gates capture sets of assignments, organized in
+// boxes along a v-tree that mirrors the input binary tree. The central
+// entry point is Builder, which implements the circuit construction of
+// Lemma 3.7 (in the refined form of Appendix B where ⊤- and ⊥-gates are
+// never used as inputs to other gates).
+//
+// The box layout is what the enumeration algorithms of Sections 4-6
+// exploit: every ∪-gate has, as inputs, var- or ×-gates of its own box and
+// ∪-gates of the two child boxes; every ×-gate has exactly one ∪-gate
+// input in the left child box and one in the right child box. Gates are
+// addressed by (box, local index), and the ∪→∪ wires to each child box are
+// materialized as boolean matrices so that the ∪-reachability relations
+// R(B′, B) of Section 5 are compositions of per-box matrices.
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// GammaKind classifies the gate γ(n, q) associated with a tree node n and
+// automaton state q: per Definition 3.3 it is a ∪-gate, ⊤-gate or ⊥-gate.
+type GammaKind uint8
+
+// The three possible kinds of γ(n, q).
+const (
+	GammaBottom GammaKind = iota // no run reaches q on this subtree
+	GammaTop                     // q reached exactly under the empty valuation
+	GammaUnion                   // q reached under nonempty valuations: a ∪-gate
+)
+
+// VarGate is a variable gate of a leaf box. It captures the single
+// assignment {⟨Z:n⟩ | Z ∈ Set}: the leaf Node annotated with exactly Set.
+// Within one box the Set values are distinct, which makes Svar injective
+// as Definition 3.1 requires (all var gates of a box share the same Node).
+type VarGate struct {
+	Set  tree.VarSet
+	Node tree.NodeID
+}
+
+// TimesGate is a ×-gate. Its inputs are the ∪-gate with local index Left
+// in the left child box and the ∪-gate with local index Right in the right
+// child box (Definition 3.4 forces exactly this shape).
+type TimesGate struct {
+	Left  int32
+	Right int32
+}
+
+// UnionGate is a ∪-gate, described by its input lists. Inputs are var- or
+// ×-gates of the same box, or ∪-gates of a child box (the aliasing case of
+// the Lemma 3.7 construction, where a ⊤ sibling makes the ×-gate
+// degenerate to the other child's ∪-gate).
+type UnionGate struct {
+	Vars        []int32 // local var-gate inputs (leaf boxes only)
+	Times       []int32 // local ×-gate inputs (inner boxes only)
+	LeftUnions  []int32 // ∪-gate inputs in the left child box
+	RightUnions []int32 // ∪-gate inputs in the right child box
+}
+
+// Box is the set of gates mapped to one v-tree node by the structuring
+// function σ. The tree of boxes is isomorphic to the input binary tree.
+type Box struct {
+	Left   *Box
+	Right  *Box
+	Parent *Box
+
+	// Node is the input-tree node this box was built for; leaf boxes use
+	// it to label their var gates.
+	Node tree.NodeID
+	// Label is the input-tree label the box was built from (kept so that
+	// updates can rebuild boxes).
+	Label tree.Label
+
+	Vars   []VarGate
+	Times  []TimesGate
+	Unions []UnionGate
+
+	// GammaKind[q] / GammaIdx[q] give γ(node, q) for every automaton
+	// state q: its kind and, for ∪-gates, the local ∪-gate index.
+	GammaKind []GammaKind
+	GammaIdx  []int32
+
+	// WLeft and WRight are the ∪→∪ wire relations to the child boxes:
+	// WLeft has one row per ∪-gate of Left and one column per ∪-gate of
+	// this box; entry (i, j) is set iff left ∪-gate i is an input of this
+	// box's ∪-gate j. They realize R(child, B) for the enumeration
+	// algorithms. Nil for leaf boxes.
+	WLeft  bitset.Matrix
+	WRight bitset.Matrix
+
+	// VarOut[v] (TimesOut[t]) lists the local ∪-gates that have var gate v
+	// (×-gate t) as an input: the reverse wires used when computing the
+	// provenance of ↓-gates in Algorithm 2.
+	VarOut   [][]int32
+	TimesOut [][]int32
+
+	// Index is the per-box part of the index structure I(C) of
+	// Definition 6.1; it is built by enumerate.BuildIndex and owned by
+	// that package (stored here so updates can recompute it box by box).
+	Index any
+}
+
+// NumUnions returns the number of ∪-gates in the box (its contribution to
+// the circuit width, Definition 3.6).
+func (b *Box) NumUnions() int { return len(b.Unions) }
+
+// IsLeaf reports whether the box is a leaf of the tree of boxes.
+func (b *Box) IsLeaf() bool { return b.Left == nil }
+
+// Circuit is an assignment circuit: a complete structured DNNF organized
+// as a tree of boxes, together with the γ mapping stored inside each box.
+type Circuit struct {
+	Root *Box
+}
+
+// Width returns the width of the circuit: the maximum number of ∪-gates
+// in a box (Definition 3.6).
+func (c *Circuit) Width() int {
+	w := 0
+	c.Walk(func(b *Box) {
+		if len(b.Unions) > w {
+			w = len(b.Unions)
+		}
+	})
+	return w
+}
+
+// NumBoxes returns the number of boxes.
+func (c *Circuit) NumBoxes() int {
+	n := 0
+	c.Walk(func(*Box) { n++ })
+	return n
+}
+
+// CountGates returns the total numbers of (∪, ×, var) gates.
+func (c *Circuit) CountGates() (unions, times, vars int) {
+	c.Walk(func(b *Box) {
+		unions += len(b.Unions)
+		times += len(b.Times)
+		vars += len(b.Vars)
+	})
+	return
+}
+
+// Depth returns the height of the tree of boxes, a proxy for the circuit
+// depth of Lemma 3.7 (the circuit depth is within a constant factor).
+func (c *Circuit) Depth() int {
+	var h func(b *Box) int
+	h = func(b *Box) int {
+		if b == nil {
+			return -1
+		}
+		l, r := h(b.Left), h(b.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(c.Root)
+}
+
+// Walk visits every box bottom-up (children before parents).
+func (c *Circuit) Walk(f func(*Box)) {
+	var rec func(b *Box)
+	rec = func(b *Box) {
+		if b == nil {
+			return
+		}
+		rec(b.Left)
+		rec(b.Right)
+		f(b)
+	}
+	rec(c.Root)
+}
+
+// Validate checks the structural rules of set circuits and of complete
+// structured DNNFs (Definitions 3.1 and 3.4) on the whole circuit:
+// fan-ins, wire targets, var gates only in leaf boxes, Svar injectivity,
+// and the parent/child pointer symmetry of the box tree.
+func (c *Circuit) Validate() error {
+	var rec func(b *Box) error
+	rec = func(b *Box) error {
+		if b == nil {
+			return nil
+		}
+		if (b.Left == nil) != (b.Right == nil) {
+			return fmt.Errorf("circuit: box for n%d has exactly one child", b.Node)
+		}
+		if b.Left != nil && (b.Left.Parent != b || b.Right.Parent != b) {
+			return fmt.Errorf("circuit: box for n%d has wrong child parent pointers", b.Node)
+		}
+		if b.IsLeaf() {
+			if len(b.Times) != 0 {
+				return fmt.Errorf("circuit: leaf box n%d contains ×-gates", b.Node)
+			}
+			seen := map[tree.VarSet]bool{}
+			for _, v := range b.Vars {
+				if v.Set.Empty() {
+					return fmt.Errorf("circuit: var gate with empty set in box n%d", b.Node)
+				}
+				if v.Node != b.Node {
+					return fmt.Errorf("circuit: var gate node n%d in box n%d", v.Node, b.Node)
+				}
+				if seen[v.Set] {
+					return fmt.Errorf("circuit: duplicate var gate %v in box n%d (Svar not injective)", v.Set, b.Node)
+				}
+				seen[v.Set] = true
+			}
+		} else if len(b.Vars) != 0 {
+			return fmt.Errorf("circuit: inner box n%d contains var gates", b.Node)
+		}
+		for ti, tg := range b.Times {
+			if b.IsLeaf() {
+				return fmt.Errorf("circuit: ×-gate in leaf box n%d", b.Node)
+			}
+			if int(tg.Left) >= len(b.Left.Unions) || tg.Left < 0 {
+				return fmt.Errorf("circuit: ×-gate %d in box n%d has bad left input", ti, b.Node)
+			}
+			if int(tg.Right) >= len(b.Right.Unions) || tg.Right < 0 {
+				return fmt.Errorf("circuit: ×-gate %d in box n%d has bad right input", ti, b.Node)
+			}
+		}
+		for ui, u := range b.Unions {
+			fanIn := len(u.Vars) + len(u.Times) + len(u.LeftUnions) + len(u.RightUnions)
+			if fanIn == 0 {
+				return fmt.Errorf("circuit: ∪-gate %d in box n%d has no inputs", ui, b.Node)
+			}
+			for _, v := range u.Vars {
+				if int(v) >= len(b.Vars) || v < 0 {
+					return fmt.Errorf("circuit: ∪-gate %d in box n%d has bad var input", ui, b.Node)
+				}
+			}
+			for _, tg := range u.Times {
+				if int(tg) >= len(b.Times) || tg < 0 {
+					return fmt.Errorf("circuit: ∪-gate %d in box n%d has bad ×-input", ui, b.Node)
+				}
+			}
+			if b.IsLeaf() && (len(u.LeftUnions) > 0 || len(u.RightUnions) > 0) {
+				return fmt.Errorf("circuit: leaf ∪-gate %d in box n%d has child inputs", ui, b.Node)
+			}
+			if !b.IsLeaf() {
+				for _, l := range u.LeftUnions {
+					if int(l) >= len(b.Left.Unions) || l < 0 {
+						return fmt.Errorf("circuit: ∪-gate %d in box n%d has bad left ∪-input", ui, b.Node)
+					}
+				}
+				for _, r := range u.RightUnions {
+					if int(r) >= len(b.Right.Unions) || r < 0 {
+						return fmt.Errorf("circuit: ∪-gate %d in box n%d has bad right ∪-input", ui, b.Node)
+					}
+				}
+			}
+		}
+		// W matrices must reflect the declared union inputs.
+		if !b.IsLeaf() {
+			wl := bitset.NewMatrix(len(b.Left.Unions), len(b.Unions))
+			wr := bitset.NewMatrix(len(b.Right.Unions), len(b.Unions))
+			for ui, u := range b.Unions {
+				for _, l := range u.LeftUnions {
+					wl.Set(int(l), ui)
+				}
+				for _, r := range u.RightUnions {
+					wr.Set(int(r), ui)
+				}
+			}
+			if !wl.Equal(b.WLeft) || !wr.Equal(b.WRight) {
+				return fmt.Errorf("circuit: box n%d wire matrices out of sync", b.Node)
+			}
+		}
+		if err := rec(b.Left); err != nil {
+			return err
+		}
+		return rec(b.Right)
+	}
+	return rec(c.Root)
+}

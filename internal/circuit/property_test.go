@@ -1,0 +1,129 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// TestDecomposability checks the DNNF property that Definition 3.4
+// enforces structurally: for every ×-gate, the sets of (variable, node)
+// singletons reachable through its left and right inputs are disjoint
+// (no singleton can be produced on both sides).
+func TestDecomposability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		raw := tva.RandomBinary(rng, 1+rng.Intn(3), []tree.Label{"a", "b"}, tree.NewVarSet(0, 1), 0.4)
+		a := raw.Homogenize()
+		if a.NumStates == 0 {
+			return true
+		}
+		bd, err := NewBuilder(a)
+		if err != nil {
+			return false
+		}
+		bt := tva.RandomBinaryTree(rng, 1+rng.Intn(6), []tree.Label{"a", "b"})
+		c := bd.Build(bt)
+		ev := NewEvaluator()
+		ok := true
+		c.Walk(func(b *Box) {
+			for ti := range b.Times {
+				tg := b.Times[ti]
+				left := ev.Union(b.Left, int(tg.Left))
+				right := ev.Union(b.Right, int(tg.Right))
+				seen := map[tree.Singleton]bool{}
+				for _, asg := range left {
+					for _, s := range asg {
+						seen[s] = true
+					}
+				}
+				for _, asg := range right {
+					for _, s := range asg {
+						if seen[s] {
+							ok = false
+						}
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLemma51LCA checks Lemma 5.1 semantically: for every var- or ×-gate
+// g and every S ∈ S(g), the box of g is the least common ancestor of the
+// leaf boxes holding the variables of S.
+func TestLemma51LCA(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		raw := tva.RandomBinary(rng, 1+rng.Intn(3), []tree.Label{"a", "b"}, tree.NewVarSet(0), 0.4)
+		a := raw.Homogenize()
+		if a.NumStates == 0 {
+			continue
+		}
+		bd, err := NewBuilder(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt := tva.RandomBinaryTree(rng, 2+rng.Intn(5), []tree.Label{"a", "b"})
+		c := bd.Build(bt)
+		// Map node IDs to leaf boxes and record ancestry.
+		leafBox := map[tree.NodeID]*Box{}
+		c.Walk(func(b *Box) {
+			if b.IsLeaf() {
+				leafBox[b.Node] = b
+			}
+		})
+		depth := func(b *Box) int {
+			d := 0
+			for x := b; x.Parent != nil; x = x.Parent {
+				d++
+			}
+			return d
+		}
+		lca := func(x, y *Box) *Box {
+			for depth(x) > depth(y) {
+				x = x.Parent
+			}
+			for depth(y) > depth(x) {
+				y = y.Parent
+			}
+			for x != y {
+				x, y = x.Parent, y.Parent
+			}
+			return x
+		}
+		ev := NewEvaluator()
+		c.Walk(func(b *Box) {
+			check := func(sets map[string]tree.Assignment) {
+				for _, asg := range sets {
+					var cur *Box
+					for _, s := range asg {
+						lb := leafBox[s.Node]
+						if cur == nil {
+							cur = lb
+						} else {
+							cur = lca(cur, lb)
+						}
+					}
+					if cur != b {
+						t.Fatalf("Lemma 5.1 violated: gate box is not the lca for %v", asg)
+					}
+				}
+			}
+			for ti := range b.Times {
+				check(ev.Times(b, ti))
+			}
+			for vi := range b.Vars {
+				asg := ev.VarAssignment(b, vi)
+				check(map[string]tree.Assignment{asg.Key(): asg})
+			}
+		})
+	}
+}

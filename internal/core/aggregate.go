@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/big"
+
+	"repro/internal/counting"
+)
+
+// This file exposes the semiring aggregates of package counting on the
+// dynamic engine (the Section 4 multiset remark + the factorized-
+// aggregation connection). All aggregates are maintained under updates:
+// box rebuilds give fresh identities, so only trunk boxes are
+// recomputed; stale cache entries are pruned periodically.
+
+const pruneEvery = 4096 // box rebuilds between cache prunes
+
+type aggregates struct {
+	deriv *counting.Evaluator[*big.Int]
+	min   *counting.Evaluator[int64]
+	max   *counting.Evaluator[int64]
+	boolE *counting.Evaluator[bool]
+
+	lastPrune int
+}
+
+func (e *TreeEnumerator) aggr() *aggregates {
+	if e.agg == nil {
+		e.agg = &aggregates{
+			deriv: counting.NewEvaluator[*big.Int](counting.Derivations{}),
+			min:   counting.NewEvaluator[int64](counting.MinSize{}),
+			max:   counting.NewEvaluator[int64](counting.MaxSize{}),
+			boolE: counting.NewEvaluator[bool](counting.Bool{}),
+		}
+		e.agg.lastPrune = e.boxesRebuilt
+	}
+	if e.boxesRebuilt-e.agg.lastPrune > pruneEvery {
+		root := e.f.Root.Box
+		e.agg.deriv.Prune(root)
+		e.agg.min.Prune(root)
+		e.agg.max.Prune(root)
+		e.agg.boolE.Prune(root)
+		e.agg.lastPrune = e.boxesRebuilt
+	}
+	return e.agg
+}
+
+// DerivationCount returns the number of circuit derivations of the
+// query's results: each satisfying assignment counted once per run of
+// the automaton that witnesses it (Section 4's multiset semantics, with
+// empty-annotation subtree completions collapsed by homogenization).
+// For unambiguous — in particular deterministic — query automata this
+// is exactly the number of satisfying assignments, computed in
+// O(log n · poly(|Q|)) after each update instead of by enumeration.
+func (e *TreeEnumerator) DerivationCount() *big.Int {
+	rb, gamma, emptyOK := e.root()
+	return e.aggr().deriv.Gamma(rb, gamma, emptyOK)
+}
+
+// MinResultSize returns the smallest |S| over all satisfying
+// assignments S, and false if there are none. Computed algebraically
+// (tropical semiring), without enumerating.
+func (e *TreeEnumerator) MinResultSize() (int, bool) {
+	rb, gamma, emptyOK := e.root()
+	v := e.aggr().min.Gamma(rb, gamma, emptyOK)
+	if counting.IsInfinite(v) {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// MaxResultSize returns the largest |S| over all satisfying
+// assignments, and false if there are none.
+func (e *TreeEnumerator) MaxResultSize() (int, bool) {
+	rb, gamma, emptyOK := e.root()
+	v := e.aggr().max.Gamma(rb, gamma, emptyOK)
+	if counting.IsInfinite(v) {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// NonEmptyAlgebraic decides nonemptiness in the Boolean semiring; it
+// must always agree with NonEmpty (which uses the enumeration path) and
+// exists as a cross-check and a cheaper primitive.
+func (e *TreeEnumerator) NonEmptyAlgebraic() bool {
+	rb, gamma, emptyOK := e.root()
+	return e.aggr().boolE.Gamma(rb, gamma, emptyOK)
+}

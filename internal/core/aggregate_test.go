@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// TestAggregatesUnambiguous checks that for the (unambiguous)
+// SelectLabel query the derivation count equals the result count after
+// every update, and the tropical aggregates match enumeration.
+func TestAggregatesUnambiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	ut := tva.RandomUnrankedTree(rng, 30, alphaAB)
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 60; step++ {
+		nodes := e.Tree().Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		switch rng.Intn(3) {
+		case 0:
+			if err := e.Relabel(n.ID, alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if _, err := e.InsertFirstChild(n.ID, alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if n.IsLeaf() && n.Parent != nil {
+				if err := e.Delete(n.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		count := e.Count()
+		if got := e.DerivationCount(); got.Cmp(big.NewInt(int64(count))) != 0 {
+			t.Fatalf("step %d: derivations %v, results %d", step, got, count)
+		}
+		if e.NonEmptyAlgebraic() != (count > 0) {
+			t.Fatalf("step %d: bool aggregate disagrees", step)
+		}
+		mn, okMin := e.MinResultSize()
+		mx, okMax := e.MaxResultSize()
+		if okMin != (count > 0) || okMax != (count > 0) {
+			t.Fatalf("step %d: tropical emptiness disagrees", step)
+		}
+		if count > 0 && (mn != 1 || mx != 1) {
+			// SelectLabel results are always single singletons.
+			t.Fatalf("step %d: min/max = %d/%d", step, mn, mx)
+		}
+	}
+}
+
+// TestDerivationCountsRuns checks the Section 4 multiset semantics on a
+// genuinely ambiguous automaton: the derivation count equals the number
+// of (run, valuation) pairs, i.e. results weighted by run multiplicity.
+func TestDerivationCountsRuns(t *testing.T) {
+	// Automaton: X0 selects one node (any label); nondeterministically
+	// the automaton may be in "mode 1" or "mode 2" (duplicated states),
+	// so every result has exactly two runs.
+	x := tree.NewVarSet(0)
+	q := &tva.Unranked{
+		NumStates: 4, // q0/q1 for each mode
+		Alphabet:  alphaAB,
+		Vars:      x,
+		Final:     []tva.State{1, 3},
+	}
+	for _, l := range alphaAB {
+		q.Init = append(q.Init,
+			tva.InitRule{Label: l, Set: 0, State: 0},
+			tva.InitRule{Label: l, Set: x, State: 1},
+			tva.InitRule{Label: l, Set: 0, State: 2},
+			tva.InitRule{Label: l, Set: x, State: 3},
+		)
+	}
+	q.Delta = []tva.StepTriple{
+		{From: 0, Child: 0, To: 0}, {From: 0, Child: 1, To: 1}, {From: 1, Child: 0, To: 1},
+		{From: 2, Child: 2, To: 2}, {From: 2, Child: 3, To: 3}, {From: 3, Child: 2, To: 3},
+	}
+	ut, _ := tree.ParseUnranked("(a (b) (a))")
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 nodes selectable; the annotated node is read in one of the two
+	// modes, and all other nodes' runs are fixed by the mode of the
+	// path... every result has exactly 2 derivations here? Each subtree
+	// without x admits runs in both modes independently; the circuit
+	// collapses empty-annotation multiplicity via homogenization, so the
+	// count is (number of mode choices along the x-path) = 2 per result.
+	count := e.Count()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	want := big.NewInt(6) // 3 results × 2 runs
+	if got := e.DerivationCount(); got.Cmp(want) != 0 {
+		t.Fatalf("derivations = %v, want %v", got, want)
+	}
+}
+
+// TestAggregateCacheReuse verifies incrementality: after one relabel on
+// a large tree, recomputing the aggregate is much cheaper than from
+// scratch (measured in evaluator cache misses via timing-free proxy:
+// identical results and no panic is the functional part; the reuse
+// itself is structural because untouched boxes keep their identity).
+func TestAggregateCacheReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	ut := tva.RandomUnrankedTree(rng, 2000, alphaAB)
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := e.DerivationCount()
+	// Relabel a b-leaf to a: count increases by one.
+	var target tree.NodeID = -1
+	for _, n := range e.Tree().Nodes() {
+		if n.Label == "b" {
+			target = n.ID
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no b node")
+	}
+	if err := e.Relabel(target, "a"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := e.DerivationCount()
+	diff := new(big.Int).Sub(c2, c1)
+	if diff.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("count delta = %v, want 1", diff)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestMoveRangeThroughEngine checks the bulk update keeps the
+// enumeration structure consistent with the from-scratch oracle.
+func TestMoveRangeThroughEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	q := randomWVA(rng, 2, alphaAB, tree.NewVarSet(0))
+	letters := []tree.Label{"a", "b", "a", "b", "b", "a"}
+	e, err := NewWordEnumerator(letters, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 25; step++ {
+		n := e.Len()
+		from := rng.Intn(n)
+		k := 1 + rng.Intn(n-from)
+		if k == n {
+			continue
+		}
+		dest := rng.Intn(n-k+1) - 1
+		if err := e.MoveRange(from, k, dest); err != nil {
+			t.Fatalf("step %d: MoveRange(%d,%d,%d): %v", step, from, k, dest, err)
+		}
+		ids, labs := e.Word()
+		want, err := q.SatisfyingAssignments(labs, ids, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "move", want, e.All())
+	}
+}

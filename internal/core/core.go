@@ -1,0 +1,218 @@
+// Package core implements the paper's main results: Theorem 8.1 (dynamic
+// enumeration of the satisfying assignments of an unranked stepwise TVA
+// on an unranked tree) and Theorem 8.5 (the word/WVA analogue). It glues
+// the pipeline together:
+//
+//	tree  ──forest.New──▶ balanced term        (Lemma 7.4, encoding ω)
+//	query ──forest.Translate──▶ binary TVA     (Lemma 7.4, faithfulness)
+//	      ──Homogenize──▶ homogenized TVA      (Lemma 2.1)
+//	term  ──circuit.Builder──▶ assignment circuit, one box per term node
+//	                                           (Lemma 3.7)
+//	boxes ──enumerate.BuildBoxIndex──▶ I(C)    (Definition 6.1, Lemma 6.3)
+//	      ──enumerate.Assignments──▶ results   (Theorem 6.5)
+//
+// Updates flow through the forest's hollowing trunks (Definition 7.2):
+// the engine rebuilds exactly the boxes and index entries of the trunk,
+// bottom-up, which is Lemma 7.3.
+package core
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/enumerate"
+	"repro/internal/forest"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// Options configure an enumerator.
+type Options struct {
+	// Mode selects the enumeration algorithm (default: ModeIndexed, the
+	// paper's algorithm). ModeNaive and ModeSimple are the baselines of
+	// experiments E1/E8.
+	Mode enumerate.Mode
+}
+
+// Stats reports sizes of the preprocessed structures and cumulative
+// update work, for the experiment harness.
+type Stats struct {
+	TranslatedStates int // |Q′| after trimming (before homogenization)
+	AutomatonStates  int // states of the homogenized binary TVA
+	CircuitWidth     int
+	Boxes            int
+	UnionGates       int
+	TimesGates       int
+	VarGates         int
+	TermHeight       int
+	BoxesRebuilt     int // cumulative, across all updates
+	Rebalances       int // scapegoat rebuilds in the term
+}
+
+// TreeEnumerator is the update-aware enumerator of Theorem 8.1.
+type TreeEnumerator struct {
+	f       *forest.Forest
+	query   *tva.Unranked
+	binary  *tva.Binary
+	builder *circuit.Builder
+	opts    Options
+
+	translatedStates int
+	boxesRebuilt     int
+	agg              *aggregates
+}
+
+// NewTreeEnumerator preprocesses the tree and the query: it translates
+// the stepwise TVA to the term alphabet, homogenizes it, encodes the tree
+// as a balanced term, and builds the assignment circuit and its index.
+// Preprocessing is linear in |T| (up to the balancing's O(log) factor
+// documented in DESIGN.md) and polynomial in |Q|.
+func NewTreeEnumerator(t *tree.Unranked, query *tva.Unranked, opts Options) (*TreeEnumerator, error) {
+	ab, err := forest.Translate(query)
+	if err != nil {
+		return nil, err
+	}
+	translated := ab.NumStates
+	hb := ab.Homogenize()
+	builder, err := circuit.NewBuilder(hb)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := &TreeEnumerator{
+		f:                forest.New(t),
+		query:            query,
+		binary:           hb,
+		builder:          builder,
+		opts:             opts,
+		translatedStates: translated,
+	}
+	e.refresh()
+	return e, nil
+}
+
+// refresh rebuilds circuit boxes and index entries for every term node in
+// the drained hollowing trunk (Lemma 7.3).
+func (e *TreeEnumerator) refresh() {
+	for _, n := range e.f.Drain() {
+		e.buildBox(n)
+	}
+}
+
+func (e *TreeEnumerator) buildBox(n *forest.Node) {
+	if n.IsLeaf() {
+		n.Box = e.builder.LeafBox(n.BinaryLabel(), n.TreeID)
+	} else {
+		n.Box = e.builder.InnerBox(n.BinaryLabel(), n.Left.Box, n.Right.Box)
+		n.Box.Node = -1
+	}
+	if e.opts.Mode == enumerate.ModeIndexed {
+		enumerate.BuildBoxIndex(n.Box)
+	}
+	e.boxesRebuilt++
+}
+
+// Tree returns the underlying tree (read-only use; edits must go through
+// the enumerator).
+func (e *TreeEnumerator) Tree() *tree.Unranked { return e.f.Tree }
+
+// Relabel implements relabel(n, l) with O(log|T|·poly(|Q|)) work.
+func (e *TreeEnumerator) Relabel(id tree.NodeID, l tree.Label) error {
+	if err := e.f.Relabel(id, l); err != nil {
+		return err
+	}
+	e.refresh()
+	return nil
+}
+
+// InsertFirstChild implements insert(n, l), returning the new node's ID.
+func (e *TreeEnumerator) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	v, err := e.f.InsertFirstChild(id, l)
+	if err != nil {
+		return 0, err
+	}
+	e.refresh()
+	return v, nil
+}
+
+// InsertRightSibling implements insertR(n, l), returning the new node's
+// ID.
+func (e *TreeEnumerator) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	v, err := e.f.InsertRightSibling(id, l)
+	if err != nil {
+		return 0, err
+	}
+	e.refresh()
+	return v, nil
+}
+
+// Delete implements delete(n) for leaves.
+func (e *TreeEnumerator) Delete(id tree.NodeID) error {
+	if err := e.f.Delete(id); err != nil {
+		return err
+	}
+	e.refresh()
+	return nil
+}
+
+// root returns the root box and the accepting boxed set.
+func (e *TreeEnumerator) root() (*circuit.Box, bitset.Set, bool) {
+	rb := e.f.Root.Box
+	gamma, emptyOK := e.builder.RootAccepting(&circuit.Circuit{Root: rb})
+	return rb, gamma, emptyOK
+}
+
+// Results enumerates the satisfying assignments of the query on the
+// current tree, without duplicates, with delay O(|S|·poly(|Q|))
+// independent of |T| in the default indexed mode. The iterator reads the
+// live structure: do not interleave edits with an open iteration.
+func (e *TreeEnumerator) Results() iter.Seq[tree.Assignment] {
+	rb, gamma, emptyOK := e.root()
+	return enumerate.Assignments(rb, gamma, emptyOK, e.opts.Mode)
+}
+
+// Count drains Results and returns the number of satisfying assignments.
+func (e *TreeEnumerator) Count() int {
+	n := 0
+	for range e.Results() {
+		n++
+	}
+	return n
+}
+
+// NonEmpty reports whether at least one satisfying assignment exists; by
+// the delay bound it runs in time independent of |T| (indexed mode).
+func (e *TreeEnumerator) NonEmpty() bool {
+	for range e.Results() {
+		return true
+	}
+	return false
+}
+
+// All materializes every result (test/benchmark helper).
+func (e *TreeEnumerator) All() []tree.Assignment {
+	var out []tree.Assignment
+	for a := range e.Results() {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Stats reports structure sizes.
+func (e *TreeEnumerator) Stats() Stats {
+	c := &circuit.Circuit{Root: e.f.Root.Box}
+	u, x, v := c.CountGates()
+	return Stats{
+		TranslatedStates: e.translatedStates,
+		AutomatonStates:  e.binary.NumStates,
+		CircuitWidth:     c.Width(),
+		Boxes:            c.NumBoxes(),
+		UnionGates:       u,
+		TimesGates:       x,
+		VarGates:         v,
+		TermHeight:       e.f.Root.Height,
+		BoxesRebuilt:     e.boxesRebuilt,
+		Rebalances:       e.f.Rebuilds,
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/enumerate"
+	"repro/internal/forest"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+var alphaAB = []tree.Label{"a", "b"}
+
+func sameResults(t *testing.T, ctx string, want map[string]tree.Assignment, got []tree.Assignment) {
+	t.Helper()
+	gotSet := map[string]bool{}
+	for _, a := range got {
+		k := a.Key()
+		if gotSet[k] {
+			t.Fatalf("%s: duplicate result %v", ctx, a)
+		}
+		gotSet[k] = true
+		if _, ok := want[k]; !ok {
+			t.Fatalf("%s: spurious result %v", ctx, a)
+		}
+	}
+	if len(gotSet) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", ctx, len(gotSet), len(want))
+	}
+}
+
+// TestStaticMatchesOracle runs the full pipeline (translate, homogenize,
+// encode, circuit, index, enumerate) against the brute-force oracle on
+// random trees and random stepwise TVAs.
+func TestStaticMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		q := tva.RandomUnranked(rng, 1+rng.Intn(3), alphaAB, tree.NewVarSet(0), 0.4)
+		ut := tva.RandomUnrankedTree(rng, 1+rng.Intn(6), alphaAB)
+		want, err := q.SatisfyingAssignments(ut, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []enumerate.Mode{enumerate.ModeIndexed, enumerate.ModeNaive} {
+			e, err := NewTreeEnumerator(ut.Clone(), q, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			sameResults(t, "static", want, e.All())
+		}
+	}
+}
+
+// TestDynamicFuzz is the cornerstone test of the whole reproduction:
+// random edits through the enumerator must keep its results equal to the
+// from-scratch brute force after every single update.
+func TestDynamicFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	labels := []tree.Label{"a", "b"}
+	for trial := 0; trial < 12; trial++ {
+		q := tva.RandomUnranked(rng, 1+rng.Intn(3), labels, tree.NewVarSet(0), 0.4)
+		ut := tva.RandomUnrankedTree(rng, 1+rng.Intn(4), labels)
+		e, err := NewTreeEnumerator(ut, q, Options{Mode: enumerate.ModeIndexed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 25; step++ {
+			nodes := e.Tree().Nodes()
+			n := nodes[rng.Intn(len(nodes))]
+			switch rng.Intn(4) {
+			case 0:
+				if err := e.Relabel(n.ID, labels[rng.Intn(2)]); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if e.Tree().Size() < 7 {
+					if _, err := e.InsertFirstChild(n.ID, labels[rng.Intn(2)]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2:
+				if e.Tree().Size() < 7 && n.Parent != nil {
+					if _, err := e.InsertRightSibling(n.ID, labels[rng.Intn(2)]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			default:
+				if n.IsLeaf() && n.Parent != nil {
+					if err := e.Delete(n.ID); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			want, err := q.SatisfyingAssignments(e.Tree(), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "dynamic", want, e.All())
+		}
+	}
+}
+
+// TestMarkedAncestorDynamic follows the Theorem 9.2 reduction scenario:
+// marks toggle via relabelings, queries run via enumeration.
+func TestMarkedAncestorDynamic(t *testing.T) {
+	q := tva.MarkedAncestor("m", "u", "s", 0)
+	ut, err := tree.ParseUnranked("(u (u (u (u (u)))))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := ut.Nodes()
+	deepest := nodes[len(nodes)-1]
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the deepest node special: no marked ancestor yet.
+	if err := e.Relabel(deepest.ID, "s"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 {
+		t.Fatalf("no mark set, count = %d", e.Count())
+	}
+	// Mark the root: now the special node qualifies.
+	if err := e.Relabel(e.Tree().Root.ID, "m"); err != nil {
+		t.Fatal(err)
+	}
+	res := e.All()
+	if len(res) != 1 || res[0][0].Node != deepest.ID {
+		t.Fatalf("results = %v, want the special node", res)
+	}
+	// Unmark: back to zero.
+	if err := e.Relabel(e.Tree().Root.ID, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if e.NonEmpty() {
+		t.Fatal("unmarked, still nonempty")
+	}
+}
+
+// TestSelectLabelGrows checks result counts track inserts/deletes on a
+// larger tree, and that stats stay sane.
+func TestSelectLabelGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	ut := tree.NewUnranked("b")
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCount := 0
+	ids := []tree.NodeID{e.Tree().Root.ID}
+	for i := 0; i < 200; i++ {
+		l := alphaAB[rng.Intn(2)]
+		if l == "a" {
+			aCount++
+		}
+		v, err := e.InsertFirstChild(ids[rng.Intn(len(ids))], l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v)
+		if got := e.Count(); got != aCount {
+			t.Fatalf("step %d: count %d, want %d", i, got, aCount)
+		}
+	}
+	st := e.Stats()
+	// The term has one leaf per tree node and one internal node per
+	// operator: 2n-1 boxes in total.
+	if st.Boxes != 2*e.Tree().Size()-1 {
+		t.Fatalf("boxes %d != 2·%d-1", st.Boxes, e.Tree().Size())
+	}
+	if st.CircuitWidth > st.AutomatonStates {
+		t.Fatalf("width %d > |Q'| %d", st.CircuitWidth, st.AutomatonStates)
+	}
+	// Each result is a single singleton selecting an a-node.
+	for _, asg := range e.All() {
+		if len(asg) != 1 {
+			t.Fatalf("assignment %v", asg)
+		}
+		if e.Tree().Node(asg[0].Node).Label != "a" {
+			t.Fatalf("selected non-a node")
+		}
+	}
+}
+
+// TestWordEnumeratorMatchesOracle fuzzes the Theorem 8.5 pipeline.
+func TestWordEnumeratorMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		q := randomWVA(rng, 1+rng.Intn(3), alphaAB, tree.NewVarSet(0))
+		n := 1 + rng.Intn(5)
+		letters := make([]tree.Label, n)
+		for i := range letters {
+			letters[i] = alphaAB[rng.Intn(2)]
+		}
+		e, err := NewWordEnumerator(letters, q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 20; step++ {
+			ids, labs := e.Word()
+			switch rng.Intn(3) {
+			case 0:
+				if err := e.Relabel(ids[rng.Intn(len(ids))], alphaAB[rng.Intn(2)]); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if len(ids) < 7 {
+					if _, err := e.InsertAfter(ids[rng.Intn(len(ids))], alphaAB[rng.Intn(2)]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			default:
+				if len(ids) > 1 {
+					if err := e.Delete(ids[rng.Intn(len(ids))]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			ids, labs = e.Word()
+			want, err := q.SatisfyingAssignments(labs, ids, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, "word", want, e.All())
+		}
+	}
+}
+
+func randomWVA(rng *rand.Rand, states int, alpha []tree.Label, vars tree.VarSet) *tva.WVA {
+	a := &tva.WVA{NumStates: states, Alphabet: alpha, Vars: vars}
+	subsets := []tree.VarSet{}
+	tree.SubsetsOf(vars, func(s tree.VarSet) { subsets = append(subsets, s) })
+	for q := 0; q < states; q++ {
+		for _, l := range alpha {
+			for _, s := range subsets {
+				for p := 0; p < states; p++ {
+					if rng.Float64() < 0.4 {
+						a.Trans = append(a.Trans, tva.WTrans{From: tva.State(q), Label: l, Set: s, To: tva.State(p)})
+					}
+				}
+			}
+		}
+	}
+	a.Initial = []tva.State{tva.State(rng.Intn(states))}
+	a.Final = []tva.State{tva.State(rng.Intn(states))}
+	return a
+}
+
+// TestUpdateCostLogarithmic checks Lemma 7.3 empirically: boxes rebuilt
+// per update stay around O(log n) on a large tree.
+func TestUpdateCostLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	ut := tva.RandomUnrankedTree(rng, 4000, alphaAB)
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := e.Stats().BoxesRebuilt
+	edits := 0
+	leaves := []tree.NodeID{}
+	for _, n := range e.Tree().Nodes() {
+		if n.IsLeaf() && n.Parent != nil {
+			leaves = append(leaves, n.ID)
+		}
+	}
+	for i := 0; i < 400; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			nodes := e.Tree().Nodes()
+			if err := e.Relabel(nodes[rng.Intn(len(nodes))].ID, alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			nodes := e.Tree().Nodes()
+			if _, err := e.InsertFirstChild(nodes[rng.Intn(len(nodes))].ID, "a"); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if len(leaves) > 0 {
+				id := leaves[len(leaves)-1]
+				leaves = leaves[:len(leaves)-1]
+				if e.Tree().Node(id) != nil && e.Tree().Node(id).IsLeaf() {
+					if err := e.Delete(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		edits++
+	}
+	perEdit := float64(e.Stats().BoxesRebuilt-base) / float64(edits)
+	// log2(4000) ≈ 12; allow a generous constant for the amortized
+	// scapegoat rebuilds.
+	if perEdit > 160 {
+		t.Fatalf("boxes rebuilt per edit = %.1f, too large", perEdit)
+	}
+	forest.HollowingFromTrunk(nil) // keep the forest import honest
+}

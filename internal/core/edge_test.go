@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/enumerate"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// TestSingleNodeTree covers the smallest input.
+func TestSingleNodeTree(t *testing.T) {
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	ut := tree.NewUnranked("a")
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.All()
+	if len(res) != 1 || len(res[0]) != 1 || res[0][0].Node != ut.Root.ID {
+		t.Fatalf("results = %v", res)
+	}
+	// Relabel the root away and back.
+	if err := e.Relabel(ut.Root.ID, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 {
+		t.Fatal("b root should not match")
+	}
+	if err := e.Relabel(ut.Root.ID, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 1 {
+		t.Fatal("a root should match again")
+	}
+}
+
+// TestUnsatisfiableQuery covers an automaton with no accepting states
+// after trimming.
+func TestUnsatisfiableQuery(t *testing.T) {
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	q.Final = nil // never accepts
+	ut, _ := tree.ParseUnranked("(a (b) (a))")
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NonEmpty() {
+		t.Fatal("unsatisfiable query returned results")
+	}
+	if _, err := e.InsertFirstChild(ut.Root.ID, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 {
+		t.Fatal("still unsatisfiable")
+	}
+}
+
+// TestBooleanQueryEmptyAssignment covers queries whose only answer is
+// the empty assignment (Boolean acceptance).
+func TestBooleanQueryEmptyAssignment(t *testing.T) {
+	q := tva.LeafCount(alphaAB, 2, 0) // even number of leaves
+	ut, _ := tree.ParseUnranked("(a (b) (b))")
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.All()
+	if len(res) != 1 || len(res[0]) != 0 {
+		t.Fatalf("want exactly the empty assignment, got %v", res)
+	}
+	// One more leaf: odd, rejected.
+	if _, err := e.InsertFirstChild(ut.Root.ID, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != 0 {
+		t.Fatal("odd leaf count accepted")
+	}
+}
+
+// TestTwoVariableQueryDynamic fuzzes a two-variable query through edits.
+func TestTwoVariableQueryDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// X0 selects an a-node, X1 selects a b-node.
+	qa := tva.Cylindrify(tva.SelectLabel(alphaAB, "a", 0), tree.NewVarSet(0, 1))
+	qb := tva.Cylindrify(tva.SelectLabel(alphaAB, "b", 1), tree.NewVarSet(0, 1))
+	q := tva.IntersectUnranked(qa, qb)
+	ut := tva.RandomUnrankedTree(rng, 4, alphaAB)
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 20; step++ {
+		nodes := e.Tree().Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		switch rng.Intn(3) {
+		case 0:
+			if err := e.Relabel(n.ID, alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if e.Tree().Size() < 6 {
+				if _, err := e.InsertFirstChild(n.ID, alphaAB[rng.Intn(2)]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			if n.IsLeaf() && n.Parent != nil {
+				if err := e.Delete(n.ID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want, err := q.SatisfyingAssignments(e.Tree(), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "twovar", want, e.All())
+		// Every result has exactly two singletons.
+		for _, asg := range e.All() {
+			if len(asg) != 2 {
+				t.Fatalf("assignment %v", asg)
+			}
+		}
+	}
+}
+
+// TestEarlyStopThenRestart checks that abandoning an enumeration
+// mid-stream leaves the structure intact.
+func TestEarlyStopThenRestart(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	q := tva.SelectLabel(alphaAB, "a", 0)
+	ut := tva.RandomUnrankedTree(rng, 200, alphaAB)
+	e, err := NewTreeEnumerator(ut, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := e.Count()
+	// Abandon after 3 results, several times.
+	for round := 0; round < 5; round++ {
+		k := 0
+		for range e.Results() {
+			if k++; k == 3 {
+				break
+			}
+		}
+	}
+	if e.Count() != full {
+		t.Fatal("early stop corrupted enumeration")
+	}
+	// And after an edit.
+	if _, err := e.InsertFirstChild(ut.Root.ID, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Count() != full+1 {
+		t.Fatal("count after edit wrong")
+	}
+}
+
+// TestNaiveModeDynamic runs the dynamic fuzz in naive mode too (no
+// index maintained).
+func TestNaiveModeDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	q := tva.RandomUnranked(rng, 2, alphaAB, tree.NewVarSet(0), 0.5)
+	ut := tva.RandomUnrankedTree(rng, 4, alphaAB)
+	e, err := NewTreeEnumerator(ut, q, Options{Mode: enumerate.ModeNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 15; step++ {
+		nodes := e.Tree().Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		if n.IsLeaf() && n.Parent != nil && rng.Intn(2) == 0 {
+			if err := e.Delete(n.ID); err != nil {
+				t.Fatal(err)
+			}
+		} else if e.Tree().Size() < 6 {
+			if _, err := e.InsertFirstChild(n.ID, alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := e.Relabel(n.ID, alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := q.SatisfyingAssignments(e.Tree(), 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "naive-dyn", want, e.All())
+	}
+}
+
+// TestWordIDAtAfterEdits fuzzes positional addressing under edits.
+func TestWordIDAtAfterEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := randomWVA(rng, 2, alphaAB, tree.NewVarSet(0))
+	e, err := NewWordEnumerator([]tree.Label{"a", "b", "a"}, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		ids, _ := e.Word()
+		switch rng.Intn(3) {
+		case 0:
+			if _, err := e.InsertBefore(ids[rng.Intn(len(ids))], alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if _, err := e.InsertAfter(ids[rng.Intn(len(ids))], alphaAB[rng.Intn(2)]); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if len(ids) > 1 {
+				if err := e.Delete(ids[rng.Intn(len(ids))]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ids, _ = e.Word()
+		for i, id := range ids {
+			got, err := e.IDAt(i)
+			if err != nil || got != id {
+				t.Fatalf("step %d: IDAt(%d) = %d, want %d", step, i, got, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package counting implements the multiset-semantics remark at the end
+// of Section 4 of the paper: "up to redefining Definition 3.1 with
+// multisets ... each assignment in S(γ(n,q)) is enumerated exactly as
+// many times as there are runs". Evaluating the assignment circuit in a
+// commutative semiring computes such aggregates without enumerating:
+//
+//   - Derivations (ℕ, +, ×) counts circuit derivations per gate: the
+//     number of (run, valuation) pairs, with empty-annotation subtree
+//     completions collapsed to one by homogenization (exactly the
+//     multiplicity with which Algorithm 1 would enumerate). For
+//     unambiguous automata this equals the number of satisfying
+//     assignments, giving constant-time COUNT(*) after preprocessing.
+//   - MinSize / MaxSize (tropical) compute the smallest/largest result
+//     size without producing any result.
+//
+// Because the update machinery rebuilds boxes as fresh objects, a cache
+// keyed by box identity is automatically invalidated exactly on the
+// hollowing trunk: aggregates are maintained under updates with the same
+// O(log n) recomputation as the index. This is the "aggregation on
+// factorized representations" connection the paper draws to [32].
+package counting
+
+import (
+	"math/big"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+)
+
+// Semiring is a commutative semiring over T.
+type Semiring[T any] interface {
+	Zero() T                 // neutral for Add (captured set empty)
+	One() T                  // neutral for Mul (the empty assignment)
+	Add(a, b T) T            // union of captured multisets
+	Mul(a, b T) T            // relational product
+	Var(g circuit.VarGate) T // value of a var gate's single assignment
+}
+
+// Evaluator computes per-∪-gate semiring values with caching keyed by
+// box identity. Boxes rebuilt by updates get fresh identities, so cached
+// values of untouched subtrees stay valid across updates.
+type Evaluator[T any] struct {
+	S     Semiring[T]
+	cache map[*circuit.Box][]T
+	have  map[*circuit.Box][]bool
+}
+
+// NewEvaluator returns an evaluator for the semiring.
+func NewEvaluator[T any](s Semiring[T]) *Evaluator[T] {
+	return &Evaluator[T]{
+		S:     s,
+		cache: map[*circuit.Box][]T{},
+		have:  map[*circuit.Box][]bool{},
+	}
+}
+
+// Union returns the value of ∪-gate u of box b.
+func (e *Evaluator[T]) Union(b *circuit.Box, u int) T {
+	if vs, ok := e.cache[b]; ok && e.have[b][u] {
+		return vs[u]
+	}
+	if _, ok := e.cache[b]; !ok {
+		e.cache[b] = make([]T, len(b.Unions))
+		e.have[b] = make([]bool, len(b.Unions))
+	}
+	g := &b.Unions[u]
+	v := e.S.Zero()
+	for _, vi := range g.Vars {
+		v = e.S.Add(v, e.S.Var(b.Vars[vi]))
+	}
+	for _, ti := range g.Times {
+		tg := b.Times[ti]
+		v = e.S.Add(v, e.S.Mul(e.Union(b.Left, int(tg.Left)), e.Union(b.Right, int(tg.Right))))
+	}
+	for _, l := range g.LeftUnions {
+		v = e.S.Add(v, e.Union(b.Left, int(l)))
+	}
+	for _, r := range g.RightUnions {
+		v = e.S.Add(v, e.Union(b.Right, int(r)))
+	}
+	e.cache[b][u] = v
+	e.have[b][u] = true
+	return v
+}
+
+// Gamma evaluates the boxed set of accepting root gates plus the empty
+// assignment flag (the output of circuit.Builder.RootAccepting).
+func (e *Evaluator[T]) Gamma(b *circuit.Box, gamma bitset.Set, emptyOK bool) T {
+	v := e.S.Zero()
+	if emptyOK {
+		v = e.S.Add(v, e.S.One())
+	}
+	gamma.ForEach(func(u int) bool {
+		v = e.S.Add(v, e.Union(b, u))
+		return true
+	})
+	return v
+}
+
+// Prune drops cache entries for boxes no longer reachable from root,
+// bounding memory across long update sequences.
+func (e *Evaluator[T]) Prune(root *circuit.Box) {
+	live := map[*circuit.Box]bool{}
+	var walk func(b *circuit.Box)
+	walk = func(b *circuit.Box) {
+		if b == nil {
+			return
+		}
+		live[b] = true
+		walk(b.Left)
+		walk(b.Right)
+	}
+	walk(root)
+	for b := range e.cache {
+		if !live[b] {
+			delete(e.cache, b)
+			delete(e.have, b)
+		}
+	}
+}
+
+// Derivations is the counting semiring (ℕ, +, ×) over big integers:
+// counts circuit derivations (run multiplicities, Section 4 remark).
+type Derivations struct{}
+
+// Zero returns 0.
+func (Derivations) Zero() *big.Int { return big.NewInt(0) }
+
+// One returns 1.
+func (Derivations) One() *big.Int { return big.NewInt(1) }
+
+// Add returns a+b.
+func (Derivations) Add(a, b *big.Int) *big.Int { return new(big.Int).Add(a, b) }
+
+// Mul returns a·b.
+func (Derivations) Mul(a, b *big.Int) *big.Int { return new(big.Int).Mul(a, b) }
+
+// Var returns 1: each var gate captures one assignment once.
+func (Derivations) Var(circuit.VarGate) *big.Int { return big.NewInt(1) }
+
+// sizeInf is the +∞ (resp. -∞) marker for the tropical semirings.
+const sizeInf = int64(1) << 60
+
+// MinSize is the (min, +) tropical semiring on assignment sizes: the
+// value of a gate is the smallest |S| over captured assignments S
+// (Zero = +∞ for the empty set).
+type MinSize struct{}
+
+// Zero returns +∞.
+func (MinSize) Zero() int64 { return sizeInf }
+
+// One returns 0 (the empty assignment has size 0).
+func (MinSize) One() int64 { return 0 }
+
+// Add returns min(a, b).
+func (MinSize) Add(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Mul returns a+b (sizes add under relational product), saturating at
+// +∞.
+func (MinSize) Mul(a, b int64) int64 {
+	if a >= sizeInf || b >= sizeInf {
+		return sizeInf
+	}
+	return a + b
+}
+
+// Var returns the number of singletons of the var gate.
+func (MinSize) Var(g circuit.VarGate) int64 { return int64(g.Set.Count()) }
+
+// MaxSize is the (max, +) tropical semiring: largest assignment size.
+type MaxSize struct{}
+
+// Zero returns -∞.
+func (MaxSize) Zero() int64 { return -sizeInf }
+
+// One returns 0.
+func (MaxSize) One() int64 { return 0 }
+
+// Add returns max(a, b).
+func (MaxSize) Add(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mul returns a+b, saturating at -∞.
+func (MaxSize) Mul(a, b int64) int64 {
+	if a <= -sizeInf || b <= -sizeInf {
+		return -sizeInf
+	}
+	return a + b
+}
+
+// Var returns the number of singletons of the var gate.
+func (MaxSize) Var(g circuit.VarGate) int64 { return int64(g.Set.Count()) }
+
+// Bool is the Boolean semiring: nonemptiness without enumeration.
+type Bool struct{}
+
+// Zero returns false.
+func (Bool) Zero() bool { return false }
+
+// One returns true.
+func (Bool) One() bool { return true }
+
+// Add returns a∨b.
+func (Bool) Add(a, b bool) bool { return a || b }
+
+// Mul returns a∧b.
+func (Bool) Mul(a, b bool) bool { return a && b }
+
+// Var returns true.
+func (Bool) Var(circuit.VarGate) bool { return true }
+
+// IsInfinite reports whether a tropical value is ±∞ (empty captured
+// set).
+func IsInfinite(v int64) bool { return v >= sizeInf || v <= -sizeInf }

@@ -1,0 +1,223 @@
+package counting
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+var alphaAB = []tree.Label{"a", "b"}
+
+// multiset computes the captured multiset of a ∪-gate by brute force:
+// assignment key → derivation count, plus min/max sizes.
+func multiset(b *circuit.Box, u int, memo map[*circuit.Box][]map[string]int64) map[string]int64 {
+	if ms, ok := memo[b]; ok && ms[u] != nil {
+		return ms[u]
+	}
+	if _, ok := memo[b]; !ok {
+		memo[b] = make([]map[string]int64, len(b.Unions))
+	}
+	out := map[string]int64{}
+	memo[b][u] = out
+	g := b.Unions[u]
+	ev := circuit.NewEvaluator()
+	for _, vi := range g.Vars {
+		out[ev.VarAssignment(b, int(vi)).Key()]++
+	}
+	for _, ti := range g.Times {
+		tg := b.Times[ti]
+		left := multiset(b.Left, int(tg.Left), memo)
+		right := multiset(b.Right, int(tg.Right), memo)
+		for lk, lc := range left {
+			for rk, rc := range right {
+				la, _ := parseKey(lk)
+				ra, _ := parseKey(rk)
+				merged := append(append(tree.Assignment{}, la...), ra...).Normalize()
+				out[merged.Key()] += lc * rc
+			}
+		}
+	}
+	for _, l := range g.LeftUnions {
+		for k, c := range multiset(b.Left, int(l), memo) {
+			out[k] += c
+		}
+	}
+	for _, r := range g.RightUnions {
+		for k, c := range multiset(b.Right, int(r), memo) {
+			out[k] += c
+		}
+	}
+	return out
+}
+
+// parseKey reconstructs an assignment from its canonical key.
+func parseKey(k string) (tree.Assignment, error) {
+	var out tree.Assignment
+	var node, v int64
+	cur := &node
+	neg := false
+	for i := 0; i < len(k); i++ {
+		switch c := k[i]; {
+		case c == '-':
+			neg = true
+		case c >= '0' && c <= '9':
+			*cur = *cur*10 + int64(c-'0')
+		case c == ':':
+			if neg {
+				node = -node
+				neg = false
+			}
+			cur = &v
+		case c == ';':
+			out = append(out, tree.Singleton{Var: tree.Var(v), Node: tree.NodeID(node)})
+			node, v = 0, 0
+			cur = &node
+		}
+	}
+	return out, nil
+}
+
+func buildRandom(rng *rand.Rand, states, leaves int) (*circuit.Builder, *circuit.Circuit) {
+	raw := tva.RandomBinary(rng, states, alphaAB, tree.NewVarSet(0, 1), 0.4)
+	a := raw.Homogenize()
+	if a.NumStates == 0 {
+		return nil, nil
+	}
+	bd, err := circuit.NewBuilder(a)
+	if err != nil {
+		panic(err)
+	}
+	bt := tva.RandomBinaryTree(rng, leaves, alphaAB)
+	return bd, bd.Build(bt)
+}
+
+// TestDerivationsMatchMultisetBruteForce validates the counting
+// semiring against explicit multiset evaluation on random circuits.
+func TestDerivationsMatchMultisetBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trials := 0
+	for trials < 120 {
+		_, c := buildRandom(rng, 1+rng.Intn(3), 1+rng.Intn(6))
+		if c == nil || c.Root == nil {
+			continue
+		}
+		trials++
+		ev := NewEvaluator[*big.Int](Derivations{})
+		memo := map[*circuit.Box][]map[string]int64{}
+		var boxes []*circuit.Box
+		c.Walk(func(b *circuit.Box) { boxes = append(boxes, b) })
+		for _, b := range boxes {
+			for u := range b.Unions {
+				ms := multiset(b, u, memo)
+				var want int64
+				for _, cnt := range ms {
+					want += cnt
+				}
+				got := ev.Union(b, u)
+				if got.Cmp(big.NewInt(want)) != 0 {
+					t.Fatalf("trial %d: derivations = %v, want %d", trials, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTropicalMatchBruteForce validates Min/MaxSize against brute-force
+// captured sets.
+func TestTropicalMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trials := 0
+	for trials < 120 {
+		_, c := buildRandom(rng, 1+rng.Intn(3), 1+rng.Intn(6))
+		if c == nil || c.Root == nil {
+			continue
+		}
+		trials++
+		minE := NewEvaluator[int64](MinSize{})
+		maxE := NewEvaluator[int64](MaxSize{})
+		boolE := NewEvaluator[bool](Bool{})
+		bf := circuit.NewEvaluator()
+		var boxes []*circuit.Box
+		c.Walk(func(b *circuit.Box) { boxes = append(boxes, b) })
+		for _, b := range boxes {
+			for u := range b.Unions {
+				sets := bf.Union(b, u)
+				wantMin, wantMax := int64(1)<<40, int64(-1)
+				for _, asg := range sets {
+					s := int64(len(asg))
+					if s < wantMin {
+						wantMin = s
+					}
+					if s > wantMax {
+						wantMax = s
+					}
+				}
+				if len(sets) == 0 {
+					t.Fatal("∪-gate with empty captured set should not exist")
+				}
+				if got := minE.Union(b, u); got != wantMin {
+					t.Fatalf("min = %d, want %d", got, wantMin)
+				}
+				if got := maxE.Union(b, u); got != wantMax {
+					t.Fatalf("max = %d, want %d", got, wantMax)
+				}
+				if !boolE.Union(b, u) {
+					t.Fatal("bool semiring says empty for nonempty gate")
+				}
+			}
+		}
+	}
+}
+
+// TestGammaEmptyFlag checks Gamma's handling of the empty assignment.
+func TestGammaEmptyFlag(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	_, c := buildRandom(rng, 2, 3)
+	if c == nil {
+		t.Skip("degenerate")
+	}
+	ev := NewEvaluator[*big.Int](Derivations{})
+	empty := bitset.NewSet(len(c.Root.Unions))
+	if got := ev.Gamma(c.Root, empty, true); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty-only gamma = %v", got)
+	}
+	if got := ev.Gamma(c.Root, empty, false); got.Sign() != 0 {
+		t.Fatalf("no-gamma = %v", got)
+	}
+	me := NewEvaluator[int64](MinSize{})
+	if v := me.Gamma(c.Root, empty, true); v != 0 {
+		t.Fatalf("min with empty assignment = %d", v)
+	}
+	if v := me.Gamma(c.Root, empty, false); !IsInfinite(v) {
+		t.Fatalf("min of nothing = %d", v)
+	}
+}
+
+// TestPrune checks that pruning drops dead boxes but keeps live values.
+func TestPrune(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	_, c := buildRandom(rng, 2, 4)
+	if c == nil || c.Root == nil {
+		t.Skip("degenerate")
+	}
+	ev := NewEvaluator[bool](Bool{})
+	c.Walk(func(b *circuit.Box) {
+		for u := range b.Unions {
+			ev.Union(b, u)
+		}
+	})
+	before := len(ev.cache)
+	ev.Prune(c.Root)
+	if len(ev.cache) != before {
+		t.Fatal("prune dropped live boxes")
+	}
+	ev.Prune(nil)
+	if len(ev.cache) != 0 {
+		t.Fatal("prune kept dead boxes")
+	}
+}

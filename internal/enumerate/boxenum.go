@@ -1,0 +1,148 @@
+package enumerate
+
+import (
+	"iter"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+)
+
+// BoxRelation is one output of box-enum (Section 5): an interesting box B′
+// together with the full ∪-reachability relation R(B′, Γ) (rows: ∪-gates
+// of B′, columns: ∪-gates of Γ's box, populated only on Γ's columns).
+type BoxRelation struct {
+	Box *circuit.Box
+	R   bitset.Matrix
+}
+
+// BoxEnum enumerates, exactly once each, the interesting boxes for the
+// boxed set gamma of box b, i.e. the boxes B′ with ↓(Γ) ∩ B′ ≠ ∅.
+type BoxEnum func(b *circuit.Box, gamma bitset.Set) iter.Seq[BoxRelation]
+
+// interesting reports whether the box holds ↓-gates for the relation R:
+// some ∪-gate with a nonempty R-row has a local var- or ×-input.
+func interesting(b *circuit.Box, r bitset.Matrix) bool {
+	for u := range b.Unions {
+		if r.Row(u).Empty() {
+			continue
+		}
+		if len(b.Unions[u].Vars) > 0 || len(b.Unions[u].Times) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// seedRelation builds the identity relation restricted to gamma.
+func seedRelation(b *circuit.Box, gamma bitset.Set) bitset.Matrix {
+	r := bitset.NewMatrix(len(b.Unions), len(b.Unions))
+	gamma.ForEach(func(g int) bool {
+		r.Set(g, g)
+		return true
+	})
+	return r
+}
+
+// NaiveBoxEnum is the straightforward implementation discussed in Section
+// 5: depth-first traversal of the tree of boxes carrying the relation
+// along, with delay proportional to the depth of the circuit. It is the
+// baseline of experiment E8.
+func NaiveBoxEnum(b *circuit.Box, gamma bitset.Set) iter.Seq[BoxRelation] {
+	return func(yield func(BoxRelation) bool) {
+		naiveRec(b, seedRelation(b, gamma), yield)
+	}
+}
+
+func naiveRec(b *circuit.Box, r bitset.Matrix, yield func(BoxRelation) bool) bool {
+	if interesting(b, r) {
+		if !yield(BoxRelation{b, r}) {
+			return false
+		}
+	}
+	if b.IsLeaf() {
+		return true
+	}
+	rl := bitset.Compose(b.WLeft, r)
+	if !rl.Empty() {
+		if !naiveRec(b.Left, rl, yield) {
+			return false
+		}
+	}
+	rr := bitset.Compose(b.WRight, r)
+	if !rr.Empty() {
+		if !naiveRec(b.Right, rr, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// IndexedBoxEnum is Algorithm 3 (Lemma 6.4): box enumeration with delay
+// O(w³) independent of the circuit depth, jumping with the fib/fbb
+// pointers of the index structure. BuildIndex must have run on the
+// circuit.
+func IndexedBoxEnum(b *circuit.Box, gamma bitset.Set) iter.Seq[BoxRelation] {
+	return func(yield func(BoxRelation) bool) {
+		indexedRec(b, seedRelation(b, gamma), yield)
+	}
+}
+
+// indexedRec is b-enum(B, R) of Algorithm 3. It receives R = R(B, Γ) and
+// outputs the relations R(B′, Γ) for all interesting boxes B′ in the
+// subtree of B. The explicit iteration over the bidirectional boxes on
+// the path from B to the first interesting box B1 plays the role of the
+// paper's tail-recursion elimination.
+func indexedRec(b *circuit.Box, r bitset.Matrix, yield func(BoxRelation) bool) bool {
+	idx := Index(b)
+	gates := r.NonEmptyRows()
+
+	// Line 4: jump to the first interesting box B1 and output it.
+	fib := idx.FoldFib(gates)
+	if fib < 0 {
+		return true // empty relation: nothing below
+	}
+	b1 := idx.Targets[fib]
+	r1 := bitset.Compose(idx.Rel[fib], r)
+	if !yield(BoxRelation{b1, r1}) {
+		return false
+	}
+	// Lines 7-10: all interesting boxes strictly below B1.
+	if !b1.IsLeaf() {
+		rl := bitset.Compose(b1.WLeft, r1)
+		if !rl.Empty() {
+			if !indexedRec(b1.Left, rl, yield) {
+				return false
+			}
+		}
+		rr := bitset.Compose(b1.WRight, r1)
+		if !rr.Empty() {
+			if !indexedRec(b1.Right, rr, yield) {
+				return false
+			}
+		}
+	}
+	// Lines 11-17: walk the bidirectional boxes on the path from B down
+	// to B1; each right subtree hanging off that path holds further
+	// interesting boxes, enumerated recursively. The left descent
+	// continues toward B1 (which stays the first interesting box of
+	// every shrinking region, so the fib fold re-identifies it).
+	for {
+		fbb := idx.FoldFbb(gates)
+		fib = idx.FoldFib(gates)
+		if fbb < 0 || !idx.StrictAncestor(fbb, fib) {
+			return true
+		}
+		bb := idx.Targets[fbb]
+		rb := bitset.Compose(idx.Rel[fbb], r)
+		rr := bitset.Compose(bb.WRight, rb)
+		if !rr.Empty() {
+			if !indexedRec(bb.Right, rr, yield) {
+				return false
+			}
+		}
+		r = bitset.Compose(bb.WLeft, rb)
+		b = bb.Left
+		idx = Index(b)
+		gates = r.NonEmptyRows()
+	}
+}

@@ -1,0 +1,185 @@
+package enumerate
+
+import (
+	"iter"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/tree"
+)
+
+// Mode selects the enumeration strategy.
+type Mode int
+
+const (
+	// ModeIndexed is the full algorithm of the paper: Algorithm 2 over
+	// Algorithm 3, duplicate-free with delay independent of the circuit
+	// depth (Theorem 6.5). Requires BuildIndex.
+	ModeIndexed Mode = iota
+	// ModeNaive is Algorithm 2 over the naive box enumeration:
+	// duplicate-free, delay proportional to circuit depth (Section 5).
+	ModeNaive
+	// ModeSimple is Algorithm 1: duplicates allowed, delay proportional
+	// to circuit depth (Section 4).
+	ModeSimple
+)
+
+// boxEnumFor returns the box-enumeration strategy for a mode.
+func boxEnumFor(m Mode) BoxEnum {
+	if m == ModeIndexed {
+		return IndexedBoxEnum
+	}
+	return NaiveBoxEnum
+}
+
+// Boxwise is Algorithm 2 (Section 5): it enumerates S(Γ) without
+// duplicates for the boxed set gamma of box b, yielding for each
+// assignment its provenance Prov(S, Γ) = {g ∈ Γ | S ∈ S(g)} as a set of
+// local ∪-gate indices. The box enumeration strategy is a parameter
+// (Lemma 6.4 supplies the efficient one).
+func Boxwise(b *circuit.Box, gamma bitset.Set, be BoxEnum) iter.Seq2[*Rope, bitset.Set] {
+	return func(yield func(*Rope, bitset.Set) bool) {
+		if gamma.Empty() {
+			return
+		}
+		for br := range be(b, gamma) {
+			if !boxwiseStep(br, be, yield) {
+				return
+			}
+		}
+	}
+}
+
+// boxwiseStep processes one interesting box B′ (lines 4-16 of Algorithm
+// 2): outputs the assignments of var gates of B′ whose ∪-wires reach Γ,
+// then recursively combines the ×-gates of B′.
+func boxwiseStep(br BoxRelation, be BoxEnum, yield func(*Rope, bitset.Set) bool) bool {
+	bp := br.Box
+	// Provenance of each local ↓-gate: union of the R-rows of the
+	// ∪-gates it feeds (this is {h}∘W∘R(B′,Γ) from the paper).
+	for vi := range bp.Vars {
+		prov := gateProv(br.R, bp.VarOut[vi])
+		if prov.Empty() {
+			continue
+		}
+		vg := bp.Vars[vi]
+		if !yield(LeafRope(vg.Set, vg.Node), prov) {
+			return false
+		}
+	}
+	if len(bp.Times) == 0 {
+		return true
+	}
+	// G×: the ×-gates of B′ in ↓(Γ), with their provenances.
+	provT := make([]bitset.Set, len(bp.Times))
+	inDown := make([]bool, len(bp.Times))
+	gammaL := bitset.NewSet(len(bp.Left.Unions))
+	any := false
+	for ti := range bp.Times {
+		p := gateProv(br.R, bp.TimesOut[ti])
+		if p.Empty() {
+			continue
+		}
+		provT[ti] = p
+		inDown[ti] = true
+		gammaL.Add(int(bp.Times[ti].Left))
+		any = true
+	}
+	if !any {
+		return true
+	}
+	// Lines 10-16: enumerate left factors, then for each the compatible
+	// right factors.
+	for sl, provL := range Boxwise(bp.Left, gammaL, be) {
+		gammaR := bitset.NewSet(len(bp.Right.Unions))
+		liveT := make([]int32, 0, len(bp.Times))
+		for ti := range bp.Times {
+			if inDown[ti] && provL.Has(int(bp.Times[ti].Left)) {
+				liveT = append(liveT, int32(ti))
+				gammaR.Add(int(bp.Times[ti].Right))
+			}
+		}
+		if len(liveT) == 0 {
+			continue
+		}
+		for sr, provR := range Boxwise(bp.Right, gammaR, be) {
+			var prov bitset.Set
+			first := true
+			for _, ti := range liveT {
+				if !provR.Has(int(bp.Times[ti].Right)) {
+					continue
+				}
+				if first {
+					prov = provT[ti].Clone()
+					first = false
+				} else {
+					prov.Or(provT[ti])
+				}
+			}
+			if first {
+				continue // no ×-gate matched both sides (cannot happen per Theorem 5.3)
+			}
+			if !yield(Concat(sl, sr), prov) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// gateProv computes the provenance of a local gate: the union of the
+// relation rows of the ∪-gates listed in outs.
+func gateProv(r bitset.Matrix, outs []int32) bitset.Set {
+	prov := bitset.NewSet(r.Cols)
+	for _, u := range outs {
+		prov.Or(r.Row(int(u)))
+	}
+	return prov
+}
+
+// Ropes enumerates S(Γ) for the boxed set gamma of box b as ropes,
+// without duplicates (plus the empty assignment first if emptyOK), using
+// the given mode. A nil rope stands for the empty assignment.
+func Ropes(b *circuit.Box, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[*Rope] {
+	return func(yield func(*Rope) bool) {
+		if emptyOK {
+			if !yield(nil) {
+				return
+			}
+		}
+		if b == nil || gamma.Empty() {
+			return
+		}
+		if mode == ModeSimple {
+			for r := range Simple(b, gamma) {
+				if !yield(r) {
+					return
+				}
+			}
+			return
+		}
+		for r := range Boxwise(b, gamma, boxEnumFor(mode)) {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+}
+
+// Assignments is like Ropes but materializes each assignment (the empty
+// assignment materializes to an empty, non-nil slice).
+func Assignments(b *circuit.Box, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[tree.Assignment] {
+	return func(yield func(tree.Assignment) bool) {
+		for r := range Ropes(b, gamma, emptyOK, mode) {
+			if r == nil {
+				if !yield(tree.Assignment{}) {
+					return
+				}
+				continue
+			}
+			if !yield(r.Materialize()) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package enumerate
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+)
+
+// BoxIndex is the per-box part of the index structure I(C) of Definition
+// 6.1. For each box B it stores:
+//
+//   - a list of target boxes: the boxes of the form fib(g) or fbb(g) for
+//     ∪-gates g of B, closed under pairwise least common ancestors and
+//     sorted by preorder of the tree of boxes (the "linear order implied
+//     by preorder over 𝔅′" of Definition 6.1);
+//   - the reachability relation R(B*, B) for every target B* (Lemma 6.3);
+//   - the pairwise-lca table over the targets, which also answers
+//     ancestor queries (A ancestor of B iff lca(A,B) = A);
+//   - per ∪-gate g: fib(g) as a target position, and the pair
+//     (FbbF, FbbE) summarizing the ∪-path structure below g. FbbE is the
+//     deepest box of g's unbranched descent path; FbbF is the first
+//     bidirectional box fbb(g) (equal to FbbE when defined, -1 when g's
+//     ∪-paths never split). Together they let fbb(Γ) for arbitrary boxed
+//     sets Γ be computed by an associative fold (Equation (2) together
+//     with Observation 6.2), including the cases where individual fbb(g)
+//     are undefined.
+//
+// Everything is computed bottom-up from the children's BoxIndex values
+// (Lemma 6.3), which is what makes the index repairable along a hollowing
+// trunk after updates (Lemma 7.3).
+type BoxIndex struct {
+	Targets []*circuit.Box
+	// side/childIdx locate each target: side 0 = the box itself (always
+	// target 0), 1 = a target of the left child, 2 = of the right child.
+	side     []int8
+	childIdx []int16
+
+	Rel []bitset.Matrix // Rel[i] = R(Targets[i], B); rows Targets[i].Unions, cols B.Unions
+	Lca [][]int16       // Lca[i][j] = target position of lca(Targets[i], Targets[j])
+
+	Fib  []int16 // per ∪-gate: target position of fib(g)
+	FbbF []int16 // per ∪-gate: target position of fbb(g), -1 if undefined
+	FbbE []int16 // per ∪-gate: target position of the end of g's unbranched descent
+}
+
+// Index returns the BoxIndex stored on a box (panicking if the index has
+// not been built; callers must run BuildIndex or repair after updates).
+func Index(b *circuit.Box) *BoxIndex { return b.Index.(*BoxIndex) }
+
+// BuildIndex computes the index structure for the whole circuit bottom-up
+// (Lemma 6.3) and stores each box's part in Box.Index.
+func BuildIndex(c *circuit.Circuit) {
+	c.Walk(func(b *circuit.Box) { BuildBoxIndex(b) })
+}
+
+// targetKey identifies a prospective target during construction.
+type targetKey struct {
+	side int8
+	ci   int16
+}
+
+// BuildBoxIndex computes the index for one box from its children's
+// indexes (which must already be built) and stores it in b.Index.
+func BuildBoxIndex(b *circuit.Box) {
+	if b.IsLeaf() {
+		idx := &BoxIndex{
+			Targets:  []*circuit.Box{b},
+			side:     []int8{0},
+			childIdx: []int16{0},
+			Rel:      []bitset.Matrix{bitset.Identity(len(b.Unions))},
+			Lca:      [][]int16{{0}},
+			Fib:      make([]int16, len(b.Unions)),
+			FbbF:     make([]int16, len(b.Unions)),
+			FbbE:     make([]int16, len(b.Unions)),
+		}
+		for g := range b.Unions {
+			idx.Fib[g] = 0
+			idx.FbbF[g] = -1
+			idx.FbbE[g] = 0
+		}
+		b.Index = idx
+		return
+	}
+	li := Index(b.Left)
+	ri := Index(b.Right)
+
+	// Step 1: raw per-gate values in (side, childIdx) form.
+	type fe struct{ f, e int16 } // child-level target positions; f may be -1
+	rawFib := make([]targetKey, len(b.Unions))
+	rawFbb := make([]struct {
+		side int8
+		f, e int16
+	}, len(b.Unions))
+	for g := range b.Unions {
+		u := &b.Unions[g]
+		hasLocal := len(u.Vars)+len(u.Times) > 0
+		switch {
+		case hasLocal:
+			rawFib[g] = targetKey{0, 0}
+		case len(u.LeftUnions) > 0:
+			best := int16(-1)
+			for _, cg := range u.LeftUnions {
+				if f := li.Fib[cg]; best < 0 || f < best {
+					best = f
+				}
+			}
+			rawFib[g] = targetKey{1, best}
+		case len(u.RightUnions) > 0:
+			best := int16(-1)
+			for _, cg := range u.RightUnions {
+				if f := ri.Fib[cg]; best < 0 || f < best {
+					best = f
+				}
+			}
+			rawFib[g] = targetKey{2, best}
+		default:
+			// A ∪-gate always has at least one input; with no local and
+			// no child inputs the circuit is malformed.
+			panic("enumerate: ∪-gate with no inputs")
+		}
+
+		hasL, hasR := len(u.LeftUnions) > 0, len(u.RightUnions) > 0
+		switch {
+		case hasL && hasR:
+			rawFbb[g] = struct {
+				side int8
+				f, e int16
+			}{0, 0, 0} // bidirectional at b itself
+		case !hasL && !hasR:
+			rawFbb[g] = struct {
+				side int8
+				f, e int16
+			}{0, -1, 0} // ∪-paths end here
+		case hasL:
+			cur := fe{-1, -1}
+			for _, cg := range u.LeftUnions {
+				nxt := fe{li.FbbF[cg], li.FbbE[cg]}
+				if cur.e < 0 {
+					cur = nxt
+				} else {
+					cur.f, cur.e = combineFbb(li.Lca, cur.f, cur.e, nxt.f, nxt.e)
+				}
+			}
+			rawFbb[g] = struct {
+				side int8
+				f, e int16
+			}{1, cur.f, cur.e}
+		default:
+			cur := fe{-1, -1}
+			for _, cg := range u.RightUnions {
+				nxt := fe{ri.FbbF[cg], ri.FbbE[cg]}
+				if cur.e < 0 {
+					cur = nxt
+				} else {
+					cur.f, cur.e = combineFbb(ri.Lca, cur.f, cur.e, nxt.f, nxt.e)
+				}
+			}
+			rawFbb[g] = struct {
+				side int8
+				f, e int16
+			}{2, cur.f, cur.e}
+		}
+	}
+
+	// Step 2: collect seeds.
+	seedSet := map[targetKey]bool{{0, 0}: true}
+	for g := range b.Unions {
+		if rawFib[g].side != 0 {
+			seedSet[rawFib[g]] = true
+		}
+		if rawFbb[g].side != 0 {
+			if rawFbb[g].f >= 0 {
+				seedSet[targetKey{rawFbb[g].side, rawFbb[g].f}] = true
+			}
+			seedSet[targetKey{rawFbb[g].side, rawFbb[g].e}] = true
+		}
+	}
+
+	// Step 3: sort by preorder and close under pairwise lca (lca of
+	// consecutive elements in preorder suffices, as for virtual trees).
+	childLca := func(side int8, x, y int16) int16 {
+		if side == 1 {
+			return li.Lca[x][y]
+		}
+		return ri.Lca[x][y]
+	}
+	var seeds []targetKey
+	for k := range seedSet {
+		seeds = append(seeds, k)
+	}
+	sortTargets(seeds)
+	for i := 0; i+1 < len(seeds); i++ {
+		a, c := seeds[i], seeds[i+1]
+		if a.side != 0 && a.side == c.side {
+			k := targetKey{a.side, childLca(a.side, a.ci, c.ci)}
+			if !seedSet[k] {
+				seedSet[k] = true
+			}
+		}
+		// Cross-side or self lca is the box itself, already present.
+	}
+	seeds = seeds[:0]
+	for k := range seedSet {
+		seeds = append(seeds, k)
+	}
+	sortTargets(seeds)
+
+	// Step 4: materialize targets, position maps, relations.
+	idx := &BoxIndex{
+		Fib:  make([]int16, len(b.Unions)),
+		FbbF: make([]int16, len(b.Unions)),
+		FbbE: make([]int16, len(b.Unions)),
+	}
+	leftPos := make([]int16, len(li.Targets))
+	rightPos := make([]int16, len(ri.Targets))
+	for i := range leftPos {
+		leftPos[i] = -1
+	}
+	for i := range rightPos {
+		rightPos[i] = -1
+	}
+	for _, k := range seeds {
+		pos := int16(len(idx.Targets))
+		idx.side = append(idx.side, k.side)
+		idx.childIdx = append(idx.childIdx, k.ci)
+		switch k.side {
+		case 0:
+			idx.Targets = append(idx.Targets, b)
+			idx.Rel = append(idx.Rel, bitset.Identity(len(b.Unions)))
+		case 1:
+			idx.Targets = append(idx.Targets, li.Targets[k.ci])
+			idx.Rel = append(idx.Rel, bitset.Compose(li.Rel[k.ci], b.WLeft))
+			leftPos[k.ci] = pos
+		default:
+			idx.Targets = append(idx.Targets, ri.Targets[k.ci])
+			idx.Rel = append(idx.Rel, bitset.Compose(ri.Rel[k.ci], b.WRight))
+			rightPos[k.ci] = pos
+		}
+	}
+
+	// Step 5: lca table.
+	n := len(idx.Targets)
+	idx.Lca = make([][]int16, n)
+	for i := 0; i < n; i++ {
+		idx.Lca[i] = make([]int16, n)
+		for j := 0; j < n; j++ {
+			si, sj := idx.side[i], idx.side[j]
+			switch {
+			case si == 0 || sj == 0 || si != sj:
+				idx.Lca[i][j] = 0
+			case si == 1:
+				idx.Lca[i][j] = leftPos[li.Lca[idx.childIdx[i]][idx.childIdx[j]]]
+			default:
+				idx.Lca[i][j] = rightPos[ri.Lca[idx.childIdx[i]][idx.childIdx[j]]]
+			}
+			if idx.Lca[i][j] < 0 {
+				panic("enumerate: lca closure incomplete")
+			}
+		}
+	}
+
+	// Step 6: map per-gate values to target positions.
+	mapKey := func(k targetKey) int16 {
+		switch k.side {
+		case 0:
+			return 0
+		case 1:
+			return leftPos[k.ci]
+		default:
+			return rightPos[k.ci]
+		}
+	}
+	for g := range b.Unions {
+		idx.Fib[g] = mapKey(rawFib[g])
+		if idx.Fib[g] < 0 {
+			panic("enumerate: fib target not materialized")
+		}
+		fb := rawFbb[g]
+		if fb.side == 0 {
+			idx.FbbF[g] = fb.f // 0 or -1
+			idx.FbbE[g] = 0
+		} else {
+			if fb.f >= 0 {
+				idx.FbbF[g] = mapKey(targetKey{fb.side, fb.f})
+			} else {
+				idx.FbbF[g] = -1
+			}
+			idx.FbbE[g] = mapKey(targetKey{fb.side, fb.e})
+		}
+		if idx.FbbE[g] < 0 {
+			panic("enumerate: fbb end target not materialized")
+		}
+	}
+	b.Index = idx
+}
+
+// sortTargets sorts target keys by preorder of the tree of boxes: the box
+// itself first, then left-subtree targets in the left child's target
+// order, then right-subtree targets.
+func sortTargets(ks []targetKey) {
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].side != ks[j].side {
+			return ks[i].side < ks[j].side
+		}
+		return ks[i].ci < ks[j].ci
+	})
+}
+
+// combineFbb merges the (F, E) summaries of two boxed sets living in the
+// same box, using that box's lca table. The result summarizes the union:
+// E is the deepest box of the common unbranched prefix of the union's
+// ∪-paths, F the first box where they split (-1 if they never do).
+func combineFbb(lca [][]int16, f1, e1, f2, e2 int16) (f, e int16) {
+	d := lca[e1][e2]
+	if d != e1 && d != e2 {
+		// The two descent paths split strictly above both ends: the
+		// union is bidirectional exactly at their divergence box.
+		return d, d
+	}
+	if d == e1 && d == e2 {
+		// Same end box: whichever side already branches wins.
+		if f1 >= 0 {
+			return f1, e1
+		}
+		if f2 >= 0 {
+			return f2, e2
+		}
+		return -1, e1
+	}
+	if d == e1 {
+		// e1 is a strict ancestor of e2. If side 1 branches at e1 it is
+		// the first split; otherwise side 1's paths end at e1 and the
+		// union behaves like side 2 below.
+		if f1 >= 0 {
+			return f1, e1
+		}
+		return f2, e2
+	}
+	// e2 strict ancestor of e1: symmetric.
+	if f2 >= 0 {
+		return f2, e2
+	}
+	return f1, e1
+}
+
+// FoldFib returns the target position of fib(Γ) = min over g ∈ Γ of
+// fib(g) in preorder (Equation (1)); -1 if Γ is empty.
+func (idx *BoxIndex) FoldFib(gamma bitset.Set) int16 {
+	best := int16(-1)
+	gamma.ForEach(func(g int) bool {
+		if f := idx.Fib[g]; best < 0 || f < best {
+			best = f
+		}
+		return true
+	})
+	return best
+}
+
+// FoldFbb returns the target position of fbb(Γ) for a boxed set Γ
+// (Equation (2) with Observation 6.2, generalized to handle gates whose
+// singleton fbb is undefined); -1 if undefined.
+func (idx *BoxIndex) FoldFbb(gamma bitset.Set) int16 {
+	f, e := int16(-1), int16(-1)
+	first := true
+	gamma.ForEach(func(g int) bool {
+		if first {
+			f, e = idx.FbbF[g], idx.FbbE[g]
+			first = false
+			return true
+		}
+		f, e = combineFbb(idx.Lca, f, e, idx.FbbF[g], idx.FbbE[g])
+		return true
+	})
+	return f
+}
+
+// StrictAncestor reports whether target i is a strict ancestor of target
+// j in the tree of boxes.
+func (idx *BoxIndex) StrictAncestor(i, j int16) bool {
+	return i != j && idx.Lca[i][j] == i
+}

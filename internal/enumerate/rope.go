@@ -1,0 +1,78 @@
+// Package enumerate implements the enumeration algorithms of Sections 4-6
+// of the paper on assignment circuits built by package circuit:
+//
+//   - Algorithm 1 (Simple): enumeration with duplicates and delay linear
+//     in the circuit depth, kept as a baseline and correctness anchor.
+//   - Algorithm 2 (the boxwise scheme of Section 5): duplicate-free
+//     enumeration with provenance, parameterized by a box-enumeration
+//     strategy.
+//   - The naive box-enumeration (delay proportional to circuit depth) and
+//     the jump-pointer box-enumeration of Section 6 (Algorithm 3), which
+//     uses the index structure I(C) of Definition 6.1 to achieve delay
+//     independent of the circuit depth.
+//
+// The index is computed bottom-up per box (Lemma 6.3) and can therefore be
+// repaired along a hollowing trunk after updates (Lemma 7.3).
+package enumerate
+
+import (
+	"iter"
+
+	"repro/internal/tree"
+)
+
+// Rope is a persistent, immutable assignment under construction: a binary
+// concatenation tree over var-gate outputs. Concatenation is O(1) and
+// materialization is O(size), which is what gives Algorithm 2 its
+// O(|S|·poly(w)) delay: a produced assignment is shared between iterations
+// rather than copied.
+type Rope struct {
+	set   tree.VarSet // leaf: variables placed at node
+	node  tree.NodeID // leaf: the node
+	left  *Rope       // internal: concatenation
+	right *Rope
+	size  int // number of singletons
+}
+
+// LeafRope returns the rope for a var gate capturing {⟨Z:n⟩ | Z ∈ set}.
+func LeafRope(set tree.VarSet, node tree.NodeID) *Rope {
+	return &Rope{set: set, node: node, size: set.Count()}
+}
+
+// Concat returns the concatenation of two ropes in O(1).
+func Concat(l, r *Rope) *Rope {
+	return &Rope{left: l, right: r, size: l.size + r.size}
+}
+
+// Size returns the number of singletons in the assignment.
+func (r *Rope) Size() int { return r.size }
+
+// Materialize flattens the rope into an assignment in O(size). The v-tree
+// discipline of structured DNNFs guarantees the leaves are already in
+// document order of the underlying tree, but Normalize is cheap and makes
+// the output canonical regardless.
+func (r *Rope) Materialize() tree.Assignment {
+	out := make(tree.Assignment, 0, r.size)
+	var walk func(x *Rope)
+	walk = func(x *Rope) {
+		if x.left == nil {
+			for _, z := range x.set.Vars() {
+				out = append(out, tree.Singleton{Var: z, Node: x.node})
+			}
+			return
+		}
+		walk(x.left)
+		walk(x.right)
+	}
+	walk(r)
+	return out.Normalize()
+}
+
+// collectSeq adapts an iterator to a slice; used in tests.
+func collectSeq[T any](s iter.Seq[T]) []T {
+	var out []T
+	for v := range s {
+		out = append(out, v)
+	}
+	return out
+}

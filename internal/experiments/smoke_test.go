@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSmokeQuickTables(t *testing.T) {
+	for _, tb := range []Table{E8JumpAblation(true), E10MatMul(true), T1Homogenize(), T2Translation(), F1Order()} {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty", tb.ID)
+		}
+		fmt.Println(tb.Markdown())
+	}
+}

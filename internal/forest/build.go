@@ -1,0 +1,289 @@
+package forest
+
+import (
+	"math"
+
+	"repro/internal/tree"
+)
+
+// Forest maintains an unranked tree together with its balanced forest
+// algebra term (the encoding ω of Lemma 7.4), under the edit operations
+// of Definition 7.1. It also tracks which term nodes were created or
+// modified since the last Drain, in bottom-up order, so that the dynamic
+// engine can rebuild exactly the circuit boxes of the hollowing trunk
+// (Lemma 7.3).
+type Forest struct {
+	Tree *tree.Unranked
+	Root *Node
+
+	// leafOf maps every tree node to its term leaf (aᵗ if childless, a□
+	// otherwise); the bijection φ of Lemma 7.4.
+	leafOf map[tree.NodeID]*Node
+	// plugOp maps every tree node with children to the ⊙-node (ComposeVV
+	// or ApplyVH) whose right subterm represents exactly its children
+	// forest.
+	plugOp map[tree.NodeID]*Node
+
+	// created lists term nodes needing circuit-box (re)construction, in
+	// an order where children precede parents.
+	created []*Node
+
+	// Height budget: rebuild a subterm when its height exceeds
+	// HeightFactor·log₂(weight+1) + HeightBase (scapegoat rule).
+	HeightFactor float64
+	HeightBase   int
+
+	// Rebuilds counts subterm rebuilds triggered by the height rule
+	// (exposed for the amortization experiments).
+	Rebuilds int
+	// RebuiltWeight accumulates the total weight of rebuilt subterms.
+	RebuiltWeight int
+}
+
+// New encodes the unranked tree as a balanced forest algebra term.
+func New(t *tree.Unranked) *Forest {
+	f := &Forest{
+		Tree:         t,
+		leafOf:       map[tree.NodeID]*Node{},
+		plugOp:       map[tree.NodeID]*Node{},
+		HeightFactor: 2.4,
+		HeightBase:   10,
+	}
+	f.Root = f.buildCluster([]*tree.UNode{t.Root}, nil)
+	return f
+}
+
+// record registers a node as created/modified for the dirty protocol.
+func (f *Forest) record(n *Node) { f.created = append(f.created, n) }
+
+// Drain returns the nodes whose circuit boxes must be rebuilt, children
+// before parents and deduplicated, and resets the dirty list. The
+// returned slice includes all ancestors up to the root (their boxes
+// depend on rebuilt children). Deduplication keeps the LAST occurrence:
+// a scapegoat rebuild re-dirties ancestors after their first recording,
+// and only the final position respects the children-first order.
+func (f *Forest) Drain() []*Node {
+	last := map[*Node]int{}
+	for i, n := range f.created {
+		last[n] = i
+	}
+	var out []*Node
+	for i, n := range f.created {
+		if last[n] == i && f.attached(n) {
+			out = append(out, n)
+		}
+	}
+	f.created = f.created[:0]
+	return out
+}
+
+// attached reports whether the node is still part of the current term
+// (edits may create nodes that a subsequent rebuild in the same batch
+// discards).
+func (f *Forest) attached(n *Node) bool {
+	for x := n; ; x = x.Parent {
+		if x.Parent == nil {
+			return x == f.Root
+		}
+		if x.Parent.Left != x && x.Parent.Right != x {
+			return false
+		}
+	}
+}
+
+// Leaf returns the term leaf of a tree node.
+func (f *Forest) Leaf(id tree.NodeID) *Node { return f.leafOf[id] }
+
+// heightBudget is the scapegoat threshold for a subterm of the given
+// weight.
+func (f *Forest) heightBudget(weight int) int {
+	return int(f.HeightFactor*math.Log2(float64(weight+1))) + f.HeightBase
+}
+
+// clusterSizes computes the number of cluster nodes in each subtree of
+// the cluster (children of the hole node are not part of the cluster).
+func clusterSizes(roots []*tree.UNode, hole *tree.UNode) map[tree.NodeID]int {
+	sz := map[tree.NodeID]int{}
+	var rec func(n *tree.UNode) int
+	rec = func(n *tree.UNode) int {
+		s := 1
+		if hole == nil || n.ID != hole.ID {
+			for c := n.FirstChild; c != nil; c = c.NextSib {
+				s += rec(c)
+			}
+		}
+		sz[n.ID] = s
+		return s
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return sz
+}
+
+// buildCluster builds a balanced term for the cluster consisting of the
+// consecutive sibling subtrees rooted at roots, with the children forest
+// of hole removed (hole nil for forest clusters). Every term node created
+// is recorded for the dirty protocol; leafOf and plugOp entries for the
+// contained tree nodes are (re)registered.
+func (f *Forest) buildCluster(roots []*tree.UNode, hole *tree.UNode) *Node {
+	sz := clusterSizes(roots, hole)
+	return f.build(roots, hole, sz)
+}
+
+func (f *Forest) build(roots []*tree.UNode, hole *tree.UNode, sz map[tree.NodeID]int) *Node {
+	if len(roots) == 1 {
+		r := roots[0]
+		if hole != nil && r.ID == hole.ID {
+			return f.newLeafCtx(r)
+		}
+		if r.FirstChild == nil {
+			return f.newLeafTree(r)
+		}
+		// Single tree with at least one cluster-internal edge: vertical
+		// split at a node w chosen to balance the context above w against
+		// the children forest of w.
+		if hole == nil {
+			w := chooseSplitForest(r, sz)
+			// Recompute sizes for the sub-clusters: hollowing out w's
+			// children changes the weights of its ancestors.
+			ctx := f.buildCluster(roots, w)
+			forestPart := f.buildCluster(children(w), nil)
+			op := f.newInner(ApplyVH, ctx, forestPart)
+			f.plugOp[w.ID] = op
+			return op
+		}
+		// Context cluster: w must be a proper ancestor of the hole so
+		// that the children cluster of w still contains it.
+		w := chooseSplitContext(r, hole, sz)
+		upper := f.buildCluster(roots, w)
+		lower := f.buildCluster(children(w), hole)
+		op := f.newInner(ComposeVV, upper, lower)
+		f.plugOp[w.ID] = op
+		return op
+	}
+	// Horizontal split at the most balanced tree boundary.
+	total := 0
+	for _, r := range roots {
+		total += sz[r.ID]
+	}
+	best, bestDiff := 1, math.MaxInt
+	run := sz[roots[0].ID]
+	for k := 1; k < len(roots); k++ {
+		if diff := abs(2*run - total); diff < bestDiff {
+			bestDiff = diff
+			best = k
+		}
+		run += sz[roots[k].ID]
+	}
+	left, right := roots[:best], roots[best:]
+	holeSide := 0 // 0 none, 1 left, 2 right
+	if hole != nil {
+		holeSide = 2
+		for _, r := range left {
+			if containsNode(r, hole) {
+				holeSide = 1
+				break
+			}
+		}
+	}
+	switch holeSide {
+	case 0:
+		return f.newInner(ConcatHH, f.build(left, nil, sz), f.build(right, nil, sz))
+	case 1:
+		return f.newInner(ConcatVH, f.build(left, hole, sz), f.build(right, nil, sz))
+	default:
+		return f.newInner(ConcatHV, f.build(left, nil, sz), f.build(right, hole, sz))
+	}
+}
+
+// children returns the child list of a tree node.
+func children(n *tree.UNode) []*tree.UNode {
+	var out []*tree.UNode
+	for c := n.FirstChild; c != nil; c = c.NextSib {
+		out = append(out, c)
+	}
+	return out
+}
+
+// containsNode reports whether target is within the subtree of n.
+func containsNode(n, target *tree.UNode) bool {
+	for x := target; x != nil; x = x.Parent {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseSplitForest picks a node w with children inside the subtree of r
+// such that splitting the cluster into (context above w, children forest
+// of w) is as balanced as possible: it walks down heavy children while
+// the children forest still outweighs half the cluster.
+func chooseSplitForest(r *tree.UNode, sz map[tree.NodeID]int) *tree.UNode {
+	m := sz[r.ID]
+	w := r
+	bestW, bestDiff := r, math.MaxInt
+	for {
+		cw := sz[w.ID] - 1 // weight of w's children forest in the cluster
+		if d := abs(2*cw - (m - 1)); d < bestDiff {
+			bestDiff = d
+			bestW = w
+		}
+		if 2*cw <= m {
+			break
+		}
+		// Descend into the heaviest child that itself has children.
+		var heavy *tree.UNode
+		for c := w.FirstChild; c != nil; c = c.NextSib {
+			if c.FirstChild == nil {
+				continue
+			}
+			if heavy == nil || sz[c.ID] > sz[heavy.ID] {
+				heavy = c
+			}
+		}
+		if heavy == nil {
+			break
+		}
+		w = heavy
+	}
+	return bestW
+}
+
+// chooseSplitContext picks a proper ancestor w of hole (within the
+// subtree of r) balancing the split of the context cluster; the walk is
+// restricted to the r→hole path because the lower part must keep the
+// hole.
+func chooseSplitContext(r, hole *tree.UNode, sz map[tree.NodeID]int) *tree.UNode {
+	m := sz[r.ID]
+	// Path from r to hole (exclusive of hole).
+	var path []*tree.UNode
+	for x := hole.Parent; x != nil; x = x.Parent {
+		path = append(path, x)
+		if x == r {
+			break
+		}
+	}
+	// path is bottom-up; walk top-down.
+	bestW, bestDiff := r, math.MaxInt
+	for i := len(path) - 1; i >= 0; i-- {
+		w := path[i]
+		cw := sz[w.ID] - 1
+		if d := abs(2*cw - (m - 1)); d < bestDiff {
+			bestDiff = d
+			bestW = w
+		}
+		if 2*cw <= m {
+			break
+		}
+	}
+	return bestW
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,114 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// refMove applies the MoveRange semantics to a plain slice.
+func refMove(w []tree.Label, from, k, dest int) []tree.Label {
+	moved := append([]tree.Label(nil), w[from:from+k]...)
+	rest := append(append([]tree.Label(nil), w[:from]...), w[from+k:]...)
+	out := append([]tree.Label(nil), rest[:dest+1]...)
+	out = append(out, moved...)
+	return append(out, rest[dest+1:]...)
+}
+
+func TestMoveRange(t *testing.T) {
+	w, err := NewWord([]tree.Label{"a", "b", "c", "d", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move "b c" after "e": a d e b c.
+	if err := w.MoveRange(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, labels := w.Letters()
+	want := []tree.Label{"a", "d", "e", "b", "c"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("got %v, want %v", labels, want)
+		}
+	}
+	if err := ValidateTerm(w.Root); err != nil {
+		t.Fatal(err)
+	}
+	// Move "e b" to the front: e b a d c.
+	if err := w.MoveRange(2, 2, -1); err != nil {
+		t.Fatal(err)
+	}
+	_, labels = w.Letters()
+	want = []tree.Label{"e", "b", "a", "d", "c"}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("got %v, want %v", labels, want)
+		}
+	}
+	// Errors.
+	if err := w.MoveRange(0, 0, 0); err == nil {
+		t.Fatal("empty range should fail")
+	}
+	if err := w.MoveRange(4, 2, 0); err == nil {
+		t.Fatal("out-of-range should fail")
+	}
+	if err := w.MoveRange(0, 2, 9); err == nil {
+		t.Fatal("bad dest should fail")
+	}
+}
+
+func TestMoveRangePreservesIDs(t *testing.T) {
+	w, _ := NewWord([]tree.Label{"x", "y", "z"})
+	ids, _ := w.Letters()
+	if err := w.MoveRange(0, 1, 1); err != nil { // y z x
+		t.Fatal(err)
+	}
+	newIDs, labels := w.Letters()
+	if labels[2] != "x" || newIDs[2] != ids[0] {
+		t.Fatalf("moved letter lost its ID: %v %v", newIDs, labels)
+	}
+}
+
+func TestMoveRangeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		letters := make([]tree.Label, n)
+		for i := range letters {
+			letters[i] = tree.Label([]string{"a", "b", "c"}[rng.Intn(3)])
+		}
+		w, err := NewWord(letters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := append([]tree.Label(nil), letters...)
+		for step := 0; step < 10; step++ {
+			from := rng.Intn(n)
+			k := 1 + rng.Intn(n-from)
+			if k == n {
+				continue
+			}
+			dest := rng.Intn(n-k+1) - 1
+			if err := w.MoveRange(from, k, dest); err != nil {
+				t.Fatalf("trial %d step %d: MoveRange(%d,%d,%d): %v", trial, step, from, k, dest, err)
+			}
+			ref = refMove(ref, from, k, dest)
+			_, labels := w.Letters()
+			if len(labels) != len(ref) {
+				t.Fatalf("length changed")
+			}
+			for i := range ref {
+				if labels[i] != ref[i] {
+					t.Fatalf("trial %d step %d: got %v, want %v", trial, step, labels, ref)
+				}
+			}
+			if err := ValidateTerm(w.Root); err != nil {
+				t.Fatal(err)
+			}
+			if w.Root.Height > w.heightBudget(w.Root.Weight) {
+				t.Fatal("height over budget after move")
+			}
+		}
+	}
+}

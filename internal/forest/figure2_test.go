@@ -1,0 +1,99 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// TestFigure2Semantics is the executable version of Figure 2 of the
+// paper: it builds one term per monoid operation by hand and checks that
+// decoding matches the drawn semantics (forests as trapezoids, contexts
+// as trapezoids with a cutout).
+func TestFigure2Semantics(t *testing.T) {
+	// Ground tree nodes used as leaves. IDs are arbitrary but distinct.
+	leafT := func(id tree.NodeID, l tree.Label) *Node {
+		return &Node{Op: LeafTree, Label: l, TreeID: id, Weight: 1, Height: 0, HoleNode: -1}
+	}
+	leafC := func(id tree.NodeID, l tree.Label) *Node {
+		return &Node{Op: LeafCtx, Label: l, TreeID: id, Weight: 1, Height: 0, HoleNode: id}
+	}
+	inner := func(op Op, l, r *Node) *Node {
+		n := &Node{Op: op, Left: l, Right: r}
+		l.Parent = n
+		r.Parent = n
+		n.update()
+		return n
+	}
+
+	// ⊕HH: two single-node forests side by side.
+	hh := inner(ConcatHH, leafT(0, "a"), leafT(1, "b"))
+	roots, hole := decode(hh)
+	if len(roots) != 2 || hole != nil || roots[0].label != "a" || roots[1].label != "b" {
+		t.Fatalf("⊕HH decoded wrong: %v %v", roots, hole)
+	}
+	if hh.IsContext() {
+		t.Fatal("⊕HH must have forest type")
+	}
+
+	// ⊕HV: forest then context; the hole stays open on the right part.
+	hv := inner(ConcatHV, leafT(2, "a"), leafC(3, "c"))
+	roots, hole = decode(hv)
+	if len(roots) != 2 || hole == nil || hole.id != 3 {
+		t.Fatalf("⊕HV decoded wrong: %v %v", roots, hole)
+	}
+	if !hv.IsContext() {
+		t.Fatal("⊕HV must have context type")
+	}
+
+	// ⊕VH: context then forest; hole from the left part.
+	vh := inner(ConcatVH, leafC(4, "c"), leafT(5, "b"))
+	roots, hole = decode(vh)
+	if len(roots) != 2 || hole == nil || hole.id != 4 {
+		t.Fatalf("⊕VH decoded wrong: %v %v", roots, hole)
+	}
+
+	// ⊙VV: plug a context into a context; the inner hole survives.
+	vv := inner(ComposeVV, leafC(6, "c"), leafC(7, "d"))
+	roots, hole = decode(vv)
+	if len(roots) != 1 || hole == nil || hole.id != 7 {
+		t.Fatalf("⊙VV decoded wrong: %v %v", roots, hole)
+	}
+	if roots[0].id != 6 || len(roots[0].children) != 1 || roots[0].children[0].id != 7 {
+		t.Fatalf("⊙VV structure wrong: %v", roots[0])
+	}
+	if vv.HoleNode != 7 {
+		t.Fatalf("⊙VV cached hole = %d", vv.HoleNode)
+	}
+
+	// ⊙VH: plug a forest into a context's hole; the result is a forest.
+	plug := inner(ConcatHH, leafT(8, "x"), leafT(9, "y"))
+	ap := inner(ApplyVH, leafC(10, "c"), plug)
+	roots, hole = decode(ap)
+	if len(roots) != 1 || hole != nil {
+		t.Fatalf("⊙VH decoded wrong: %v %v", roots, hole)
+	}
+	kids := roots[0].children
+	if len(kids) != 2 || kids[0].id != 8 || kids[1].id != 9 {
+		t.Fatalf("⊙VH children wrong: %v", kids)
+	}
+	if ap.IsContext() {
+		t.Fatal("⊙VH must have forest type")
+	}
+
+	// Composition sanity: ((c⊙VV d) ⊙VH (x⊕HH y)) puts x,y under d under c.
+	deep := inner(ApplyVH,
+		inner(ComposeVV, leafC(11, "c"), leafC(12, "d")),
+		inner(ConcatHH, leafT(13, "x"), leafT(14, "y")))
+	roots, hole = decode(deep)
+	if hole != nil || len(roots) != 1 {
+		t.Fatal("nested decode wrong")
+	}
+	d := roots[0].children[0]
+	if roots[0].id != 11 || d.id != 12 || len(d.children) != 2 {
+		t.Fatalf("nested structure wrong: %v", roots[0])
+	}
+	if err := ValidateTerm(deep); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package forest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScapegoatTriggersEventually(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ut := randomTree(rng, 50)
+	f := New(ut)
+	f.Drain()
+	// Grow a deep path via repeated first-child inserts: must trigger
+	// rebuilds to keep the height budget.
+	cur := ut.Root.ID
+	for i := 0; i < 4000; i++ {
+		v, err := f.InsertFirstChild(cur, "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = v
+		f.Drain()
+	}
+	if f.Rebuilds == 0 {
+		t.Fatal("scapegoat never triggered on adversarial growth")
+	}
+	if f.Root.Height > f.heightBudget(f.Root.Weight) {
+		t.Fatalf("height %d over budget", f.Root.Height)
+	}
+	if err := DecodeTree(f.Root, f.Tree); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rebuilds=%d rebuiltWeight=%d height=%d n=%d", f.Rebuilds, f.RebuiltWeight, f.Root.Height, f.Tree.Size())
+}

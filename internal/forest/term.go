@@ -1,0 +1,333 @@
+// Package forest implements Section 7 of the paper: forest algebra terms
+// (Appendix E), the balanced encoding ω of unranked trees into binary
+// terms (Lemma 7.4, after Niewerth's LICS'18 scheme), the edit operations
+// of Definition 7.1 realized as tree hollowings (Definition 7.2) with
+// logarithmic trunks, and the translation of unranked stepwise TVAs (and
+// word automata, Corollary 8.4) into binary TVAs over the term alphabet.
+//
+// Balancing substitution (documented in DESIGN.md): instead of the
+// rotation-based worst-case rebalancing of [Niewerth 2018], terms are
+// built by weight-driven divide and conquer and rebalanced by rebuilding
+// the lowest enclosing subterm whose height exceeds its budget
+// (scapegoat-style). This keeps heights O(log n) and update costs
+// amortized O(log n), which preserves every scaling shape the paper
+// reports.
+package forest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/tree"
+)
+
+// The two leaf forms and five operators of the free forest algebra
+// (Appendix E). Type discipline:
+//
+//	LeafTree            → forest   (aᵗ: single node)
+//	LeafCtx             → context  (a□: single node whose children are the hole)
+//	ConcatHH(f, f)      → forest   (⊕HH)
+//	ConcatHV(f, c)      → context  (⊕HV)
+//	ConcatVH(c, f)      → context  (⊕VH)
+//	ComposeVV(c, c)     → context  (⊙VV: plug c₂ into c₁'s hole)
+//	ApplyVH(c, f)       → forest   (⊙VH: plug f into c's hole)
+type Op uint8
+
+const (
+	LeafTree Op = iota
+	LeafCtx
+	ConcatHH
+	ConcatHV
+	ConcatVH
+	ComposeVV
+	ApplyVH
+)
+
+// String returns the operator glyph used as the binary tree label.
+func (o Op) String() string {
+	switch o {
+	case LeafTree:
+		return "t"
+	case LeafCtx:
+		return "c"
+	case ConcatHH:
+		return "+HH"
+	case ConcatHV:
+		return "+HV"
+	case ConcatVH:
+		return "+VH"
+	case ComposeVV:
+		return ".VV"
+	case ApplyVH:
+		return ".VH"
+	}
+	return "?"
+}
+
+// Node is a node of a forest algebra term. Leaves correspond bijectively
+// to the nodes of the encoded unranked tree (the φ of Lemma 7.4); internal
+// nodes carry one of the five operators.
+type Node struct {
+	Op     Op
+	Label  tree.Label  // leaves: the tree label of the represented node
+	TreeID tree.NodeID // leaves: the represented tree node
+	// HoleNode, for context-typed nodes, is the tree node whose children
+	// forest the hole stands for.
+	HoleNode tree.NodeID
+
+	Left   *Node
+	Right  *Node
+	Parent *Node
+
+	Weight int // number of term leaves below (= tree nodes represented)
+	Height int
+
+	// Box is the circuit box attached to this term node by the dynamic
+	// engine (nil until built or after invalidation).
+	Box *circuit.Box
+}
+
+// IsLeaf reports whether the term node is a leaf (aᵗ or a□).
+func (n *Node) IsLeaf() bool { return n.Op == LeafTree || n.Op == LeafCtx }
+
+// IsContext reports whether the node has context type (it contains a
+// hole); otherwise it has forest type.
+func (n *Node) IsContext() bool {
+	switch n.Op {
+	case LeafCtx, ConcatHV, ConcatVH, ComposeVV:
+		return true
+	}
+	return false
+}
+
+// BinaryLabel is the label of this node in the binary Λ′-tree the term
+// denotes: "t:a"/"c:a" for leaves, the operator glyph otherwise.
+func (n *Node) BinaryLabel() tree.Label {
+	switch n.Op {
+	case LeafTree:
+		return tree.Label("t:" + string(n.Label))
+	case LeafCtx:
+		return tree.Label("c:" + string(n.Label))
+	}
+	return tree.Label(n.Op.String())
+}
+
+// update recomputes Weight, Height and HoleNode from the children.
+func (n *Node) update() {
+	if n.IsLeaf() {
+		n.Weight = 1
+		n.Height = 0
+		if n.Op == LeafCtx {
+			n.HoleNode = n.TreeID
+		} else {
+			n.HoleNode = -1
+		}
+		return
+	}
+	n.Weight = n.Left.Weight + n.Right.Weight
+	n.Height = 1 + max(n.Left.Height, n.Right.Height)
+	switch n.Op {
+	case ConcatHV, ComposeVV:
+		n.HoleNode = n.Right.HoleNode
+	case ConcatVH:
+		n.HoleNode = n.Left.HoleNode
+	default:
+		n.HoleNode = -1
+	}
+}
+
+// newInner allocates an internal node, wiring parents and recomputing
+// weights; creation order is children first, which the dynamic engine
+// relies on for bottom-up box rebuilding.
+func (f *Forest) newInner(op Op, l, r *Node) *Node {
+	n := &Node{Op: op, Left: l, Right: r}
+	l.Parent = n
+	r.Parent = n
+	n.update()
+	f.record(n)
+	return n
+}
+
+func (f *Forest) newLeafTree(tn *tree.UNode) *Node {
+	n := &Node{Op: LeafTree, Label: tn.Label, TreeID: tn.ID, Weight: 1, HoleNode: -1}
+	f.leafOf[tn.ID] = n
+	f.record(n)
+	return n
+}
+
+func (f *Forest) newLeafCtx(tn *tree.UNode) *Node {
+	n := &Node{Op: LeafCtx, Label: tn.Label, TreeID: tn.ID, Weight: 1, HoleNode: tn.ID}
+	f.leafOf[tn.ID] = n
+	f.record(n)
+	return n
+}
+
+// ValidateTerm checks the typing discipline of forest algebra pre-terms
+// (Appendix E), parent pointers, and cached weights/heights/holes.
+func ValidateTerm(n *Node) error {
+	if n == nil {
+		return fmt.Errorf("forest: nil term")
+	}
+	var rec func(x *Node) error
+	rec = func(x *Node) error {
+		if x.IsLeaf() {
+			if x.Left != nil || x.Right != nil {
+				return fmt.Errorf("forest: leaf with children")
+			}
+			if x.Weight != 1 || x.Height != 0 {
+				return fmt.Errorf("forest: leaf with weight %d height %d", x.Weight, x.Height)
+			}
+			return nil
+		}
+		if x.Left == nil || x.Right == nil {
+			return fmt.Errorf("forest: operator %v missing children", x.Op)
+		}
+		if x.Left.Parent != x || x.Right.Parent != x {
+			return fmt.Errorf("forest: parent pointers wrong at %v", x.Op)
+		}
+		var wantL, wantR bool // true = context
+		switch x.Op {
+		case ConcatHH:
+			wantL, wantR = false, false
+		case ConcatHV:
+			wantL, wantR = false, true
+		case ConcatVH:
+			wantL, wantR = true, false
+		case ComposeVV:
+			wantL, wantR = true, true
+		case ApplyVH:
+			wantL, wantR = true, false
+		default:
+			return fmt.Errorf("forest: unknown op %d", x.Op)
+		}
+		if x.Left.IsContext() != wantL || x.Right.IsContext() != wantR {
+			return fmt.Errorf("forest: typing violation at %v (left ctx=%v, right ctx=%v)",
+				x.Op, x.Left.IsContext(), x.Right.IsContext())
+		}
+		if x.Weight != x.Left.Weight+x.Right.Weight {
+			return fmt.Errorf("forest: stale weight at %v", x.Op)
+		}
+		if x.Height != 1+max(x.Left.Height, x.Right.Height) {
+			return fmt.Errorf("forest: stale height at %v", x.Op)
+		}
+		var wantHole tree.NodeID
+		switch x.Op {
+		case ConcatHV, ComposeVV:
+			wantHole = x.Right.HoleNode
+		case ConcatVH:
+			wantHole = x.Left.HoleNode
+		default:
+			wantHole = -1
+		}
+		if x.HoleNode != wantHole {
+			return fmt.Errorf("forest: stale hole at %v", x.Op)
+		}
+		if err := rec(x.Left); err != nil {
+			return err
+		}
+		return rec(x.Right)
+	}
+	if n.IsContext() {
+		return fmt.Errorf("forest: root term must have forest type")
+	}
+	return rec(n)
+}
+
+// dnode is a decoded unranked node used to check terms against the tree.
+type dnode struct {
+	id       tree.NodeID
+	label    tree.Label
+	children []*dnode
+}
+
+// Decode evaluates the term in the free forest algebra, returning the
+// roots of the represented forest (Appendix E semantics). Context-typed
+// subterms return additionally the decoded node carrying the hole.
+func decode(n *Node) (roots []*dnode, hole *dnode) {
+	switch n.Op {
+	case LeafTree:
+		return []*dnode{{id: n.TreeID, label: n.Label}}, nil
+	case LeafCtx:
+		d := &dnode{id: n.TreeID, label: n.Label}
+		return []*dnode{d}, d
+	case ConcatHH:
+		l, _ := decode(n.Left)
+		r, _ := decode(n.Right)
+		return append(l, r...), nil
+	case ConcatHV:
+		l, _ := decode(n.Left)
+		r, h := decode(n.Right)
+		return append(l, r...), h
+	case ConcatVH:
+		l, h := decode(n.Left)
+		r, _ := decode(n.Right)
+		return append(l, r...), h
+	case ComposeVV:
+		l, hl := decode(n.Left)
+		r, hr := decode(n.Right)
+		hl.children = r
+		return l, hr
+	case ApplyVH:
+		l, hl := decode(n.Left)
+		r, _ := decode(n.Right)
+		hl.children = r
+		return l, nil
+	}
+	panic("forest: unknown op")
+}
+
+// DecodeTree decodes a forest-typed term that represents a single tree
+// and checks it against the given unranked tree: same shape, labels, and
+// node identities (the ω and φ of Lemma 7.4). Returns an error on any
+// mismatch.
+func DecodeTree(n *Node, t *tree.Unranked) error {
+	if n.IsContext() {
+		return fmt.Errorf("forest: term has context type")
+	}
+	roots, _ := decode(n)
+	if len(roots) != 1 {
+		return fmt.Errorf("forest: term decodes to %d trees, want 1", len(roots))
+	}
+	var cmp func(d *dnode, u *tree.UNode) error
+	cmp = func(d *dnode, u *tree.UNode) error {
+		if d.id != u.ID || d.label != u.Label {
+			return fmt.Errorf("forest: node mismatch: term (%d, %s) vs tree (%d, %s)",
+				d.id, d.label, u.ID, u.Label)
+		}
+		i := 0
+		for c := u.FirstChild; c != nil; c = c.NextSib {
+			if i >= len(d.children) {
+				return fmt.Errorf("forest: node %d has too few children in term", u.ID)
+			}
+			if err := cmp(d.children[i], c); err != nil {
+				return err
+			}
+			i++
+		}
+		if i != len(d.children) {
+			return fmt.Errorf("forest: node %d has %d extra children in term", u.ID, len(d.children)-i)
+		}
+		return nil
+	}
+	return cmp(roots[0], t.Root)
+}
+
+// String renders the term structure for debugging.
+func (n *Node) String() string {
+	var b strings.Builder
+	var rec func(x *Node)
+	rec = func(x *Node) {
+		if x.IsLeaf() {
+			fmt.Fprintf(&b, "%s:%s/%d", x.Op, x.Label, x.TreeID)
+			return
+		}
+		fmt.Fprintf(&b, "(%s ", x.Op)
+		rec(x.Left)
+		b.WriteByte(' ')
+		rec(x.Right)
+		b.WriteByte(')')
+	}
+	rec(n)
+	return b.String()
+}

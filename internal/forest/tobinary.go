@@ -1,0 +1,24 @@
+package forest
+
+import "repro/internal/tree"
+
+// ToBinary materializes a term as a binary Λ′-tree. Leaf nodes keep their
+// tree node IDs (so valuations and assignments transfer along the φ
+// bijection of Lemma 7.4); internal nodes get fresh negative IDs, which
+// is safe because only leaves carry annotations. Used by oracles and
+// tests; the dynamic engine builds circuits directly on the term.
+func ToBinary(n *Node) *tree.Binary {
+	next := tree.NodeID(-2)
+	var rec func(x *Node) *tree.BNode
+	rec = func(x *Node) *tree.BNode {
+		if x.IsLeaf() {
+			return &tree.BNode{ID: x.TreeID, Label: x.BinaryLabel()}
+		}
+		b := &tree.BNode{ID: next, Label: x.BinaryLabel()}
+		next--
+		b.Left = rec(x.Left)
+		b.Right = rec(x.Right)
+		return b
+	}
+	return &tree.Binary{Root: rec(n)}
+}

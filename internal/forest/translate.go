@@ -1,0 +1,304 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// This file implements the automaton translations of Lemma 7.4 (Appendix
+// E) and Corollary 8.4: an unranked stepwise TVA A over Λ becomes a
+// binary TVA A′ over the term alphabet Λ′ whose satisfying assignments on
+// the term equal those of A on the decoded tree (A,A′-faithfulness).
+//
+// Forest-typed term states are pairs (q1, q2): "scanning the roots of the
+// represented forest takes the parent's child-scan from q1 to q2".
+// Context-typed states are pairs of pairs ((q1, q2), (q3, q4)): "if the
+// hole is filled by a forest taking a scan from q3 to q4, the whole
+// context takes the outer scan from q1 to q2".
+//
+// Rather than materializing all |Q|⁴ + |Q|² states and O(|Q|⁶)
+// transitions, the construction saturates only the reachable states
+// (semi-naive evaluation with join indexes); the worst case matches the
+// paper's bound and the reachable fragment is usually far smaller.
+
+// Operator labels of the binary term alphabet.
+var opLabels = []tree.Label{"+HH", "+HV", "+VH", ".VV", ".VH"}
+
+// TermAlphabet returns the binary alphabet Λ′ for the given tree alphabet
+// Λ: one tᵃ and one cᵃ label per a ∈ Λ, plus the five operators.
+func TermAlphabet(alphabet []tree.Label) []tree.Label {
+	out := make([]tree.Label, 0, 2*len(alphabet)+len(opLabels))
+	for _, a := range alphabet {
+		out = append(out, tree.Label("t:"+string(a)))
+	}
+	for _, a := range alphabet {
+		out = append(out, tree.Label("c:"+string(a)))
+	}
+	return append(out, opLabels...)
+}
+
+// pairState is a forest-typed translated state.
+type pairState struct{ a, b tva.State }
+
+// quadState is a context-typed translated state: outer behaviour plus
+// hole requirement.
+type quadState struct{ o1, o2, h1, h2 tva.State }
+
+// translator interns translated states and saturates transitions.
+type translator struct {
+	out *tva.Binary
+
+	fid map[pairState]tva.State
+	cid map[quadState]tva.State
+
+	kinds []bool // true = context
+	quads map[tva.State]quadState
+	fwd   map[tva.State]pairState
+
+	// Join indexes.
+	forestByA map[tva.State][]tva.State // forest states by first component
+	forestByB map[tva.State][]tva.State
+	ctxByO1   map[tva.State][]tva.State // context states by outer first
+	ctxByO2   map[tva.State][]tva.State // by outer second
+	ctxByHole map[pairState][]tva.State // by hole pair
+	ctxByOut  map[pairState][]tva.State // by outer pair
+	forestByP map[pairState][]tva.State // forest states by their full pair
+	worklist  []tva.State
+	seenDelta map[tva.Triple]bool
+}
+
+func newTranslator() *translator {
+	return &translator{
+		out:       &tva.Binary{},
+		fid:       map[pairState]tva.State{},
+		cid:       map[quadState]tva.State{},
+		quads:     map[tva.State]quadState{},
+		fwd:       map[tva.State]pairState{},
+		forestByA: map[tva.State][]tva.State{},
+		forestByB: map[tva.State][]tva.State{},
+		ctxByO1:   map[tva.State][]tva.State{},
+		ctxByO2:   map[tva.State][]tva.State{},
+		ctxByHole: map[pairState][]tva.State{},
+		ctxByOut:  map[pairState][]tva.State{},
+		forestByP: map[pairState][]tva.State{},
+		seenDelta: map[tva.Triple]bool{},
+	}
+}
+
+func (tr *translator) forestState(p pairState) tva.State {
+	if s, ok := tr.fid[p]; ok {
+		return s
+	}
+	s := tva.State(tr.out.NumStates)
+	tr.out.NumStates++
+	tr.fid[p] = s
+	tr.fwd[s] = p
+	tr.kinds = append(tr.kinds, false)
+	tr.forestByA[p.a] = append(tr.forestByA[p.a], s)
+	tr.forestByB[p.b] = append(tr.forestByB[p.b], s)
+	tr.forestByP[p] = append(tr.forestByP[p], s)
+	tr.worklist = append(tr.worklist, s)
+	return s
+}
+
+func (tr *translator) ctxState(q quadState) tva.State {
+	if s, ok := tr.cid[q]; ok {
+		return s
+	}
+	s := tva.State(tr.out.NumStates)
+	tr.out.NumStates++
+	tr.cid[q] = s
+	tr.quads[s] = q
+	tr.kinds = append(tr.kinds, true)
+	tr.ctxByO1[q.o1] = append(tr.ctxByO1[q.o1], s)
+	tr.ctxByO2[q.o2] = append(tr.ctxByO2[q.o2], s)
+	tr.ctxByHole[pairState{q.h1, q.h2}] = append(tr.ctxByHole[pairState{q.h1, q.h2}], s)
+	tr.ctxByOut[pairState{q.o1, q.o2}] = append(tr.ctxByOut[pairState{q.o1, q.o2}], s)
+	tr.worklist = append(tr.worklist, s)
+	return s
+}
+
+func (tr *translator) addDelta(l tree.Label, left, right, out tva.State) {
+	t := tva.Triple{Label: l, Left: left, Right: right, Out: out}
+	if !tr.seenDelta[t] {
+		tr.seenDelta[t] = true
+		tr.out.Delta = append(tr.out.Delta, t)
+	}
+}
+
+// saturate processes the worklist until no new states appear, generating
+// all operator transitions among reachable states.
+func (tr *translator) saturate() {
+	for len(tr.worklist) > 0 {
+		s := tr.worklist[len(tr.worklist)-1]
+		tr.worklist = tr.worklist[:len(tr.worklist)-1]
+		if tr.kinds[s] {
+			tr.processContext(s)
+		} else {
+			tr.processForest(s)
+		}
+	}
+}
+
+// processForest generates every transition in which the forest state s
+// can participate with already-known states.
+func (tr *translator) processForest(s tva.State) {
+	p := tr.fwd[s]
+	// +HH with s on the left: (a,b) ⊕ (b,c) → (a,c).
+	for _, s2 := range append([]tva.State(nil), tr.forestByA[p.b]...) {
+		p2 := tr.fwd[s2]
+		tr.addDelta("+HH", s, s2, tr.forestState(pairState{p.a, p2.b}))
+	}
+	// +HH with s on the right: (a,b) ⊕ (b,c) where s = (b,c).
+	for _, s1 := range append([]tva.State(nil), tr.forestByB[p.a]...) {
+		p1 := tr.fwd[s1]
+		tr.addDelta("+HH", s1, s, tr.forestState(pairState{p1.a, p.b}))
+	}
+	// +HV with s on the left: (a,b) ⊕HV ((b,c),(h)) → ((a,c),(h)).
+	for _, s2 := range append([]tva.State(nil), tr.ctxByO1[p.b]...) {
+		q2 := tr.quads[s2]
+		tr.addDelta("+HV", s, s2, tr.ctxState(quadState{p.a, q2.o2, q2.h1, q2.h2}))
+	}
+	// +VH with s on the right: ((a,b),(h)) ⊕VH (b,c) → ((a,c),(h)).
+	for _, s1 := range append([]tva.State(nil), tr.ctxByO2[p.a]...) {
+		q1 := tr.quads[s1]
+		tr.addDelta("+VH", s1, s, tr.ctxState(quadState{q1.o1, p.b, q1.h1, q1.h2}))
+	}
+	// .VH with s on the right: ((a,b),(h1,h2)) ⊙VH (h1,h2) → (a,b).
+	for _, s1 := range append([]tva.State(nil), tr.ctxByHole[p]...) {
+		q1 := tr.quads[s1]
+		tr.addDelta(".VH", s1, s, tr.forestState(pairState{q1.o1, q1.o2}))
+	}
+}
+
+// processContext generates every transition in which the context state s
+// can participate with already-known states.
+func (tr *translator) processContext(s tva.State) {
+	q := tr.quads[s]
+	// +HV with s on the right.
+	for _, s1 := range append([]tva.State(nil), tr.forestByB[q.o1]...) {
+		p1 := tr.fwd[s1]
+		tr.addDelta("+HV", s1, s, tr.ctxState(quadState{p1.a, q.o2, q.h1, q.h2}))
+	}
+	// +VH with s on the left.
+	for _, s2 := range append([]tva.State(nil), tr.forestByA[q.o2]...) {
+		p2 := tr.fwd[s2]
+		tr.addDelta("+VH", s, s2, tr.ctxState(quadState{q.o1, p2.b, q.h1, q.h2}))
+	}
+	// .VV with s on the left: ((a,b),(h)) ⊙VV ((h),(h')) → ((a,b),(h')).
+	for _, s2 := range append([]tva.State(nil), tr.ctxByOut[pairState{q.h1, q.h2}]...) {
+		q2 := tr.quads[s2]
+		tr.addDelta(".VV", s, s2, tr.ctxState(quadState{q.o1, q.o2, q2.h1, q2.h2}))
+	}
+	// .VV with s on the right.
+	for _, s1 := range append([]tva.State(nil), tr.ctxByHole[pairState{q.o1, q.o2}]...) {
+		q1 := tr.quads[s1]
+		tr.addDelta(".VV", s1, s, tr.ctxState(quadState{q1.o1, q1.o2, q.h1, q.h2}))
+	}
+	// .VH with s on the left.
+	for _, s2 := range append([]tva.State(nil), tr.forestByP[pairState{q.h1, q.h2}]...) {
+		tr.addDelta(".VH", s, s2, tr.forestState(pairState{q.o1, q.o2}))
+	}
+}
+
+// Translate implements the automaton translation of Lemma 7.4: given an
+// unranked stepwise TVA A, it builds a binary TVA A′ over the term
+// alphabet such that the encoding ω is A,A′-faithful. A′ has a single
+// accepting state (before trimming) as the lemma requires.
+func Translate(a *tva.Unranked) (*tva.Binary, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: translate: %w", err)
+	}
+	// Normalize: fresh q0, qf with δ ∩ ({q0}×Q×{qf}) = {q0}×F×{qf}.
+	q0 := tva.State(a.NumStates)
+	qf := tva.State(a.NumStates + 1)
+	delta := append([]tva.StepTriple(nil), a.Delta...)
+	for _, f := range a.Final {
+		delta = append(delta, tva.StepTriple{From: q0, Child: f, To: qf})
+	}
+
+	tr := newTranslator()
+	tr.out.Alphabet = TermAlphabet(a.Alphabet)
+	tr.out.Vars = a.Vars
+
+	// Seed: initial rules for tᵃ and cᵃ leaves.
+	initBy := a.InitByLabel()
+	for _, lab := range a.Alphabet {
+		for _, r := range initBy[lab] {
+			// tᵃ: (q1, q2) such that (q1, p, q2) ∈ δ with p ∈ ι(a, Y).
+			for _, d := range delta {
+				if d.Child == r.State {
+					s := tr.forestState(pairState{d.From, d.To})
+					tr.out.Init = append(tr.out.Init,
+						tva.InitRule{Label: tree.Label("t:" + string(lab)), Set: r.Set, State: s})
+				}
+			}
+			// cᵃ: ((q1, q2), (q3, q4)) such that (q1, q4, q2) ∈ δ and
+			// q3 ∈ ι(a, Y).
+			for _, d := range delta {
+				s := tr.ctxState(quadState{d.From, d.To, r.State, d.Child})
+				tr.out.Init = append(tr.out.Init,
+					tva.InitRule{Label: tree.Label("c:" + string(lab)), Set: r.Set, State: s})
+			}
+		}
+	}
+	tr.saturate()
+
+	if s, ok := tr.fid[pairState{q0, qf}]; ok {
+		tr.out.Final = []tva.State{s}
+	}
+	out := tr.out.Trim()
+	return out, nil
+}
+
+// TranslateWord implements Corollary 8.4: a WVA becomes a binary TVA over
+// the word-term alphabet ({tᵃ} plus ⊕HH) with O(|Q|²) states and O(|Q|³)
+// transitions. Words are encoded as balanced ⊕HH terms over their
+// letters (see Word); the empty word is not representable.
+func TranslateWord(a *tva.WVA) (*tva.Binary, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: translate word: %w", err)
+	}
+	// Normalize to a single initial and a single final state.
+	q0 := tva.State(a.NumStates)
+	qf := tva.State(a.NumStates + 1)
+	isInit := map[tva.State]bool{}
+	for _, q := range a.Initial {
+		isInit[q] = true
+	}
+	isFinal := map[tva.State]bool{}
+	for _, q := range a.Final {
+		isFinal[q] = true
+	}
+	trans := append([]tva.WTrans(nil), a.Trans...)
+	for _, t := range a.Trans {
+		if isInit[t.From] {
+			trans = append(trans, tva.WTrans{From: q0, Label: t.Label, Set: t.Set, To: t.To})
+		}
+		if isFinal[t.To] {
+			trans = append(trans, tva.WTrans{From: t.From, Label: t.Label, Set: t.Set, To: qf})
+		}
+		if isInit[t.From] && isFinal[t.To] {
+			trans = append(trans, tva.WTrans{From: q0, Label: t.Label, Set: t.Set, To: qf})
+		}
+	}
+
+	tr := newTranslator()
+	for _, lab := range a.Alphabet {
+		tr.out.Alphabet = append(tr.out.Alphabet, tree.Label("t:"+string(lab)))
+	}
+	tr.out.Alphabet = append(tr.out.Alphabet, "+HH")
+	tr.out.Vars = a.Vars
+	for _, t := range trans {
+		s := tr.forestState(pairState{t.From, t.To})
+		tr.out.Init = append(tr.out.Init,
+			tva.InitRule{Label: tree.Label("t:" + string(t.Label)), Set: t.Set, State: s})
+	}
+	tr.saturate()
+	if s, ok := tr.fid[pairState{q0, qf}]; ok {
+		tr.out.Final = []tva.State{s}
+	}
+	return tr.out.Trim(), nil
+}

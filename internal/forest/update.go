@@ -1,0 +1,265 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// This file implements the edit operations of Definition 7.1 on the
+// maintained (tree, term) pair. Each edit performs O(1) local term
+// surgery at a leaf, refreshes weights/heights on the leaf-to-root path,
+// and, when the height budget of some subterm is exceeded, rebuilds the
+// topmost such subterm from the underlying tree cluster (the scapegoat
+// substitution for [30]'s rotations, see the package comment). The nodes
+// created or modified — the trunk of the tree hollowing of Definition
+// 7.2 — are recorded for Drain.
+
+// replaceChild makes repl take old's place under parent (nil parent =
+// root). old's parent pointer is left dangling; callers capture parent
+// and side before any re-wiring.
+func (f *Forest) replaceAt(parent *Node, wasLeft bool, repl *Node) {
+	if parent == nil {
+		f.Root = repl
+		repl.Parent = nil
+		return
+	}
+	if wasLeft {
+		parent.Left = repl
+	} else {
+		parent.Right = repl
+	}
+	repl.Parent = parent
+}
+
+// bubble refreshes weights/heights from n's parent chain up to the root,
+// then applies the scapegoat rule: if any node on the path exceeds its
+// height budget, the topmost such subterm is rebuilt from the tree.
+func (f *Forest) bubble(n *Node) {
+	var scapegoat *Node
+	for x := n; x != nil; x = x.Parent {
+		if !x.IsLeaf() {
+			x.update()
+		}
+		if x.Height > f.heightBudget(x.Weight) {
+			scapegoat = x
+		}
+	}
+	if scapegoat == nil {
+		return
+	}
+	f.rebuildSubterm(scapegoat)
+}
+
+// rebuildSubterm replaces the subterm rooted at t by a freshly balanced
+// term for the same cluster, then refreshes the ancestors.
+func (f *Forest) rebuildSubterm(t *Node) {
+	f.Rebuilds++
+	f.RebuiltWeight += t.Weight
+	roots := f.clusterRoots(t)
+	var hole *tree.UNode
+	if t.IsContext() {
+		hole = f.Tree.Node(t.HoleNode)
+		if hole == nil {
+			panic("forest: context subterm with missing hole node")
+		}
+	}
+	parent, wasLeft := t.Parent, t.Parent != nil && t.Parent.Left == t
+	nt := f.buildCluster(roots, hole)
+	if nt.IsContext() != t.IsContext() {
+		panic("forest: rebuild changed cluster type")
+	}
+	f.replaceAt(parent, wasLeft, nt)
+	for x := parent; x != nil; x = x.Parent {
+		x.update()
+	}
+	// Ancestors' boxes depend on the rebuilt child; mark them modified.
+	for x := parent; x != nil; x = x.Parent {
+		f.record(x)
+	}
+}
+
+// clusterRoots returns the roots of the top-level sibling segment of the
+// cluster represented by t, in order.
+func (f *Forest) clusterRoots(t *Node) []*tree.UNode {
+	var out []*tree.UNode
+	var rec func(x *Node)
+	rec = func(x *Node) {
+		switch x.Op {
+		case LeafTree, LeafCtx:
+			out = append(out, f.Tree.Node(x.TreeID))
+		case ConcatHH, ConcatHV, ConcatVH:
+			rec(x.Left)
+			rec(x.Right)
+		case ComposeVV, ApplyVH:
+			rec(x.Left) // the plugged part hangs below the left's hole
+		}
+	}
+	rec(t)
+	return out
+}
+
+// recordPathToRoot marks every ancestor of n (inclusive) as needing a new
+// circuit box.
+func (f *Forest) recordPathToRoot(n *Node) {
+	for x := n; x != nil; x = x.Parent {
+		f.record(x)
+	}
+}
+
+// Relabel implements relabel(n, l): the term shape is unchanged, only the
+// leaf's label (and hence its box and all ancestor boxes).
+func (f *Forest) Relabel(id tree.NodeID, l tree.Label) error {
+	if err := f.Tree.Relabel(id, l); err != nil {
+		return err
+	}
+	leaf := f.leafOf[id]
+	leaf.Label = l
+	leaf.Box = nil
+	f.recordPathToRoot(leaf)
+	return nil
+}
+
+// InsertFirstChild implements insert(n, l): a new l-labeled node becomes
+// the first child of n.
+func (f *Forest) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	v, err := f.Tree.InsertFirstChild(id, l)
+	if err != nil {
+		return 0, err
+	}
+	p := f.leafOf[id]
+	if p.Op == LeafTree {
+		// n was childless: its aᵗ leaf becomes a□ plugged with the new
+		// singleton forest: ⊙VH(n□, vᵗ).
+		parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
+		ctx := f.newLeafCtx(f.Tree.Node(id))
+		lv := f.newLeafTree(v)
+		ap := f.newInner(ApplyVH, ctx, lv)
+		f.plugOp[id] = ap
+		f.replaceAt(parent, wasLeft, ap)
+		f.recordPathToRoot(ap)
+		f.bubble(ap)
+	} else {
+		// Children exist: prepend vᵗ to the subterm X that represents
+		// them (the right child of the plug operation of n).
+		op := f.plugOp[id]
+		x := op.Right
+		lv := f.newLeafTree(v)
+		var nx *Node
+		if x.IsContext() {
+			nx = f.newInner(ConcatHV, lv, x)
+		} else {
+			nx = f.newInner(ConcatHH, lv, x)
+		}
+		op.Right = nx
+		nx.Parent = op
+		f.recordPathToRoot(nx)
+		f.bubble(nx)
+	}
+	return v.ID, nil
+}
+
+// InsertRightSibling implements insertR(n, l): a new l-labeled node
+// becomes the right sibling of n. The term leaf of n occupies exactly
+// n's slot in its sibling segment, so wrapping it with a horizontal
+// concatenation inserts v right after the whole subtree of n.
+func (f *Forest) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	v, err := f.Tree.InsertRightSibling(id, l)
+	if err != nil {
+		return 0, err
+	}
+	s := f.leafOf[id]
+	parent, wasLeft := s.Parent, s.Parent != nil && s.Parent.Left == s
+	lv := f.newLeafTree(v)
+	var nn *Node
+	if s.IsContext() {
+		nn = f.newInner(ConcatVH, s, lv)
+	} else {
+		nn = f.newInner(ConcatHH, s, lv)
+	}
+	f.replaceAt(parent, wasLeft, nn)
+	f.recordPathToRoot(nn)
+	f.bubble(nn)
+	return v.ID, nil
+}
+
+// Delete implements delete(n) for a leaf n of the tree.
+func (f *Forest) Delete(id tree.NodeID) error {
+	s := f.leafOf[id]
+	if err := f.Tree.Delete(id); err != nil {
+		return err
+	}
+	if s.Op != LeafTree {
+		panic("forest: tree leaf mapped to a context term leaf")
+	}
+	delete(f.leafOf, id)
+	p := s.Parent
+	switch p.Op {
+	case ConcatHH, ConcatHV, ConcatVH:
+		// Splice the leaf out: the other operand takes p's place (same
+		// algebra type as p in every legal combination).
+		sibling := p.Left
+		if sibling == s {
+			sibling = p.Right
+		}
+		parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
+		f.replaceAt(parent, wasLeft, sibling)
+		if parent != nil {
+			f.recordPathToRoot(parent)
+			f.bubble(parent)
+		}
+	case ApplyVH:
+		// p = ⊙VH(C, nᵗ): n was the only child of C's hole node w, which
+		// now becomes childless: retype the hole path of C (a□ → aᵗ,
+		// ⊕HV/⊕VH → ⊕HH, ⊙VV → ⊙VH) and let C take p's place.
+		if p.Right != s {
+			panic("forest: tree leaf plugged on the left of ⊙VH")
+		}
+		c := p.Left
+		w := c.HoleNode
+		f.retypeHolePath(c, w)
+		delete(f.plugOp, w)
+		parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
+		f.replaceAt(parent, wasLeft, c)
+		f.recordPathToRoot(c)
+		f.bubble(c)
+	default:
+		panic(fmt.Sprintf("forest: leaf under unexpected operator %v", p.Op))
+	}
+	return nil
+}
+
+// retypeHolePath converts the context c whose hole is at tree node w into
+// the forest obtained by closing the hole: the a□ leaf of w becomes aᵗ,
+// and every operator on the hole path flips to its forest counterpart.
+// The path nodes are recorded bottom-up, as the dirty protocol requires.
+func (f *Forest) retypeHolePath(c *Node, w tree.NodeID) {
+	var path []*Node
+	x := c
+	for {
+		path = append(path, x)
+		x.Box = nil
+		if x.Op == LeafCtx {
+			x.Op = LeafTree
+			f.leafOf[w] = x
+			break
+		}
+		switch x.Op {
+		case ConcatHV:
+			x.Op = ConcatHH
+			x = x.Right
+		case ConcatVH:
+			x.Op = ConcatHH
+			x = x.Left
+		case ComposeVV:
+			x.Op = ApplyVH
+			x = x.Right
+		default:
+			panic("forest: malformed hole path")
+		}
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].update()
+		f.record(path[i])
+	}
+}

@@ -1,0 +1,275 @@
+package forest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tree"
+)
+
+// Word maintains a nonempty word as a balanced ⊕HH-only forest algebra
+// term over its letters (the word specialization of Section 8 /
+// Corollary 8.4: a word is a forest of single-node trees). Letters carry
+// stable IDs so that assignments survive edits at other positions. The
+// supported edits are the usual local ones: insert a letter, delete a
+// letter, replace (relabel) a letter.
+type Word struct {
+	Root *Node
+
+	leafOf  map[tree.NodeID]*Node
+	nextID  tree.NodeID
+	size    int
+	created []*Node
+
+	HeightFactor float64
+	HeightBase   int
+	Rebuilds     int
+}
+
+// NewWord builds the balanced term for the given nonempty word.
+func NewWord(letters []tree.Label) (*Word, error) {
+	if len(letters) == 0 {
+		return nil, fmt.Errorf("forest: the empty word has no term encoding")
+	}
+	w := &Word{
+		leafOf:       map[tree.NodeID]*Node{},
+		HeightFactor: 1.4,
+		HeightBase:   6,
+	}
+	leaves := make([]*Node, len(letters))
+	for i, l := range letters {
+		leaves[i] = w.newLetter(l)
+	}
+	w.Root = w.buildBalanced(leaves)
+	w.size = len(letters)
+	return w, nil
+}
+
+func (w *Word) newLetter(l tree.Label) *Node {
+	n := &Node{Op: LeafTree, Label: l, TreeID: w.nextID, Weight: 1, HoleNode: -1}
+	w.leafOf[n.TreeID] = n
+	w.nextID++
+	w.record(n)
+	return n
+}
+
+func (w *Word) record(n *Node) { w.created = append(w.created, n) }
+
+// Drain mirrors Forest.Drain for the dynamic engine.
+func (w *Word) Drain() []*Node {
+	last := map[*Node]int{}
+	for i, n := range w.created {
+		last[n] = i
+	}
+	var out []*Node
+	for i, n := range w.created {
+		if last[n] == i && w.attached(n) {
+			out = append(out, n)
+		}
+	}
+	w.created = w.created[:0]
+	return out
+}
+
+func (w *Word) attached(n *Node) bool {
+	for x := n; ; x = x.Parent {
+		if x.Parent == nil {
+			return x == w.Root
+		}
+		if x.Parent.Left != x && x.Parent.Right != x {
+			return false
+		}
+	}
+}
+
+// TermRoot returns the root of the term (dynamic-engine interface).
+func (w *Word) TermRoot() *Node { return w.Root }
+
+// Len returns the current word length.
+func (w *Word) Len() int { return w.size }
+
+// Leaf returns the term leaf of a letter ID.
+func (w *Word) Leaf(id tree.NodeID) *Node { return w.leafOf[id] }
+
+// Letters returns the word as (IDs, labels) in order.
+func (w *Word) Letters() ([]tree.NodeID, []tree.Label) {
+	ids := make([]tree.NodeID, 0, w.size)
+	labels := make([]tree.Label, 0, w.size)
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.IsLeaf() {
+			ids = append(ids, n.TreeID)
+			labels = append(labels, n.Label)
+			return
+		}
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(w.Root)
+	return ids, labels
+}
+
+// IDAt returns the letter ID at 0-based position i, navigating by
+// subtree weights in O(log n).
+func (w *Word) IDAt(i int) (tree.NodeID, error) {
+	if i < 0 || i >= w.size {
+		return 0, fmt.Errorf("forest: position %d out of range [0,%d)", i, w.size)
+	}
+	n := w.Root
+	for !n.IsLeaf() {
+		if i < n.Left.Weight {
+			n = n.Left
+		} else {
+			i -= n.Left.Weight
+			n = n.Right
+		}
+	}
+	return n.TreeID, nil
+}
+
+func (w *Word) buildBalanced(leaves []*Node) *Node {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	mid := len(leaves) / 2
+	return w.newInner(w.buildBalanced(leaves[:mid]), w.buildBalanced(leaves[mid:]))
+}
+
+func (w *Word) newInner(l, r *Node) *Node {
+	n := &Node{Op: ConcatHH, Left: l, Right: r}
+	l.Parent = n
+	r.Parent = n
+	n.update()
+	w.record(n)
+	return n
+}
+
+func (w *Word) heightBudget(weight int) int {
+	return int(w.HeightFactor*math.Log2(float64(weight+1))) + w.HeightBase
+}
+
+func (w *Word) replaceAt(parent *Node, wasLeft bool, repl *Node) {
+	if parent == nil {
+		w.Root = repl
+		repl.Parent = nil
+		return
+	}
+	if wasLeft {
+		parent.Left = repl
+	} else {
+		parent.Right = repl
+	}
+	repl.Parent = parent
+}
+
+func (w *Word) recordPathToRoot(n *Node) {
+	for x := n; x != nil; x = x.Parent {
+		w.record(x)
+	}
+}
+
+func (w *Word) bubble(n *Node) {
+	var scapegoat *Node
+	for x := n; x != nil; x = x.Parent {
+		if !x.IsLeaf() {
+			x.update()
+		}
+		if x.Height > w.heightBudget(x.Weight) {
+			scapegoat = x
+		}
+	}
+	if scapegoat == nil {
+		return
+	}
+	w.Rebuilds++
+	// Rebuild the subterm over its letter leaves, which are reused (their
+	// labels and hence their circuit boxes are unchanged).
+	var leaves []*Node
+	var rec func(x *Node)
+	rec = func(x *Node) {
+		if x.IsLeaf() {
+			leaves = append(leaves, x)
+			return
+		}
+		rec(x.Left)
+		rec(x.Right)
+	}
+	rec(scapegoat)
+	parent, wasLeft := scapegoat.Parent, scapegoat.Parent != nil && scapegoat.Parent.Left == scapegoat
+	nt := w.buildBalanced(leaves)
+	w.replaceAt(parent, wasLeft, nt)
+	for x := nt.Parent; x != nil; x = x.Parent {
+		x.update()
+		w.record(x)
+	}
+}
+
+// Relabel replaces the letter with the given ID.
+func (w *Word) Relabel(id tree.NodeID, l tree.Label) error {
+	leaf, ok := w.leafOf[id]
+	if !ok {
+		return fmt.Errorf("forest: letter %d does not exist", id)
+	}
+	leaf.Label = l
+	leaf.Box = nil
+	w.recordPathToRoot(leaf)
+	return nil
+}
+
+// InsertAfter inserts a new letter right after the letter with the given
+// ID, returning the new letter's ID.
+func (w *Word) InsertAfter(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	return w.insertBeside(id, l, false)
+}
+
+// InsertBefore inserts a new letter right before the letter with the
+// given ID (needed to prepend at position 0).
+func (w *Word) InsertBefore(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	return w.insertBeside(id, l, true)
+}
+
+func (w *Word) insertBeside(id tree.NodeID, l tree.Label, before bool) (tree.NodeID, error) {
+	s, ok := w.leafOf[id]
+	if !ok {
+		return 0, fmt.Errorf("forest: letter %d does not exist", id)
+	}
+	parent, wasLeft := s.Parent, s.Parent != nil && s.Parent.Left == s
+	lv := w.newLetter(l)
+	var nn *Node
+	if before {
+		nn = w.newInner(lv, s)
+	} else {
+		nn = w.newInner(s, lv)
+	}
+	w.replaceAt(parent, wasLeft, nn)
+	w.size++
+	w.recordPathToRoot(nn)
+	w.bubble(nn)
+	return lv.TreeID, nil
+}
+
+// Delete removes the letter with the given ID; the word must stay
+// nonempty.
+func (w *Word) Delete(id tree.NodeID) error {
+	s, ok := w.leafOf[id]
+	if !ok {
+		return fmt.Errorf("forest: letter %d does not exist", id)
+	}
+	if w.size == 1 {
+		return fmt.Errorf("forest: cannot delete the last letter")
+	}
+	p := s.Parent
+	sibling := p.Left
+	if sibling == s {
+		sibling = p.Right
+	}
+	parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
+	w.replaceAt(parent, wasLeft, sibling)
+	delete(w.leafOf, id)
+	w.size--
+	if parent != nil {
+		w.recordPathToRoot(parent)
+		w.bubble(parent)
+	}
+	return nil
+}

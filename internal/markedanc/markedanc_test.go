@@ -1,0 +1,113 @@
+package markedanc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// TestSolversAgree fuzzes both solvers against each other on random
+// trees with random mark toggles and queries.
+func TestSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		ut := tva.RandomUnrankedTree(rng, 2+rng.Intn(30), []tree.Label{Unmarked})
+		// Normalize all labels to Unmarked.
+		for _, n := range ut.Nodes() {
+			if err := ut.Relabel(n.ID, Unmarked); err != nil {
+				t.Fatal(err)
+			}
+		}
+		walk := NewWalkSolver(ut)
+		enum, err := NewEnumerationSolver(ut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := ut.Nodes()
+		marked := map[tree.NodeID]bool{}
+		for step := 0; step < 60; step++ {
+			n := nodes[rng.Intn(len(nodes))]
+			switch rng.Intn(3) {
+			case 0:
+				if err := walk.Mark(n.ID); err != nil {
+					t.Fatal(err)
+				}
+				if err := enum.Mark(n.ID); err != nil {
+					t.Fatal(err)
+				}
+				marked[n.ID] = true
+			case 1:
+				if err := walk.Unmark(n.ID); err != nil {
+					t.Fatal(err)
+				}
+				if err := enum.Unmark(n.ID); err != nil {
+					t.Fatal(err)
+				}
+				delete(marked, n.ID)
+			default:
+				w, err := walk.Query(n.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := enum.Query(n.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w != e {
+					t.Fatalf("trial %d step %d: walk=%v enum=%v for node %d", trial, step, w, e, n.ID)
+				}
+				// Independent check.
+				want := false
+				for p := n.Parent; p != nil; p = p.Parent {
+					if marked[p.ID] {
+						want = true
+					}
+				}
+				if w != want {
+					t.Fatalf("walk solver wrong: %v vs %v", w, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryRestoresLabel(t *testing.T) {
+	ut, _ := tree.ParseUnranked("(u (u) (u (u)))")
+	enum, err := NewEnumerationSolver(ut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := ut.Nodes()
+	target := nodes[len(nodes)-1]
+	if _, err := enum.Query(target.ID); err != nil {
+		t.Fatal(err)
+	}
+	if target.Label != Unmarked {
+		t.Fatalf("label not restored: %s", target.Label)
+	}
+	// Errors for missing nodes.
+	if _, err := enum.Query(tree.NodeID(999)); err == nil {
+		t.Fatal("expected error")
+	}
+	w := NewWalkSolver(ut)
+	if err := w.Mark(tree.NodeID(999)); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := w.Unmark(tree.NodeID(999)); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := w.Query(tree.NodeID(999)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLowerBoundCurve(t *testing.T) {
+	if LowerBoundCurve(2) != 1 {
+		t.Fatal("small n should clamp to 1")
+	}
+	if LowerBoundCurve(1<<20) <= LowerBoundCurve(1<<10) {
+		t.Fatal("curve should grow")
+	}
+}

@@ -1,0 +1,326 @@
+package mso
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// Compile translates the formula into an unranked stepwise TVA over the
+// given alphabet whose satisfying assignments (on the free variables) are
+// exactly the satisfying assignments of the formula (Thatcher-Wright,
+// used by Corollary 8.2). Negation determinizes, so compilation can be
+// exponential in formula depth.
+func Compile(f Formula, alphabet []tree.Label) (*tva.Unranked, error) {
+	if len(alphabet) == 0 {
+		return nil, fmt.Errorf("mso: empty alphabet")
+	}
+	a, err := compile(f, alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return a.Trim(), nil
+}
+
+// CompileFO compiles a formula whose listed variables are first-order:
+// it conjoins Singleton constraints for each of them (the standard
+// rewriting in the proof of Corollary 8.3).
+func CompileFO(f Formula, alphabet []tree.Label, foVars ...tree.Var) (*tva.Unranked, error) {
+	for _, x := range foVars {
+		f = And{f, Singleton{x}}
+	}
+	return Compile(f, alphabet)
+}
+
+func compile(f Formula, alphabet []tree.Label) (*tva.Unranked, error) {
+	switch g := f.(type) {
+	case TrueF:
+		return trueAutomaton(alphabet), nil
+	case FalseF:
+		a := trueAutomaton(alphabet)
+		a.Final = nil
+		return a, nil
+	case Subset:
+		return atomSubset(alphabet, g.X, g.Y), nil
+	case Singleton:
+		return atomSingleton(alphabet, g.X), nil
+	case HasLabel:
+		return atomHasLabel(alphabet, g.X, g.Label), nil
+	case Child:
+		return atomChild(alphabet, g.X, g.Y), nil
+	case NextSibling:
+		return atomNextSibling(alphabet, g.X, g.Y), nil
+	case Root:
+		return atomRoot(alphabet, g.X), nil
+	case Leaf:
+		return atomLeaf(alphabet, g.X), nil
+	case Descendant:
+		return atomDescendant(alphabet, g.X, g.Y), nil
+	case And:
+		l, err := compile(g.L, alphabet)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(g.R, alphabet)
+		if err != nil {
+			return nil, err
+		}
+		u := l.Vars | r.Vars
+		return tva.IntersectUnranked(tva.Cylindrify(l, u), tva.Cylindrify(r, u)), nil
+	case Or:
+		l, err := compile(g.L, alphabet)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(g.R, alphabet)
+		if err != nil {
+			return nil, err
+		}
+		u := l.Vars | r.Vars
+		return tva.UnionUnranked(tva.Cylindrify(l, u), tva.Cylindrify(r, u)), nil
+	case Not:
+		inner, err := compile(g.F, alphabet)
+		if err != nil {
+			return nil, err
+		}
+		return tva.ComplementUnranked(inner.Trim()), nil
+	case Exists:
+		inner, err := compile(g.F, alphabet)
+		if err != nil {
+			return nil, err
+		}
+		// The quantified variable might not occur in the body; then ∃X.F
+		// is F itself.
+		if !inner.Vars.Has(g.X) {
+			return inner, nil
+		}
+		return tva.Project(inner, g.X), nil
+	default:
+		return nil, fmt.Errorf("mso: unknown formula %T", f)
+	}
+}
+
+// trueAutomaton accepts every tree under every valuation of no variables.
+func trueAutomaton(alphabet []tree.Label) *tva.Unranked {
+	a := &tva.Unranked{
+		NumStates: 1,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Final:     []tva.State{0},
+		Delta:     []tva.StepTriple{{From: 0, Child: 0, To: 0}},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: 0})
+	}
+	return a
+}
+
+// eachAnnotation enumerates all annotations over the universe u, calling
+// f with each.
+func eachAnnotation(u tree.VarSet, f func(tree.VarSet)) { tree.SubsetsOf(u, f) }
+
+// atomSubset: every node annotated with X is annotated with Y.
+func atomSubset(alphabet []tree.Label, x, y tree.Var) *tva.Unranked {
+	u := tree.NewVarSet(x, y)
+	a := &tva.Unranked{
+		NumStates: 1,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      u,
+		Final:     []tva.State{0},
+		Delta:     []tva.StepTriple{{From: 0, Child: 0, To: 0}},
+	}
+	for _, l := range alphabet {
+		eachAnnotation(u, func(s tree.VarSet) {
+			if !s.Has(x) || s.Has(y) {
+				a.Init = append(a.Init, tva.InitRule{Label: l, Set: s, State: 0})
+			}
+		})
+	}
+	return a
+}
+
+// atomSingleton: exactly one node carries X.
+func atomSingleton(alphabet []tree.Label, x tree.Var) *tva.Unranked {
+	const (
+		none = tva.State(0)
+		one  = tva.State(1)
+	)
+	u := tree.NewVarSet(x)
+	a := &tva.Unranked{
+		NumStates: 2,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      u,
+		Final:     []tva.State{one},
+		Delta: []tva.StepTriple{
+			{From: none, Child: none, To: none},
+			{From: none, Child: one, To: one},
+			{From: one, Child: none, To: one},
+		},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: none})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: u, State: one})
+	}
+	return a
+}
+
+// atomHasLabel: every node annotated with X carries the given label.
+func atomHasLabel(alphabet []tree.Label, x tree.Var, lab tree.Label) *tva.Unranked {
+	u := tree.NewVarSet(x)
+	a := &tva.Unranked{
+		NumStates: 1,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      u,
+		Final:     []tva.State{0},
+		Delta:     []tva.StepTriple{{From: 0, Child: 0, To: 0}},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: 0})
+		if l == lab {
+			a.Init = append(a.Init, tva.InitRule{Label: l, Set: u, State: 0})
+		}
+	}
+	return a
+}
+
+// atomChild: X={x}, Y={y}, y a child of x.
+func atomChild(alphabet []tree.Label, x, y tree.Var) *tva.Unranked {
+	const (
+		plain = tva.State(0) // no annotated node in subtree
+		xw    = tva.State(1) // scanning x, y not yet read
+		yr    = tva.State(2) // this node is y
+		done  = tva.State(3) // pair complete in subtree
+	)
+	a := &tva.Unranked{
+		NumStates: 4,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x, y),
+		Final:     []tva.State{done},
+		Delta: []tva.StepTriple{
+			{From: plain, Child: plain, To: plain},
+			{From: plain, Child: done, To: done},
+			{From: done, Child: plain, To: done},
+			{From: xw, Child: plain, To: xw},
+			{From: xw, Child: yr, To: done},
+			{From: yr, Child: plain, To: yr},
+		},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: plain})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(x), State: xw})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(y), State: yr})
+	}
+	return a
+}
+
+// atomNextSibling: X={x}, Y={y}, y immediately right of x.
+func atomNextSibling(alphabet []tree.Label, x, y tree.Var) *tva.Unranked {
+	const (
+		plain = tva.State(0)
+		xn    = tva.State(1) // this node is x
+		yn    = tva.State(2) // this node is y
+		mid   = tva.State(3) // scan just read x
+		done  = tva.State(4)
+	)
+	a := &tva.Unranked{
+		NumStates: 5,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x, y),
+		Final:     []tva.State{done},
+		Delta: []tva.StepTriple{
+			{From: plain, Child: plain, To: plain},
+			{From: plain, Child: xn, To: mid},
+			{From: mid, Child: yn, To: done},
+			{From: done, Child: plain, To: done},
+			{From: plain, Child: done, To: done},
+			{From: xn, Child: plain, To: xn},
+			{From: yn, Child: plain, To: yn},
+		},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: plain})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(x), State: xn})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(y), State: yn})
+	}
+	return a
+}
+
+// atomRoot: X={x}, x is the root.
+func atomRoot(alphabet []tree.Label, x tree.Var) *tva.Unranked {
+	const (
+		plain = tva.State(0)
+		xr    = tva.State(1)
+	)
+	a := &tva.Unranked{
+		NumStates: 2,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x),
+		Final:     []tva.State{xr},
+		Delta: []tva.StepTriple{
+			{From: plain, Child: plain, To: plain},
+			{From: xr, Child: plain, To: xr},
+		},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: plain})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(x), State: xr})
+	}
+	return a
+}
+
+// atomLeaf: X={x}, x is a leaf.
+func atomLeaf(alphabet []tree.Label, x tree.Var) *tva.Unranked {
+	const (
+		plain = tva.State(0)
+		xl    = tva.State(1) // this node is x; must finish with no children
+		done  = tva.State(2)
+	)
+	a := &tva.Unranked{
+		NumStates: 3,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x),
+		Final:     []tva.State{done, xl}, // xl accepts the single-node tree with x at the root
+		Delta: []tva.StepTriple{
+			{From: plain, Child: plain, To: plain},
+			{From: plain, Child: xl, To: done},
+			{From: plain, Child: done, To: done},
+			{From: done, Child: plain, To: done},
+		},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: plain})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(x), State: xl})
+	}
+	return a
+}
+
+// atomDescendant: X={x}, Y={y}, y a proper descendant of x.
+func atomDescendant(alphabet []tree.Label, x, y tree.Var) *tva.Unranked {
+	const (
+		plain = tva.State(0)
+		yd    = tva.State(1) // subtree contains y, x not yet above it
+		xw    = tva.State(2) // scanning x
+		done  = tva.State(3)
+	)
+	a := &tva.Unranked{
+		NumStates: 4,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x, y),
+		Final:     []tva.State{done},
+		Delta: []tva.StepTriple{
+			{From: plain, Child: plain, To: plain},
+			{From: plain, Child: yd, To: yd},
+			{From: yd, Child: plain, To: yd},
+			{From: xw, Child: plain, To: xw},
+			{From: xw, Child: yd, To: done},
+			{From: done, Child: plain, To: done},
+			{From: plain, Child: done, To: done},
+		},
+	}
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: plain})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(x), State: xw})
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: tree.NewVarSet(y), State: yd})
+	}
+	return a
+}

@@ -1,0 +1,151 @@
+package mso
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Eval is the direct model-checking semantics of MSO formulas, used as
+// the ground truth the compiler is tested against. Exists enumerates all
+// 2^n node subsets, so this is strictly for small trees.
+func Eval(f Formula, t *tree.Unranked, nu tree.Valuation) bool {
+	switch g := f.(type) {
+	case TrueF:
+		return true
+	case FalseF:
+		return false
+	case Subset:
+		for _, n := range t.Nodes() {
+			s := nu[n.ID]
+			if s.Has(g.X) && !s.Has(g.Y) {
+				return false
+			}
+		}
+		return true
+	case Singleton:
+		return len(nodesWith(t, nu, g.X)) == 1
+	case HasLabel:
+		for _, n := range nodesWith(t, nu, g.X) {
+			if n.Label != g.Label {
+				return false
+			}
+		}
+		return true
+	case Child:
+		xs, ys := nodesWith(t, nu, g.X), nodesWith(t, nu, g.Y)
+		return len(xs) == 1 && len(ys) == 1 && ys[0].Parent == xs[0]
+	case NextSibling:
+		xs, ys := nodesWith(t, nu, g.X), nodesWith(t, nu, g.Y)
+		return len(xs) == 1 && len(ys) == 1 && xs[0].NextSib == ys[0]
+	case Root:
+		xs := nodesWith(t, nu, g.X)
+		return len(xs) == 1 && xs[0] == t.Root
+	case Leaf:
+		xs := nodesWith(t, nu, g.X)
+		return len(xs) == 1 && xs[0].IsLeaf()
+	case Descendant:
+		xs, ys := nodesWith(t, nu, g.X), nodesWith(t, nu, g.Y)
+		if len(xs) != 1 || len(ys) != 1 {
+			return false
+		}
+		for p := ys[0].Parent; p != nil; p = p.Parent {
+			if p == xs[0] {
+				return true
+			}
+		}
+		return false
+	case And:
+		return Eval(g.L, t, nu) && Eval(g.R, t, nu)
+	case Or:
+		return Eval(g.L, t, nu) || Eval(g.R, t, nu)
+	case Not:
+		return !Eval(g.F, t, nu)
+	case Exists:
+		nodes := t.Nodes()
+		// Try every subset of nodes as the interpretation of X.
+		var rec func(i int, cur tree.Valuation) bool
+		rec = func(i int, cur tree.Valuation) bool {
+			if i == len(nodes) {
+				return Eval(g.F, t, cur)
+			}
+			// X absent at node i.
+			old, had := cur[nodes[i].ID]
+			cur[nodes[i].ID] = old.Remove(g.X)
+			if cur[nodes[i].ID] == 0 {
+				delete(cur, nodes[i].ID)
+			}
+			if rec(i+1, cur) {
+				restore(cur, nodes[i].ID, old, had)
+				return true
+			}
+			// X present at node i.
+			cur[nodes[i].ID] = old.Remove(g.X).Add(g.X)
+			ok := rec(i+1, cur)
+			restore(cur, nodes[i].ID, old, had)
+			return ok
+		}
+		// Work on a copy so callers' valuations are untouched.
+		cp := tree.Valuation{}
+		for k, v := range nu {
+			cp[k] = v
+		}
+		return rec(0, cp)
+	default:
+		panic(fmt.Sprintf("mso: unknown formula %T", f))
+	}
+}
+
+func restore(nu tree.Valuation, id tree.NodeID, old tree.VarSet, had bool) {
+	if had {
+		nu[id] = old
+	} else {
+		delete(nu, id)
+	}
+}
+
+func nodesWith(t *tree.Unranked, nu tree.Valuation, x tree.Var) []*tree.UNode {
+	var out []*tree.UNode
+	for _, n := range t.Nodes() {
+		if nu[n.ID].Has(x) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SatisfyingAssignments enumerates by brute force the satisfying
+// assignments of the formula over its free variables (ground truth for
+// compiler tests).
+func SatisfyingAssignments(f Formula, t *tree.Unranked, maxNodes int) (map[string]tree.Assignment, error) {
+	nodes := t.Nodes()
+	if len(nodes) > maxNodes {
+		return nil, fmt.Errorf("mso: brute force on %d nodes exceeds cap %d", len(nodes), maxNodes)
+	}
+	free := FreeVars(f)
+	subsets := []tree.VarSet{}
+	tree.SubsetsOf(free, func(s tree.VarSet) { subsets = append(subsets, s) })
+	out := map[string]tree.Assignment{}
+	nu := tree.Valuation{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(nodes) {
+			if Eval(f, t, nu) {
+				a := nu.Assignment()
+				out[a.Key()] = a
+			}
+			return
+		}
+		for _, s := range subsets {
+			if s == 0 {
+				delete(nu, nodes[i].ID)
+			} else {
+				nu[nodes[i].ID] = s
+			}
+			rec(i + 1)
+		}
+		delete(nu, nodes[i].ID)
+	}
+	rec(0)
+	return out, nil
+}

@@ -1,0 +1,150 @@
+// Package mso implements the MSO layer of Corollaries 8.2 and 8.3: a
+// formula language over unranked trees with second-order variables,
+// compiled to unranked stepwise TVAs through the classical
+// Thatcher-Wright closure operations (product for ∧, union for ∨,
+// determinization + complement for ¬, projection for ∃). First-order
+// variables are the usual sugar: singleton-constrained second-order
+// variables.
+//
+// The compilation is nonelementary in the formula in the worst case (as
+// it must be); the point of the paper — and of this reproduction — is
+// that everything *after* the formula-to-automaton step is polynomial in
+// the automaton and (quasi)linear in the tree.
+package mso
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Formula is an MSO formula over unranked Λ-trees. All variables are
+// second-order (sets of nodes); see Singleton and the FO helpers for
+// first-order use.
+type Formula interface {
+	fmt.Stringer
+	freeVars() tree.VarSet
+}
+
+// Atomic formulas. Variables are tree.Var indices.
+type (
+	// TrueF is the formula ⊤.
+	TrueF struct{}
+	// FalseF is the formula ⊥.
+	FalseF struct{}
+	// Subset is X ⊆ Y.
+	Subset struct{ X, Y tree.Var }
+	// Singleton states that X contains exactly one node.
+	Singleton struct{ X tree.Var }
+	// HasLabel states that every node in X carries the given label.
+	HasLabel struct {
+		X     tree.Var
+		Label tree.Label
+	}
+	// Child states that X = {x}, Y = {y} and y is a child of x.
+	Child struct{ X, Y tree.Var }
+	// NextSibling states that X = {x}, Y = {y} and y is the sibling
+	// immediately to the right of x.
+	NextSibling struct{ X, Y tree.Var }
+	// Root states that X = {x} and x is the root.
+	Root struct{ X tree.Var }
+	// Leaf states that X = {x} and x has no children.
+	Leaf struct{ X tree.Var }
+	// Descendant states that X = {x}, Y = {y} and y is a proper
+	// descendant of x.
+	Descendant struct{ X, Y tree.Var }
+)
+
+// Connectives and quantifiers.
+type (
+	// And is conjunction.
+	And struct{ L, R Formula }
+	// Or is disjunction.
+	Or struct{ L, R Formula }
+	// Not is negation.
+	Not struct{ F Formula }
+	// Exists is second-order existential quantification ∃X.F.
+	Exists struct {
+		X tree.Var
+		F Formula
+	}
+)
+
+// Convenience constructors.
+
+// Conj builds the conjunction of all arguments (⊤ for none).
+func Conj(fs ...Formula) Formula {
+	var out Formula = TrueF{}
+	for i, f := range fs {
+		if i == 0 {
+			out = f
+		} else {
+			out = And{out, f}
+		}
+	}
+	return out
+}
+
+// Disj builds the disjunction of all arguments (⊥ for none).
+func Disj(fs ...Formula) Formula {
+	var out Formula = FalseF{}
+	for i, f := range fs {
+		if i == 0 {
+			out = f
+		} else {
+			out = Or{out, f}
+		}
+	}
+	return out
+}
+
+// Forall is ∀X.F ≡ ¬∃X.¬F.
+func Forall(x tree.Var, f Formula) Formula { return Not{Exists{x, Not{f}}} }
+
+// Implies is F → G.
+func Implies(f, g Formula) Formula { return Or{Not{f}, g} }
+
+func (TrueF) freeVars() tree.VarSet       { return 0 }
+func (FalseF) freeVars() tree.VarSet      { return 0 }
+func (f Subset) freeVars() tree.VarSet    { return tree.NewVarSet(f.X, f.Y) }
+func (f Singleton) freeVars() tree.VarSet { return tree.NewVarSet(f.X) }
+func (f HasLabel) freeVars() tree.VarSet  { return tree.NewVarSet(f.X) }
+func (f Child) freeVars() tree.VarSet     { return tree.NewVarSet(f.X, f.Y) }
+func (f NextSibling) freeVars() tree.VarSet {
+	return tree.NewVarSet(f.X, f.Y)
+}
+func (f Root) freeVars() tree.VarSet       { return tree.NewVarSet(f.X) }
+func (f Leaf) freeVars() tree.VarSet       { return tree.NewVarSet(f.X) }
+func (f Descendant) freeVars() tree.VarSet { return tree.NewVarSet(f.X, f.Y) }
+func (f And) freeVars() tree.VarSet        { return f.L.freeVars() | f.R.freeVars() }
+func (f Or) freeVars() tree.VarSet         { return f.L.freeVars() | f.R.freeVars() }
+func (f Not) freeVars() tree.VarSet        { return f.F.freeVars() }
+func (f Exists) freeVars() tree.VarSet     { return f.F.freeVars().Remove(f.X) }
+
+// FreeVars returns the free variables of the formula.
+func FreeVars(f Formula) tree.VarSet { return f.freeVars() }
+
+func (TrueF) String() string       { return "⊤" }
+func (FalseF) String() string      { return "⊥" }
+func (f Subset) String() string    { return fmt.Sprintf("X%d⊆X%d", f.X, f.Y) }
+func (f Singleton) String() string { return fmt.Sprintf("Sing(X%d)", f.X) }
+func (f HasLabel) String() string  { return fmt.Sprintf("Lab_%s(X%d)", f.Label, f.X) }
+func (f Child) String() string     { return fmt.Sprintf("Child(X%d,X%d)", f.X, f.Y) }
+func (f NextSibling) String() string {
+	return fmt.Sprintf("NextSib(X%d,X%d)", f.X, f.Y)
+}
+func (f Root) String() string       { return fmt.Sprintf("Root(X%d)", f.X) }
+func (f Leaf) String() string       { return fmt.Sprintf("Leaf(X%d)", f.X) }
+func (f Descendant) String() string { return fmt.Sprintf("Desc(X%d,X%d)", f.X, f.Y) }
+func (f And) String() string        { return "(" + f.L.String() + " ∧ " + f.R.String() + ")" }
+func (f Or) String() string         { return "(" + f.L.String() + " ∨ " + f.R.String() + ")" }
+func (f Not) String() string        { return "¬" + f.F.String() }
+func (f Exists) String() string     { return fmt.Sprintf("∃X%d.%s", f.X, f.F.String()) }
+
+// ParseableString renders without unicode, for CLI round trips.
+func ParseableString(f Formula) string {
+	s := f.String()
+	s = strings.NewReplacer("⊤", "true", "⊥", "false", "∧", "&", "∨", "|", "¬", "!", "∃", "E", "⊆", "<=").Replace(s)
+	return s
+}

@@ -1,0 +1,223 @@
+// Package paths compiles XPath-like forward path queries to compact
+// nondeterministic stepwise TVAs: a query with k steps becomes an
+// automaton with 2k+1 states that *guesses* which nodes play which
+// steps. This is exactly the query class where the paper's combined
+// complexity matters: the natural automaton is nondeterministic and
+// small, while determinizing it (as prior enumeration algorithms
+// required) blows up — compare experiment E5.
+//
+// Syntax: "/a/b" (child steps), "//a" (descendant step), "*" wildcards,
+// e.g. "/doc//sec/fig". The node matched by the last step is selected
+// as the query variable.
+package paths
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// Axis relates a step's node to the previous step's node.
+type Axis int
+
+// The two supported axes.
+const (
+	// Child: the step's node is a child of the previous step's node
+	// (for the first step: the root itself).
+	Child Axis = iota
+	// Descendant: the step's node is a descendant-or-self of a child of
+	// the previous step's node ("//" semantics; for the first step: any
+	// node).
+	Descendant
+)
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Label tree.Label // "*" matches any label
+}
+
+// Query is a parsed path query.
+type Query struct {
+	Steps []Step
+}
+
+// String renders the query back to path syntax.
+func (q Query) String() string {
+	var b strings.Builder
+	for _, s := range q.Steps {
+		if s.Axis == Child {
+			b.WriteString("/")
+		} else {
+			b.WriteString("//")
+		}
+		b.WriteString(string(s.Label))
+	}
+	return b.String()
+}
+
+// Parse parses a path query. The query must start with "/" or "//" and
+// have at least one step.
+func Parse(s string) (Query, error) {
+	if !strings.HasPrefix(s, "/") {
+		return Query{}, fmt.Errorf("paths: query must start with / or //")
+	}
+	var q Query
+	i := 0
+	for i < len(s) {
+		axis := Child
+		if strings.HasPrefix(s[i:], "//") {
+			axis = Descendant
+			i += 2
+		} else if s[i] == '/' {
+			i++
+		} else {
+			return Query{}, fmt.Errorf("paths: expected / at offset %d", i)
+		}
+		j := i
+		for j < len(s) && s[j] != '/' {
+			j++
+		}
+		if j == i {
+			return Query{}, fmt.Errorf("paths: empty step at offset %d", i)
+		}
+		q.Steps = append(q.Steps, Step{Axis: axis, Label: tree.Label(s[i:j])})
+		i = j
+	}
+	if len(q.Steps) == 0 {
+		return Query{}, fmt.Errorf("paths: no steps")
+	}
+	return q, nil
+}
+
+// matches reports whether a label satisfies a step's label pattern.
+func (s Step) matches(l tree.Label) bool { return s.Label == "*" || s.Label == l }
+
+// Compile builds the stepwise TVA selecting, as variable x, the nodes
+// matched by the query on trees over the given alphabet. The automaton
+// has 2k+1 states for k steps and is nondeterministic (each unannotated
+// node guesses whether it plays a step role).
+func Compile(q Query, alphabet []tree.Label, x tree.Var) (*tva.Unranked, error) {
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("paths: empty query")
+	}
+	k := len(q.Steps)
+	// States: plain = 0; role(i) = 1+i for i < k-1 (node playing step i,
+	// x not yet absorbed); done(i) = k+i for i ≤ k-1 (x below, steps
+	// i..k-1 matched, the node carrying it matches step i).
+	plain := tva.State(0)
+	role := func(i int) tva.State { return tva.State(1 + i) }
+	done := func(i int) tva.State { return tva.State(k + i) }
+	a := &tva.Unranked{
+		NumStates: 2 * k,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x),
+		Final:     []tva.State{done(0)},
+	}
+	xset := tree.NewVarSet(x)
+	for _, l := range alphabet {
+		a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: plain})
+		for i := 0; i < k-1; i++ {
+			if q.Steps[i].matches(l) {
+				a.Init = append(a.Init, tva.InitRule{Label: l, Set: 0, State: role(i)})
+			}
+		}
+		if q.Steps[k-1].matches(l) {
+			a.Init = append(a.Init, tva.InitRule{Label: l, Set: xset, State: done(k - 1)})
+		}
+	}
+	add := func(from, child, to tva.State) {
+		a.Delta = append(a.Delta, tva.StepTriple{From: from, Child: child, To: to})
+	}
+	add(plain, plain, plain)
+	for i := 0; i < k-1; i++ {
+		add(role(i), plain, role(i))
+		// Step i absorbs completed progress i+1 from a child.
+		add(role(i), done(i+1), done(i))
+	}
+	for i := 0; i < k; i++ {
+		add(done(i), plain, done(i))
+		// Descendant steps float through plain ancestors.
+		if q.Steps[i].Axis == Descendant {
+			add(plain, done(i), done(i))
+		}
+	}
+	return a, nil
+}
+
+// MustCompile parses and compiles, panicking on malformed queries
+// (convenience for tests and examples with literal queries).
+func MustCompile(path string, alphabet []tree.Label, x tree.Var) *tva.Unranked {
+	q, err := Parse(path)
+	if err != nil {
+		panic(err)
+	}
+	a, err := Compile(q, alphabet, x)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Select evaluates the query directly on a tree by top-down search (the
+// reference semantics used by tests): it returns the IDs of matched
+// nodes.
+func Select(q Query, t *tree.Unranked) []tree.NodeID {
+	// cur: nodes that match the first i steps (the last matched node).
+	cur := map[*tree.UNode]bool{}
+	// Virtual start: the "document node" above the root; step 0 relates
+	// to it.
+	for i, s := range q.Steps {
+		next := map[*tree.UNode]bool{}
+		candidates := func(from *tree.UNode, f func(*tree.UNode)) {
+			// Children of from (or the root for the virtual start).
+			var kids []*tree.UNode
+			if from == nil {
+				kids = []*tree.UNode{t.Root}
+			} else {
+				for c := from.FirstChild; c != nil; c = c.NextSib {
+					kids = append(kids, c)
+				}
+			}
+			if s.Axis == Child {
+				for _, c := range kids {
+					f(c)
+				}
+				return
+			}
+			// Descendant-or-self of the children.
+			var walk func(n *tree.UNode)
+			walk = func(n *tree.UNode) {
+				f(n)
+				for c := n.FirstChild; c != nil; c = c.NextSib {
+					walk(c)
+				}
+			}
+			for _, c := range kids {
+				walk(c)
+			}
+		}
+		apply := func(from *tree.UNode) {
+			candidates(from, func(n *tree.UNode) {
+				if s.matches(n.Label) {
+					next[n] = true
+				}
+			})
+		}
+		if i == 0 {
+			apply(nil)
+		} else {
+			for n := range cur {
+				apply(n)
+			}
+		}
+		cur = next
+	}
+	var out []tree.NodeID
+	for n := range cur {
+		out = append(out, n.ID)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package spanner implements document spanners over dynamic words
+// (Theorem 8.5): information-extraction queries written as regex-like
+// patterns with capture variables, compiled to word variable automata in
+// the style of extended sequential VAs, and evaluated with the paper's
+// update-aware constant-delay pipeline.
+//
+// Captures follow the extended-VA convention: Capture(x, p) annotates
+// every position matched by p with the variable x, so a satisfying
+// assignment lists, for each capture variable, the exact set of positions
+// it covers.
+package spanner
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// Pattern is a regex-like pattern over word labels.
+type Pattern interface{ isPattern() }
+
+type (
+	// Empty matches the empty factor.
+	Empty struct{}
+	// Lit matches one position with the given label.
+	Lit struct{ Label tree.Label }
+	// Any matches one position with any label of the alphabet.
+	Any struct{}
+	// Seq matches the concatenation of its parts.
+	Seq struct{ Parts []Pattern }
+	// Alt matches any one of its branches.
+	Alt struct{ Branches []Pattern }
+	// Star matches zero or more repetitions.
+	Star struct{ Inner Pattern }
+	// Plus matches one or more repetitions.
+	Plus struct{ Inner Pattern }
+	// Opt matches zero or one occurrence.
+	Opt struct{ Inner Pattern }
+	// Capture annotates every position matched by Inner with Var.
+	Capture struct {
+		Var   tree.Var
+		Inner Pattern
+	}
+)
+
+func (Empty) isPattern()   {}
+func (Lit) isPattern()     {}
+func (Any) isPattern()     {}
+func (Seq) isPattern()     {}
+func (Alt) isPattern()     {}
+func (Star) isPattern()    {}
+func (Plus) isPattern()    {}
+func (Opt) isPattern()     {}
+func (Capture) isPattern() {}
+
+// Cat is shorthand for Seq.
+func Cat(ps ...Pattern) Pattern { return Seq{ps} }
+
+// Or is shorthand for Alt.
+func Or(ps ...Pattern) Pattern { return Alt{ps} }
+
+// epsilon-NFA used during compilation.
+type enfa struct {
+	n     int
+	eps   [][]int
+	trans []etrans
+}
+
+type etrans struct {
+	from  int
+	label tree.Label
+	any   bool
+	vars  tree.VarSet
+	to    int
+}
+
+func (e *enfa) state() int {
+	e.n++
+	e.eps = append(e.eps, nil)
+	return e.n - 1
+}
+
+func (e *enfa) addEps(a, b int) { e.eps[a] = append(e.eps[a], b) }
+
+// build compiles the pattern into the ε-NFA, returning (start, end).
+// active is the set of capture variables currently in scope.
+func (e *enfa) build(p Pattern, active tree.VarSet) (int, int, error) {
+	switch g := p.(type) {
+	case Empty:
+		s, t := e.state(), e.state()
+		e.addEps(s, t)
+		return s, t, nil
+	case Lit:
+		s, t := e.state(), e.state()
+		e.trans = append(e.trans, etrans{s, g.Label, false, active, t})
+		return s, t, nil
+	case Any:
+		s, t := e.state(), e.state()
+		e.trans = append(e.trans, etrans{s, "", true, active, t})
+		return s, t, nil
+	case Seq:
+		if len(g.Parts) == 0 {
+			return e.build(Empty{}, active)
+		}
+		s, t, err := e.build(g.Parts[0], active)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, part := range g.Parts[1:] {
+			s2, t2, err := e.build(part, active)
+			if err != nil {
+				return 0, 0, err
+			}
+			e.addEps(t, s2)
+			t = t2
+		}
+		return s, t, nil
+	case Alt:
+		if len(g.Branches) == 0 {
+			return 0, 0, fmt.Errorf("spanner: empty alternation")
+		}
+		s, t := e.state(), e.state()
+		for _, br := range g.Branches {
+			bs, bt, err := e.build(br, active)
+			if err != nil {
+				return 0, 0, err
+			}
+			e.addEps(s, bs)
+			e.addEps(bt, t)
+		}
+		return s, t, nil
+	case Star:
+		s, t := e.state(), e.state()
+		is, it, err := e.build(g.Inner, active)
+		if err != nil {
+			return 0, 0, err
+		}
+		e.addEps(s, t)
+		e.addEps(s, is)
+		e.addEps(it, is)
+		e.addEps(it, t)
+		return s, t, nil
+	case Plus:
+		return e.build(Seq{[]Pattern{g.Inner, Star{g.Inner}}}, active)
+	case Opt:
+		return e.build(Alt{[]Pattern{g.Inner, Empty{}}}, active)
+	case Capture:
+		return e.build(g.Inner, active.Add(g.Var))
+	default:
+		return 0, 0, fmt.Errorf("spanner: unknown pattern %T", p)
+	}
+}
+
+// vars collects all capture variables of a pattern.
+func vars(p Pattern) tree.VarSet {
+	switch g := p.(type) {
+	case Seq:
+		var v tree.VarSet
+		for _, q := range g.Parts {
+			v |= vars(q)
+		}
+		return v
+	case Alt:
+		var v tree.VarSet
+		for _, q := range g.Branches {
+			v |= vars(q)
+		}
+		return v
+	case Star:
+		return vars(g.Inner)
+	case Plus:
+		return vars(g.Inner)
+	case Opt:
+		return vars(g.Inner)
+	case Capture:
+		return vars(g.Inner).Add(g.Var)
+	default:
+		return 0
+	}
+}
+
+// CompileWVA compiles the pattern into a word variable automaton over the
+// given alphabet (ε-NFA construction followed by ε-elimination). The
+// pattern must match whole words.
+func CompileWVA(p Pattern, alphabet []tree.Label) (*tva.WVA, error) {
+	e := &enfa{}
+	start, end, err := e.build(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	// ε-closures.
+	closure := make([][]int, e.n)
+	for s := 0; s < e.n; s++ {
+		seen := make([]bool, e.n)
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			closure[s] = append(closure[s], u)
+			for _, v := range e.eps[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	out := &tva.WVA{
+		NumStates: e.n,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      vars(p),
+		Initial:   []tva.State{tva.State(start)},
+	}
+	seenT := map[tva.WTrans]bool{}
+	addT := func(t tva.WTrans) {
+		if !seenT[t] {
+			seenT[t] = true
+			out.Trans = append(out.Trans, t)
+		}
+	}
+	inClosure := make([]map[int]bool, e.n)
+	for s := range closure {
+		inClosure[s] = map[int]bool{}
+		for _, u := range closure[s] {
+			inClosure[s][u] = true
+		}
+	}
+	for u := 0; u < e.n; u++ {
+		for _, t := range e.trans {
+			if !inClosure[u][t.from] {
+				continue
+			}
+			if t.any {
+				for _, l := range alphabet {
+					addT(tva.WTrans{From: tva.State(u), Label: l, Set: t.vars, To: tva.State(t.to)})
+				}
+			} else {
+				addT(tva.WTrans{From: tva.State(u), Label: t.label, Set: t.vars, To: tva.State(t.to)})
+			}
+		}
+	}
+	for u := 0; u < e.n; u++ {
+		if inClosure[u][end] {
+			out.Final = append(out.Final, tva.State(u))
+		}
+	}
+	return out, nil
+}
+
+// Contains wraps a pattern so that it matches anywhere in the word:
+// Σ* p Σ*.
+func Contains(p Pattern) Pattern {
+	return Cat(Star{Any{}}, p, Star{Any{}})
+}
+
+// TextLabels converts a string into one label per rune, the word form
+// consumed by the enumerators.
+func TextLabels(s string) []tree.Label {
+	out := make([]tree.Label, 0, len(s))
+	for _, r := range s {
+		out = append(out, tree.Label(string(r)))
+	}
+	return out
+}
+
+// ByteAlphabet returns labels for all runes occurring in the given
+// strings (a convenient closed alphabet for examples).
+func ByteAlphabet(samples ...string) []tree.Label {
+	seen := map[tree.Label]bool{}
+	var out []tree.Label
+	for _, s := range samples {
+		for _, r := range s {
+			l := tree.Label(string(r))
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+// Spans groups an assignment by variable: the sorted positions each
+// capture variable covers (as stable letter IDs).
+func Spans(a tree.Assignment) map[tree.Var][]tree.NodeID {
+	out := map[tree.Var][]tree.NodeID{}
+	for _, s := range a {
+		out[s.Var] = append(out[s.Var], s.Node)
+	}
+	return out
+}

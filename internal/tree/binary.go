@@ -1,0 +1,178 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BNode is a node of a binary Λ-tree (Section 2): every internal node has
+// exactly two children, referred to as left and right.
+type BNode struct {
+	ID    NodeID
+	Label Label
+	Left  *BNode
+	Right *BNode
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *BNode) IsLeaf() bool { return n.Left == nil }
+
+// Binary is an immutable binary Λ-tree. The circuit of Lemma 3.7 is built
+// on binary trees; unranked trees reach this form through the forest
+// algebra encoding of Section 7.
+type Binary struct {
+	Root   *BNode
+	nextID NodeID
+}
+
+// NewBinary creates an empty binary tree builder.
+func NewBinary() *Binary { return &Binary{} }
+
+// Leaf creates a new leaf with the given label.
+func (t *Binary) Leaf(l Label) *BNode {
+	n := &BNode{ID: t.nextID, Label: l}
+	t.nextID++
+	return n
+}
+
+// Inner creates a new internal node with the given label and children.
+// Both children must be non-nil: binary trees in the paper are full.
+func (t *Binary) Inner(l Label, left, right *BNode) *BNode {
+	if left == nil || right == nil {
+		panic("tree: Inner requires two children")
+	}
+	n := &BNode{ID: t.nextID, Label: l, Left: left, Right: right}
+	t.nextID++
+	return n
+}
+
+// SetRoot marks n as the root of the tree.
+func (t *Binary) SetRoot(n *BNode) { t.Root = n }
+
+// Size returns the number of nodes below and including the root.
+func (t *Binary) Size() int {
+	var count func(n *BNode) int
+	count = func(n *BNode) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + count(n.Left) + count(n.Right)
+	}
+	return count(t.Root)
+}
+
+// Height returns the height of the tree (single node: 0; empty: -1).
+func (t *Binary) Height() int {
+	var h func(n *BNode) int
+	h = func(n *BNode) int {
+		if n == nil {
+			return -1
+		}
+		l, r := h(n.Left), h(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return h(t.Root)
+}
+
+// Leaves returns the leaves of the tree in left-to-right order.
+func (t *Binary) Leaves() []*BNode {
+	var out []*BNode
+	var walk func(n *BNode)
+	walk = func(n *BNode) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	return out
+}
+
+// Validate checks the full-binary-tree invariant: every internal node has
+// exactly two children.
+func (t *Binary) Validate() error {
+	var walk func(n *BNode) error
+	walk = func(n *BNode) error {
+		if n == nil {
+			return nil
+		}
+		if (n.Left == nil) != (n.Right == nil) {
+			return fmt.Errorf("tree: node n%d has exactly one child", n.ID)
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	return walk(t.Root)
+}
+
+// String renders the tree as an S-expression.
+func (t *Binary) String() string {
+	var b strings.Builder
+	var walk func(n *BNode)
+	walk = func(n *BNode) {
+		b.WriteByte('(')
+		b.WriteString(string(n.Label))
+		if n.Left != nil {
+			b.WriteByte(' ')
+			walk(n.Left)
+			b.WriteByte(' ')
+			walk(n.Right)
+		}
+		b.WriteByte(')')
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	return b.String()
+}
+
+// ParseBinary parses the S-expression format; every node must have zero or
+// two children.
+func ParseBinary(s string) (*Binary, error) {
+	p := &sexpParser{src: s}
+	p.skipSpace()
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tree: parse: trailing input at offset %d", p.pos)
+	}
+	t := NewBinary()
+	bn, err := t.adoptBinary(root)
+	if err != nil {
+		return nil, err
+	}
+	t.SetRoot(bn)
+	return t, nil
+}
+
+func (t *Binary) adoptBinary(s *sexpNode) (*BNode, error) {
+	switch len(s.children) {
+	case 0:
+		return t.Leaf(s.label), nil
+	case 2:
+		l, err := t.adoptBinary(s.children[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.adoptBinary(s.children[1])
+		if err != nil {
+			return nil, err
+		}
+		return t.Inner(s.label, l, r), nil
+	default:
+		return nil, fmt.Errorf("tree: parse: node %q has %d children, want 0 or 2", s.label, len(s.children))
+	}
+}

@@ -1,0 +1,168 @@
+// Package tree implements the Λ-trees of the paper: rooted ordered trees
+// with labeled nodes, in both the unranked flavor (Section 7, the input to
+// the dynamic enumeration pipeline) and the binary flavor (Sections 2-6,
+// the form on which circuits are built). It also implements valuations,
+// assignments (Section 2) and the edit operations of Definition 7.1.
+package tree
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Label is a node label from the tree alphabet Λ.
+type Label string
+
+// Var is a query variable from the variable set X, identified by its index.
+// At most MaxVars variables are supported because variable sets are packed
+// into 32-bit masks.
+type Var uint8
+
+// MaxVars is the maximum number of distinct variables in a query.
+const MaxVars = 32
+
+// VarSet is a set of variables packed as a bit mask: bit i set means
+// variable i is present. It implements the 2^X annotations the automata
+// read on nodes.
+type VarSet uint32
+
+// NewVarSet builds a VarSet from the given variables.
+func NewVarSet(vars ...Var) VarSet {
+	var s VarSet
+	for _, v := range vars {
+		s |= 1 << v
+	}
+	return s
+}
+
+// Has reports whether v is in the set.
+func (s VarSet) Has(v Var) bool { return s&(1<<v) != 0 }
+
+// Add returns s with v added.
+func (s VarSet) Add(v Var) VarSet { return s | 1<<v }
+
+// Remove returns s without v.
+func (s VarSet) Remove(v Var) VarSet { return s &^ (1 << v) }
+
+// Empty reports whether the set is empty.
+func (s VarSet) Empty() bool { return s == 0 }
+
+// Count returns the number of variables in the set.
+func (s VarSet) Count() int { return bits.OnesCount32(uint32(s)) }
+
+// Vars returns the variables of the set in increasing order.
+func (s VarSet) Vars() []Var {
+	out := make([]Var, 0, s.Count())
+	for m := uint32(s); m != 0; m &= m - 1 {
+		out = append(out, Var(bits.TrailingZeros32(m)))
+	}
+	return out
+}
+
+// String renders the set as "{X0, X2}".
+func (s VarSet) String() string {
+	parts := make([]string, 0, s.Count())
+	for _, v := range s.Vars() {
+		parts = append(parts, fmt.Sprintf("X%d", v))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SubsetsOf enumerates all subsets of universe (including the empty set),
+// calling f on each. Used by automata constructions that must consider
+// every possible annotation over the live variables.
+func SubsetsOf(universe VarSet, f func(VarSet)) {
+	u := uint32(universe)
+	sub := uint32(0)
+	for {
+		f(VarSet(sub))
+		if sub == u {
+			return
+		}
+		sub = (sub - u) & u // next subset of u after sub
+	}
+}
+
+// NodeID is a stable identifier for a tree node. IDs are unique within a
+// tree for its whole lifetime (they are never reused after deletions), so
+// assignments remain meaningful across updates that do not touch their
+// nodes.
+type NodeID int
+
+// Singleton is a pair ⟨Z : n⟩ stating that variable Z is assigned node n
+// (Section 2). Assignments are sets of singletons.
+type Singleton struct {
+	Var  Var
+	Node NodeID
+}
+
+// String renders the singleton as "⟨X1:n4⟩".
+func (s Singleton) String() string { return fmt.Sprintf("<X%d:n%d>", s.Var, s.Node) }
+
+// Assignment is a set of singletons, kept sorted by (Node, Var). It is the
+// output format of the enumeration algorithms: the assignment α(ν) of a
+// valuation ν.
+type Assignment []Singleton
+
+// Normalize sorts the assignment and removes duplicates, returning the
+// canonical form.
+func (a Assignment) Normalize() Assignment {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].Node != a[j].Node {
+			return a[i].Node < a[j].Node
+		}
+		return a[i].Var < a[j].Var
+	})
+	out := a[:0]
+	for i, s := range a {
+		if i == 0 || s != a[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Key returns a canonical string usable as a map key for set-of-assignment
+// comparisons in tests and oracles. The assignment must be normalized.
+func (a Assignment) Key() string {
+	var b strings.Builder
+	for _, s := range a {
+		fmt.Fprintf(&b, "%d:%d;", s.Node, s.Var)
+	}
+	return b.String()
+}
+
+// String renders the assignment as "{⟨X0:n1⟩, ⟨X1:n2⟩}".
+func (a Assignment) String() string {
+	parts := make([]string, len(a))
+	for i, s := range a {
+		parts[i] = s.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Valuation maps nodes to their annotation. It is the ν of the paper; the
+// corresponding assignment α(ν) lists ⟨Z:n⟩ for every Z ∈ ν(n).
+type Valuation map[NodeID]VarSet
+
+// Assignment converts the valuation to its assignment form α(ν).
+func (v Valuation) Assignment() Assignment {
+	var out Assignment
+	for n, set := range v {
+		for _, z := range set.Vars() {
+			out = append(out, Singleton{Var: z, Node: n})
+		}
+	}
+	return out.Normalize()
+}
+
+// AssignmentValuation converts an assignment back to a valuation.
+func AssignmentValuation(a Assignment) Valuation {
+	v := Valuation{}
+	for _, s := range a {
+		v[s.Node] |= 1 << s.Var
+	}
+	return v
+}

@@ -1,0 +1,311 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UNode is a node of an unranked tree. Children are kept in a doubly linked
+// sibling list so that the edit operations of Definition 7.1 are O(1) on
+// the tree itself (the cost of an update lies in maintaining the balanced
+// term and the circuit, not the tree).
+type UNode struct {
+	ID     NodeID
+	Label  Label
+	Parent *UNode
+
+	FirstChild *UNode
+	LastChild  *UNode
+	PrevSib    *UNode
+	NextSib    *UNode
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *UNode) IsLeaf() bool { return n.FirstChild == nil }
+
+// Children returns the children of n in sibling order.
+func (n *UNode) Children() []*UNode {
+	var out []*UNode
+	for c := n.FirstChild; c != nil; c = c.NextSib {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Unranked is a mutable unranked Λ-tree. It owns its nodes and hands out
+// stable NodeIDs; the dynamic enumeration pipeline addresses nodes through
+// those IDs.
+type Unranked struct {
+	Root   *UNode
+	nodes  map[NodeID]*UNode
+	nextID NodeID
+}
+
+// NewUnranked creates a tree consisting of a single root with the given
+// label.
+func NewUnranked(rootLabel Label) *Unranked {
+	t := &Unranked{nodes: map[NodeID]*UNode{}}
+	t.Root = t.newNode(rootLabel)
+	return t
+}
+
+func (t *Unranked) newNode(l Label) *UNode {
+	n := &UNode{ID: t.nextID, Label: l}
+	t.nextID++
+	t.nodes[n.ID] = n
+	return n
+}
+
+// Size returns the number of nodes.
+func (t *Unranked) Size() int { return len(t.nodes) }
+
+// Node returns the node with the given ID, or nil if it does not exist
+// (e.g. it was deleted).
+func (t *Unranked) Node(id NodeID) *UNode { return t.nodes[id] }
+
+// Nodes returns all nodes in document (preorder) order.
+func (t *Unranked) Nodes() []*UNode {
+	out := make([]*UNode, 0, len(t.nodes))
+	var walk func(n *UNode)
+	walk = func(n *UNode) {
+		out = append(out, n)
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			walk(c)
+		}
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	return out
+}
+
+// Height returns the height of the tree (a single node has height 0).
+func (t *Unranked) Height() int {
+	var h func(n *UNode) int
+	h = func(n *UNode) int {
+		best := -1
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			if ch := h(c); ch > best {
+				best = ch
+			}
+		}
+		return best + 1
+	}
+	if t.Root == nil {
+		return -1
+	}
+	return h(t.Root)
+}
+
+// Relabel implements relabel(n, l): change the label of n to l.
+func (t *Unranked) Relabel(id NodeID, l Label) error {
+	n := t.nodes[id]
+	if n == nil {
+		return fmt.Errorf("tree: relabel: node n%d does not exist", id)
+	}
+	n.Label = l
+	return nil
+}
+
+// InsertFirstChild implements insert(n, l): insert a new l-labeled node as
+// the first child of n. It returns the new node.
+func (t *Unranked) InsertFirstChild(id NodeID, l Label) (*UNode, error) {
+	n := t.nodes[id]
+	if n == nil {
+		return nil, fmt.Errorf("tree: insert: node n%d does not exist", id)
+	}
+	v := t.newNode(l)
+	v.Parent = n
+	v.NextSib = n.FirstChild
+	if n.FirstChild != nil {
+		n.FirstChild.PrevSib = v
+	} else {
+		n.LastChild = v
+	}
+	n.FirstChild = v
+	return v, nil
+}
+
+// InsertRightSibling implements insertR(n, l): insert a new l-labeled node
+// as the right sibling of n. It returns the new node. The root has no
+// sibling position (the result would not be a tree), so this is an error
+// for the root.
+func (t *Unranked) InsertRightSibling(id NodeID, l Label) (*UNode, error) {
+	n := t.nodes[id]
+	if n == nil {
+		return nil, fmt.Errorf("tree: insertR: node n%d does not exist", id)
+	}
+	if n.Parent == nil {
+		return nil, fmt.Errorf("tree: insertR: node n%d is the root", id)
+	}
+	v := t.newNode(l)
+	v.Parent = n.Parent
+	v.PrevSib = n
+	v.NextSib = n.NextSib
+	if n.NextSib != nil {
+		n.NextSib.PrevSib = v
+	} else {
+		n.Parent.LastChild = v
+	}
+	n.NextSib = v
+	return v, nil
+}
+
+// Delete implements delete(n): remove the leaf n from the tree. Deleting
+// an internal node or the root is an error (the tree must stay a tree and
+// stay nonempty).
+func (t *Unranked) Delete(id NodeID) error {
+	n := t.nodes[id]
+	if n == nil {
+		return fmt.Errorf("tree: delete: node n%d does not exist", id)
+	}
+	if !n.IsLeaf() {
+		return fmt.Errorf("tree: delete: node n%d is not a leaf", id)
+	}
+	if n.Parent == nil {
+		return fmt.Errorf("tree: delete: node n%d is the root", id)
+	}
+	p := n.Parent
+	if n.PrevSib != nil {
+		n.PrevSib.NextSib = n.NextSib
+	} else {
+		p.FirstChild = n.NextSib
+	}
+	if n.NextSib != nil {
+		n.NextSib.PrevSib = n.PrevSib
+	} else {
+		p.LastChild = n.PrevSib
+	}
+	n.Parent, n.PrevSib, n.NextSib = nil, nil, nil
+	delete(t.nodes, id)
+	return nil
+}
+
+// String renders the tree as an S-expression, e.g. "(a (b) (c (d)))".
+func (t *Unranked) String() string {
+	var b strings.Builder
+	var walk func(n *UNode)
+	walk = func(n *UNode) {
+		b.WriteByte('(')
+		b.WriteString(string(n.Label))
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			b.WriteByte(' ')
+			walk(c)
+		}
+		b.WriteByte(')')
+	}
+	if t.Root != nil {
+		walk(t.Root)
+	}
+	return b.String()
+}
+
+// ParseUnranked parses the S-expression format produced by String.
+// Labels are runs of characters other than '(', ')' and whitespace.
+func ParseUnranked(s string) (*Unranked, error) {
+	p := &sexpParser{src: s}
+	p.skipSpace()
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("tree: parse: trailing input at offset %d", p.pos)
+	}
+	t := &Unranked{nodes: map[NodeID]*UNode{}}
+	t.Root = t.adopt(root, nil)
+	return t, nil
+}
+
+type sexpNode struct {
+	label    Label
+	children []*sexpNode
+}
+
+func (t *Unranked) adopt(s *sexpNode, parent *UNode) *UNode {
+	n := t.newNode(s.label)
+	n.Parent = parent
+	var prev *UNode
+	for _, c := range s.children {
+		cn := t.adopt(c, n)
+		if prev == nil {
+			n.FirstChild = cn
+		} else {
+			prev.NextSib = cn
+			cn.PrevSib = prev
+		}
+		prev = cn
+	}
+	n.LastChild = prev
+	return n
+}
+
+type sexpParser struct {
+	src string
+	pos int
+}
+
+func (p *sexpParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *sexpParser) parseNode() (*sexpNode, error) {
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, fmt.Errorf("tree: parse: expected '(' at offset %d", p.pos)
+	}
+	p.pos++
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune("() \t\n\r", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("tree: parse: expected label at offset %d", p.pos)
+	}
+	n := &sexpNode{label: Label(p.src[start:p.pos])}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("tree: parse: unexpected end of input")
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			return n, nil
+		}
+		c, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		n.children = append(n.children, c)
+	}
+}
+
+// Clone returns a deep copy of the tree preserving node IDs.
+func (t *Unranked) Clone() *Unranked {
+	c := &Unranked{nodes: map[NodeID]*UNode{}, nextID: t.nextID}
+	var walk func(n *UNode, parent *UNode) *UNode
+	walk = func(n *UNode, parent *UNode) *UNode {
+		cn := &UNode{ID: n.ID, Label: n.Label, Parent: parent}
+		c.nodes[cn.ID] = cn
+		var prev *UNode
+		for ch := n.FirstChild; ch != nil; ch = ch.NextSib {
+			cc := walk(ch, cn)
+			if prev == nil {
+				cn.FirstChild = cc
+			} else {
+				prev.NextSib = cc
+				cc.PrevSib = prev
+			}
+			prev = cc
+		}
+		cn.LastChild = prev
+		return cn
+	}
+	if t.Root != nil {
+		c.Root = walk(t.Root, nil)
+	}
+	return c
+}

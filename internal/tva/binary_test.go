@@ -1,0 +1,202 @@
+package tva
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// boolQueryAB is a tiny binary TVA over alphabet {a, b} with one variable
+// X0 that selects exactly one a-labeled leaf (any internal label).
+func boolQueryAB() *Binary {
+	const (
+		q0 = State(0) // no selection below
+		q1 = State(1) // selection below
+	)
+	x := tree.NewVarSet(0)
+	a := &Binary{
+		NumStates: 2,
+		Alphabet:  []tree.Label{"a", "b"},
+		Vars:      x,
+		Init: []InitRule{
+			{"a", 0, q0}, {"b", 0, q0},
+			{"a", x, q1},
+		},
+		Final: []State{q1},
+	}
+	for _, l := range []tree.Label{"a", "b"} {
+		a.Delta = append(a.Delta,
+			Triple{l, q0, q0, q0},
+			Triple{l, q1, q0, q1},
+			Triple{l, q0, q1, q1},
+		)
+	}
+	return a
+}
+
+func TestBinaryValidate(t *testing.T) {
+	a := boolQueryAB()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *a
+	bad.Final = []State{5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected out-of-range final state to fail")
+	}
+	bad2 := *a
+	bad2.Init = append([]InitRule(nil), a.Init...)
+	bad2.Init[0].Label = "zzz"
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("expected unknown label to fail")
+	}
+	bad3 := *a
+	bad3.Init = append([]InitRule(nil), a.Init...)
+	bad3.Init[0].Set = tree.NewVarSet(7)
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("expected out-of-universe variable to fail")
+	}
+}
+
+func TestBinaryAcceptsSelectA(t *testing.T) {
+	a := boolQueryAB()
+	bt, err := tree.ParseBinary("(b (a) (b (b) (a)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := bt.Leaves()
+	// leaves: a, b, a with IDs in creation order; find them by label.
+	var aLeaves, bLeaves []*tree.BNode
+	for _, l := range leaves {
+		if l.Label == "a" {
+			aLeaves = append(aLeaves, l)
+		} else {
+			bLeaves = append(bLeaves, l)
+		}
+	}
+	if len(aLeaves) != 2 || len(bLeaves) != 1 {
+		t.Fatalf("unexpected leaves %d/%d", len(aLeaves), len(bLeaves))
+	}
+	if a.Accepts(bt, tree.Valuation{}) {
+		t.Fatal("empty valuation should be rejected")
+	}
+	for _, l := range aLeaves {
+		if !a.Accepts(bt, tree.Valuation{l.ID: tree.NewVarSet(0)}) {
+			t.Fatalf("selecting a-leaf n%d should be accepted", l.ID)
+		}
+	}
+	if a.Accepts(bt, tree.Valuation{bLeaves[0].ID: tree.NewVarSet(0)}) {
+		t.Fatal("selecting b-leaf should be rejected")
+	}
+	if a.Accepts(bt, tree.Valuation{aLeaves[0].ID: tree.NewVarSet(0), aLeaves[1].ID: tree.NewVarSet(0)}) {
+		t.Fatal("selecting two leaves should be rejected")
+	}
+}
+
+func TestBinarySatisfyingAssignmentsBruteForce(t *testing.T) {
+	a := boolQueryAB()
+	bt, _ := tree.ParseBinary("(b (a) (b (b) (a)))")
+	got, err := a.SatisfyingAssignments(bt, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d assignments, want 2: %v", len(got), got)
+	}
+	for _, asg := range got {
+		if len(asg) != 1 || asg[0].Var != 0 {
+			t.Fatalf("unexpected assignment %v", asg)
+		}
+	}
+	// Cap enforcement.
+	if _, err := a.SatisfyingAssignments(bt, 2); err == nil {
+		t.Fatal("expected cap error")
+	}
+}
+
+func TestHomogenizePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		a := RandomBinary(rng, 1+rng.Intn(4), []tree.Label{"a", "b"}, tree.NewVarSet(0), 0.35)
+		h := a.Homogenize()
+		if !h.Homogenized {
+			t.Fatal("Homogenized flag unset")
+		}
+		if !h.IsHomogenized() {
+			t.Fatalf("trial %d: result not homogenized", trial)
+		}
+		zero, one := h.ZeroOneStates()
+		for q := 0; q < h.NumStates; q++ {
+			// Trimmed automaton: every state is 0 or 1, never both, and
+			// OneStates matches.
+			if zero.Has(q) == one.Has(q) {
+				t.Fatalf("trial %d: state %d is 0=%v 1=%v", trial, q, zero.Has(q), one.Has(q))
+			}
+			if one.Has(q) != h.OneStates.Has(q) {
+				t.Fatalf("trial %d: OneStates disagrees at %d", trial, q)
+			}
+		}
+	}
+}
+
+func TestHomogenizeEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		a := RandomBinary(rng, 1+rng.Intn(3), []tree.Label{"a", "b"}, tree.NewVarSet(0, 1), 0.4)
+		h := a.Homogenize()
+		bt := RandomBinaryTree(rng, 1+rng.Intn(4), []tree.Label{"a", "b"})
+		want, err := a.SatisfyingAssignments(bt, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.SatisfyingAssignments(bt, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: |want|=%d |got|=%d", trial, len(want), len(got))
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Fatalf("trial %d: missing assignment %s", trial, k)
+			}
+		}
+	}
+}
+
+func TestHomogenizeLinearSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		a := RandomBinary(rng, 2+rng.Intn(5), []tree.Label{"a", "b", "c"}, tree.NewVarSet(0), 0.3)
+		h := a.Homogenize()
+		if h.NumStates > 2*a.NumStates {
+			t.Fatalf("homogenization more than doubled states: %d -> %d", a.NumStates, h.NumStates)
+		}
+		if len(h.Delta) > 4*len(a.Delta) {
+			t.Fatalf("homogenization blew up transitions: %d -> %d", len(a.Delta), len(h.Delta))
+		}
+	}
+}
+
+func TestTrimPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		a := RandomBinary(rng, 1+rng.Intn(4), []tree.Label{"a", "b"}, tree.NewVarSet(0), 0.4)
+		tr := a.Trim()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bt := RandomBinaryTree(rng, 1+rng.Intn(4), []tree.Label{"a", "b"})
+		want, _ := a.SatisfyingAssignments(bt, 6)
+		got, _ := tr.SatisfyingAssignments(bt, 6)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: trim changed semantics: %d vs %d", trial, len(want), len(got))
+		}
+		for k := range want {
+			if _, ok := got[k]; !ok {
+				t.Fatalf("trial %d: trim lost %s", trial, k)
+			}
+		}
+	}
+}

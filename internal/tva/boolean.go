@@ -1,0 +1,299 @@
+package tva
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// Union returns a (nondeterministic) binary TVA accepting a tree under a
+// valuation iff a or b does. Both automata must share the same alphabet
+// and variable universe.
+func Union(a, b *Binary) *Binary {
+	out := &Binary{
+		NumStates: a.NumStates + b.NumStates,
+		Alphabet:  mergeAlphabets(a.Alphabet, b.Alphabet),
+		Vars:      a.Vars | b.Vars,
+	}
+	out.Init = append(out.Init, a.Init...)
+	for _, r := range b.Init {
+		out.Init = append(out.Init, InitRule{r.Label, r.Set, r.State + State(a.NumStates)})
+	}
+	out.Delta = append(out.Delta, a.Delta...)
+	for _, t := range b.Delta {
+		out.Delta = append(out.Delta, Triple{t.Label, t.Left + State(a.NumStates), t.Right + State(a.NumStates), t.Out + State(a.NumStates)})
+	}
+	out.Final = append(out.Final, a.Final...)
+	for _, q := range b.Final {
+		out.Final = append(out.Final, q+State(a.NumStates))
+	}
+	return out
+}
+
+// Intersect returns the product automaton accepting exactly the trees and
+// valuations accepted by both a and b.
+func Intersect(a, b *Binary) *Binary {
+	out := &Binary{
+		NumStates: a.NumStates * b.NumStates,
+		Alphabet:  mergeAlphabets(a.Alphabet, b.Alphabet),
+		Vars:      a.Vars | b.Vars,
+	}
+	enc := func(p, q State) State { return p*State(b.NumStates) + q }
+	bInit := b.InitByLabel()
+	for _, ra := range a.Init {
+		for _, rb := range bInit[ra.Label] {
+			if ra.Set == rb.Set {
+				out.Init = append(out.Init, InitRule{ra.Label, ra.Set, enc(ra.State, rb.State)})
+			}
+		}
+	}
+	bDelta := b.DeltaByLabel()
+	for _, ta := range a.Delta {
+		for _, tb := range bDelta[ta.Label] {
+			out.Delta = append(out.Delta, Triple{
+				ta.Label,
+				enc(ta.Left, tb.Left),
+				enc(ta.Right, tb.Right),
+				enc(ta.Out, tb.Out),
+			})
+		}
+	}
+	for _, fa := range a.Final {
+		for _, fb := range b.Final {
+			out.Final = append(out.Final, enc(fa, fb))
+		}
+	}
+	return out.Trim()
+}
+
+// Determinize performs the bottom-up subset construction, producing a
+// deterministic binary TVA equivalent to a: for every (label, annotation)
+// pair and every pair of child states there is at most one successor
+// state. Only reachable subsets are materialized, but the construction is
+// still exponential in |Q| in the worst case — this is exactly the cost
+// the paper's combined-complexity result avoids, and the determinize-first
+// baseline of experiment E5 measures.
+func Determinize(a *Binary) *Binary {
+	type key = string
+	initBy := a.InitByLabel()
+	deltaBy := a.DeltaByLabel()
+
+	encode := func(qs []State) key {
+		b := make([]byte, 0, len(qs)*2)
+		for _, q := range qs {
+			b = append(b, byte(q), byte(q>>8))
+		}
+		return key(b)
+	}
+
+	index := map[key]State{}
+	var subsets [][]State
+	intern := func(qs []State) State {
+		k := encode(qs)
+		if s, ok := index[k]; ok {
+			return s
+		}
+		s := State(len(subsets))
+		index[k] = s
+		subsets = append(subsets, qs)
+		return s
+	}
+
+	out := &Binary{Alphabet: append([]tree.Label(nil), a.Alphabet...), Vars: a.Vars}
+
+	// Seed with all leaf subsets: one per (label, annotation) with a
+	// nonempty state set.
+	annotations := []tree.VarSet{}
+	tree.SubsetsOf(a.Vars, func(s tree.VarSet) { annotations = append(annotations, s) })
+	for _, l := range a.Alphabet {
+		for _, ann := range annotations {
+			var qs []State
+			seen := map[State]bool{}
+			for _, r := range initBy[l] {
+				if r.Set == ann && !seen[r.State] {
+					seen[r.State] = true
+					qs = append(qs, r.State)
+				}
+			}
+			if len(qs) == 0 {
+				continue
+			}
+			sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+			out.Init = append(out.Init, InitRule{l, ann, intern(qs)})
+		}
+	}
+
+	// Close under transitions: for every label and every known pair of
+	// subset states, compute the successor subset.
+	type pairKey struct {
+		l      tree.Label
+		s1, s2 State
+	}
+	done := map[pairKey]bool{}
+	for frontier := 0; frontier < len(subsets); frontier++ {
+		for _, l := range a.Alphabet {
+			triples := deltaBy[l]
+			if len(triples) == 0 {
+				continue
+			}
+			for s1 := 0; s1 < len(subsets); s1++ {
+				for _, s2pick := range []int{frontier} {
+					for _, pair := range [][2]int{{s1, s2pick}, {s2pick, s1}} {
+						pk := pairKey{l, State(pair[0]), State(pair[1])}
+						if done[pk] {
+							continue
+						}
+						done[pk] = true
+						has1 := map[State]bool{}
+						for _, q := range subsets[pair[0]] {
+							has1[q] = true
+						}
+						has2 := map[State]bool{}
+						for _, q := range subsets[pair[1]] {
+							has2[q] = true
+						}
+						resSeen := map[State]bool{}
+						var res []State
+						for _, t := range triples {
+							if has1[t.Left] && has2[t.Right] && !resSeen[t.Out] {
+								resSeen[t.Out] = true
+								res = append(res, t.Out)
+							}
+						}
+						if len(res) == 0 {
+							continue
+						}
+						sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+						s := intern(res)
+						out.Delta = append(out.Delta, Triple{l, pk.s1, pk.s2, s})
+					}
+				}
+			}
+		}
+	}
+
+	out.NumStates = len(subsets)
+	finals := map[State]bool{}
+	for _, q := range a.Final {
+		finals[q] = true
+	}
+	for i, qs := range subsets {
+		for _, q := range qs {
+			if finals[q] {
+				out.Final = append(out.Final, State(i))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Complete adds a non-accepting sink state so that every (label,
+// annotation) pair has an initial rule and every (label, state pair) has a
+// transition. Required before complementing a deterministic automaton.
+func Complete(a *Binary) *Binary {
+	out := &Binary{
+		NumStates: a.NumStates + 1,
+		Alphabet:  append([]tree.Label(nil), a.Alphabet...),
+		Vars:      a.Vars,
+		Init:      append([]InitRule(nil), a.Init...),
+		Delta:     append([]Triple(nil), a.Delta...),
+		Final:     append([]State(nil), a.Final...),
+	}
+	sink := State(a.NumStates)
+	initSeen := map[InitRule]bool{}
+	for _, r := range a.Init {
+		initSeen[InitRule{r.Label, r.Set, 0}] = true
+	}
+	for _, l := range a.Alphabet {
+		tree.SubsetsOf(a.Vars, func(s tree.VarSet) {
+			if !initSeen[InitRule{l, s, 0}] {
+				out.Init = append(out.Init, InitRule{l, s, sink})
+			}
+		})
+	}
+	type pk struct {
+		l      tree.Label
+		q1, q2 State
+	}
+	deltaSeen := map[pk]bool{}
+	for _, t := range a.Delta {
+		deltaSeen[pk{t.Label, t.Left, t.Right}] = true
+	}
+	for _, l := range a.Alphabet {
+		for q1 := State(0); q1 <= sink; q1++ {
+			for q2 := State(0); q2 <= sink; q2++ {
+				if !deltaSeen[pk{l, q1, q2}] {
+					out.Delta = append(out.Delta, Triple{l, q1, q2, sink})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsDeterministic reports whether the automaton has at most one initial
+// state per (label, annotation) and one successor per (label, q1, q2).
+func (a *Binary) IsDeterministic() bool {
+	type ik struct {
+		l tree.Label
+		s tree.VarSet
+	}
+	seenI := map[ik]State{}
+	for _, r := range a.Init {
+		if q, ok := seenI[ik{r.Label, r.Set}]; ok && q != r.State {
+			return false
+		}
+		seenI[ik{r.Label, r.Set}] = r.State
+	}
+	type dk struct {
+		l      tree.Label
+		q1, q2 State
+	}
+	seenD := map[dk]State{}
+	for _, t := range a.Delta {
+		if q, ok := seenD[dk{t.Label, t.Left, t.Right}]; ok && q != t.Out {
+			return false
+		}
+		seenD[dk{t.Label, t.Left, t.Right}] = t.Out
+	}
+	return true
+}
+
+// Complement returns an automaton accepting exactly the (tree, valuation)
+// pairs a rejects, relative to a's alphabet and variable universe. The
+// input is determinized and completed first, so this is exponential in
+// general.
+func Complement(a *Binary) *Binary {
+	d := Complete(Determinize(a))
+	finals := map[State]bool{}
+	for _, q := range d.Final {
+		finals[q] = true
+	}
+	var flipped []State
+	for q := State(0); int(q) < d.NumStates; q++ {
+		if !finals[q] {
+			flipped = append(flipped, q)
+		}
+	}
+	d.Final = flipped
+	return d.Trim()
+}
+
+func mergeAlphabets(a, b []tree.Label) []tree.Label {
+	seen := map[tree.Label]bool{}
+	var out []tree.Label
+	for _, l := range a {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package tva
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/tree"
+)
+
+// ZeroOneStates computes, by a bottom-up fixpoint, which states are
+// 0-states (reachable at the root of some tree under the empty valuation)
+// and which are 1-states (reachable under some valuation with at least one
+// nonempty annotation). A state can be both, or neither if it is
+// unreachable (Section 2).
+func (a *Binary) ZeroOneStates() (zero, one bitset.Set) {
+	zero = bitset.NewSet(a.NumStates)
+	one = bitset.NewSet(a.NumStates)
+	for _, r := range a.Init {
+		if r.Set.Empty() {
+			zero.Add(int(r.State))
+		} else {
+			one.Add(int(r.State))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, t := range a.Delta {
+			l, r, o := int(t.Left), int(t.Right), int(t.Out)
+			if zero.Has(l) && zero.Has(r) && !zero.Has(o) {
+				zero.Add(o)
+				changed = true
+			}
+			reachL := zero.Has(l) || one.Has(l)
+			reachR := zero.Has(r) || one.Has(r)
+			if ((one.Has(l) && reachR) || (reachL && one.Has(r))) && !one.Has(o) {
+				one.Add(o)
+				changed = true
+			}
+		}
+	}
+	return zero, one
+}
+
+// IsHomogenized reports whether no state is both a 0-state and a 1-state.
+func (a *Binary) IsHomogenized() bool {
+	zero, one := a.ZeroOneStates()
+	for q := 0; q < a.NumStates; q++ {
+		if zero.Has(q) && one.Has(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// Homogenize implements Lemma 2.1: it returns an equivalent automaton in
+// which every live state is either a 0-state or a 1-state and no state is
+// both. The construction is the product of A with a two-state automaton
+// that remembers whether a nonempty annotation has been seen; the result
+// is trimmed, which also drops states that are neither 0- nor 1-states.
+// The returned automaton has Homogenized set and OneStates filled in.
+func (a *Binary) Homogenize() *Binary {
+	// State (q, i) is encoded as 2q+i, with i = 1 meaning "some nonempty
+	// annotation was read below".
+	enc := func(q State, i int) State { return 2*q + State(i) }
+	h := &Binary{
+		NumStates:   2 * a.NumStates,
+		Alphabet:    append([]tree.Label(nil), a.Alphabet...),
+		Vars:        a.Vars,
+		Homogenized: true,
+		OneStates:   bitset.NewSet(2 * a.NumStates),
+	}
+	for q := 0; q < a.NumStates; q++ {
+		h.OneStates.Add(int(enc(State(q), 1)))
+	}
+	for _, r := range a.Init {
+		if r.Set.Empty() {
+			h.Init = append(h.Init, InitRule{r.Label, r.Set, enc(r.State, 0)})
+		} else {
+			h.Init = append(h.Init, InitRule{r.Label, r.Set, enc(r.State, 1)})
+		}
+	}
+	for _, t := range a.Delta {
+		for i1 := 0; i1 <= 1; i1++ {
+			for i2 := 0; i2 <= 1; i2++ {
+				h.Delta = append(h.Delta, Triple{t.Label, enc(t.Left, i1), enc(t.Right, i2), enc(t.Out, i1|i2)})
+			}
+		}
+	}
+	for _, q := range a.Final {
+		h.Final = append(h.Final, enc(q, 0), enc(q, 1))
+	}
+	return h.Trim()
+}

@@ -1,0 +1,155 @@
+package tva
+
+import "repro/internal/tree"
+
+// This file contains ready-made query automata used by examples, tests and
+// the experiment harness. They double as documentation of how to express
+// queries directly as stepwise TVAs.
+
+// SelectLabel returns an unranked TVA over the given alphabet whose
+// satisfying assignments are exactly {⟨x:n⟩} for every node n labeled l:
+// the variable x selects one node with label l.
+func SelectLabel(alphabet []tree.Label, l tree.Label, x tree.Var) *Unranked {
+	const (
+		q0 = State(0) // no selected node in subtree
+		q1 = State(1) // selected node seen
+	)
+	a := &Unranked{
+		NumStates: 2,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x),
+		Final:     []State{q1},
+	}
+	for _, lab := range alphabet {
+		a.Init = append(a.Init, InitRule{lab, 0, q0})
+	}
+	a.Init = append(a.Init, InitRule{l, tree.NewVarSet(x), q1})
+	a.Delta = []StepTriple{
+		{q0, q0, q0},
+		{q0, q1, q1},
+		{q1, q0, q1},
+	}
+	return a
+}
+
+// MarkedAncestor returns the unranked TVA for the query Φ(x) of
+// Theorem 9.2: it selects every node labeled special that has a proper
+// ancestor labeled marked. The alphabet is {marked, unmarked, special}.
+func MarkedAncestor(marked, unmarked, special tree.Label, x tree.Var) *Unranked {
+	const (
+		a0M = State(0) // no x in subtree, subtree root marked
+		a0U = State(1) // no x in subtree, subtree root not marked
+		s1  = State(2) // x in subtree, no marked proper ancestor of x inside
+		s2  = State(3) // x in subtree with a marked proper ancestor inside
+	)
+	a := &Unranked{
+		NumStates: 4,
+		Alphabet:  []tree.Label{marked, unmarked, special},
+		Vars:      tree.NewVarSet(x),
+		Final:     []State{s2},
+		Init: []InitRule{
+			{marked, 0, a0M},
+			{unmarked, 0, a0U},
+			{special, 0, a0U},
+			{special, tree.NewVarSet(x), s1},
+		},
+		Delta: []StepTriple{
+			// Scanning a marked node: an x-child without a marked
+			// ancestor gets one now.
+			{a0M, a0M, a0M}, {a0M, a0U, a0M},
+			{a0M, s1, s2}, {a0M, s2, s2},
+			// Scanning an unmarked node: statuses pass through.
+			{a0U, a0M, a0U}, {a0U, a0U, a0U},
+			{a0U, s1, s1}, {a0U, s2, s2},
+			// Once x is found, further children must be x-free.
+			{s1, a0M, s1}, {s1, a0U, s1},
+			{s2, a0M, s2}, {s2, a0U, s2},
+		},
+	}
+	return a
+}
+
+// DescendantAtDepth returns a genuinely nondeterministic unranked TVA
+// selecting the nodes x that have a descendant labeled witness exactly k
+// edges below them. The automaton guesses which witness-labeled node is
+// the witness, so it has O(k) states while its determinization tracks
+// sets of depths and blows up to Θ(2^k) states: this is the query family
+// of experiment E5 (combined complexity).
+func DescendantAtDepth(alphabet []tree.Label, witness tree.Label, k int, x tree.Var) *Unranked {
+	if k < 1 {
+		panic("tva: DescendantAtDepth requires k >= 1")
+	}
+	// States: w0, ax, f, g0..g_{k-1}.
+	const (
+		w0 = State(0) // nothing guessed in subtree
+		ax = State(1) // scanning the x node, witness not yet seen
+		f  = State(2) // x verified somewhere in subtree
+	)
+	g := func(i int) State { return State(3 + i) }
+	a := &Unranked{
+		NumStates: 3 + k,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      tree.NewVarSet(x),
+		Final:     []State{f},
+	}
+	for _, lab := range alphabet {
+		a.Init = append(a.Init, InitRule{lab, 0, w0})
+		a.Init = append(a.Init, InitRule{lab, tree.NewVarSet(x), ax})
+	}
+	// The guessed witness.
+	a.Init = append(a.Init, InitRule{witness, 0, g(0)})
+	add := func(from, child, to State) {
+		a.Delta = append(a.Delta, StepTriple{from, child, to})
+	}
+	add(w0, w0, w0)
+	add(w0, f, f)
+	add(f, w0, f)
+	add(ax, w0, ax)
+	for i := 0; i < k; i++ {
+		// A child holding the witness i edges below it puts the witness
+		// i+1 edges below the current node.
+		if i+1 < k {
+			add(w0, g(i), g(i+1))
+		}
+		add(g(i), w0, g(i))
+	}
+	// The x node reads a child with the witness k-1 edges below it: the
+	// witness is exactly k edges below x.
+	add(ax, g(k-1), f)
+	return a
+}
+
+// LeafCount returns an unranked TVA accepting (Boolean query, no
+// variables) iff the number of leaves of the tree is congruent to r
+// modulo m. Used in tests as a query whose state count is tunable.
+func LeafCount(alphabet []tree.Label, m, r int) *Unranked {
+	if m < 1 || r < 0 || r >= m {
+		panic("tva: LeafCount requires 0 <= r < m")
+	}
+	// State m is "fresh": no children scanned yet, so a node ending in it
+	// is a leaf and counts as one leaf itself. State i < m means the scan
+	// finished with ≡ i (mod m) leaves in the subtree.
+	fresh := State(m)
+	cnt := func(i int) State { return State(((i % m) + m) % m) }
+	a := &Unranked{
+		NumStates: m + 1,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      0,
+		Final:     []State{cnt(r)},
+	}
+	if r == 1%m {
+		a.Final = append(a.Final, fresh)
+	}
+	for _, lab := range alphabet {
+		a.Init = append(a.Init, InitRule{lab, 0, fresh})
+	}
+	for i := 0; i < m; i++ {
+		a.Delta = append(a.Delta, StepTriple{fresh, cnt(i), cnt(i)})
+		a.Delta = append(a.Delta, StepTriple{cnt(i), fresh, cnt(i + 1)})
+		for j := 0; j < m; j++ {
+			a.Delta = append(a.Delta, StepTriple{cnt(i), cnt(j), cnt(i + j)})
+		}
+	}
+	a.Delta = append(a.Delta, StepTriple{fresh, fresh, cnt(1)})
+	return a
+}

@@ -1,0 +1,124 @@
+package tva
+
+import (
+	"math/rand"
+
+	"repro/internal/tree"
+)
+
+// RandomBinary generates a random binary TVA for fuzz tests: random
+// initial rules, transitions and final states over the given alphabet and
+// variable universe. Density tunes how many rules are drawn.
+func RandomBinary(rng *rand.Rand, numStates int, alphabet []tree.Label, vars tree.VarSet, density float64) *Binary {
+	a := &Binary{
+		NumStates: numStates,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      vars,
+	}
+	subsets := []tree.VarSet{}
+	tree.SubsetsOf(vars, func(s tree.VarSet) { subsets = append(subsets, s) })
+	for _, l := range alphabet {
+		for _, s := range subsets {
+			for q := 0; q < numStates; q++ {
+				if rng.Float64() < density {
+					a.Init = append(a.Init, InitRule{l, s, State(q)})
+				}
+			}
+		}
+	}
+	nTrans := int(density * float64(numStates*numStates*numStates*len(alphabet)))
+	if nTrans < 1 {
+		nTrans = 1
+	}
+	for i := 0; i < nTrans; i++ {
+		a.Delta = append(a.Delta, Triple{
+			alphabet[rng.Intn(len(alphabet))],
+			State(rng.Intn(numStates)),
+			State(rng.Intn(numStates)),
+			State(rng.Intn(numStates)),
+		})
+	}
+	for q := 0; q < numStates; q++ {
+		if rng.Float64() < 0.5 {
+			a.Final = append(a.Final, State(q))
+		}
+	}
+	if len(a.Final) == 0 {
+		a.Final = append(a.Final, State(rng.Intn(numStates)))
+	}
+	return a
+}
+
+// RandomUnranked generates a random stepwise TVA for fuzz tests.
+func RandomUnranked(rng *rand.Rand, numStates int, alphabet []tree.Label, vars tree.VarSet, density float64) *Unranked {
+	a := &Unranked{
+		NumStates: numStates,
+		Alphabet:  append([]tree.Label(nil), alphabet...),
+		Vars:      vars,
+	}
+	subsets := []tree.VarSet{}
+	tree.SubsetsOf(vars, func(s tree.VarSet) { subsets = append(subsets, s) })
+	for _, l := range alphabet {
+		for _, s := range subsets {
+			for q := 0; q < numStates; q++ {
+				if rng.Float64() < density {
+					a.Init = append(a.Init, InitRule{l, s, State(q)})
+				}
+			}
+		}
+	}
+	nTrans := int(density * float64(numStates*numStates*numStates))
+	if nTrans < 1 {
+		nTrans = 1
+	}
+	for i := 0; i < nTrans; i++ {
+		a.Delta = append(a.Delta, StepTriple{
+			State(rng.Intn(numStates)),
+			State(rng.Intn(numStates)),
+			State(rng.Intn(numStates)),
+		})
+	}
+	for q := 0; q < numStates; q++ {
+		if rng.Float64() < 0.5 {
+			a.Final = append(a.Final, State(q))
+		}
+	}
+	if len(a.Final) == 0 {
+		a.Final = append(a.Final, State(rng.Intn(numStates)))
+	}
+	return a
+}
+
+// RandomBinaryTree generates a random full binary tree with the given
+// number of leaves over the alphabet.
+func RandomBinaryTree(rng *rand.Rand, leaves int, alphabet []tree.Label) *tree.Binary {
+	b := tree.NewBinary()
+	pick := func() tree.Label { return alphabet[rng.Intn(len(alphabet))] }
+	var build func(nLeaves int) *tree.BNode
+	build = func(nLeaves int) *tree.BNode {
+		if nLeaves == 1 {
+			return b.Leaf(pick())
+		}
+		l := 1 + rng.Intn(nLeaves-1)
+		return b.Inner(pick(), build(l), build(nLeaves-l))
+	}
+	b.SetRoot(build(leaves))
+	return b
+}
+
+// RandomUnrankedTree generates a random unranked tree with n nodes over
+// the alphabet, attaching each node under a uniformly random earlier node.
+func RandomUnrankedTree(rng *rand.Rand, n int, alphabet []tree.Label) *tree.Unranked {
+	pick := func() tree.Label { return alphabet[rng.Intn(len(alphabet))] }
+	t := tree.NewUnranked(pick())
+	ids := []tree.NodeID{t.Root.ID}
+	for i := 1; i < n; i++ {
+		parent := ids[rng.Intn(len(ids))]
+		nn, err := t.InsertFirstChild(parent, pick())
+		if err != nil {
+			panic(err)
+		}
+		ids = append(ids, nn.ID)
+	}
+	return t
+}

@@ -1,0 +1,122 @@
+package tva
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// WTrans is a transition (q, a, Y, q′) of a word variable automaton: in
+// state q, reading a position labeled a and annotated with exactly the
+// variable set Y, the automaton may move to q′.
+type WTrans struct {
+	From  State
+	Label tree.Label
+	Set   tree.VarSet
+	To    State
+}
+
+// WVA is a word variable automaton (Section 8, after the extended
+// sequential variable automata of document spanners): a query on words
+// whose satisfying assignments place variables on word positions.
+type WVA struct {
+	NumStates int
+	Alphabet  []tree.Label
+	Vars      tree.VarSet
+	Initial   []State
+	Trans     []WTrans
+	Final     []State
+}
+
+// Size returns |A| = |Q| + |δ|.
+func (a *WVA) Size() int { return a.NumStates + len(a.Trans) }
+
+// Validate checks basic well-formedness.
+func (a *WVA) Validate() error {
+	labels := map[tree.Label]bool{}
+	for _, l := range a.Alphabet {
+		labels[l] = true
+	}
+	ok := func(q State) bool { return q >= 0 && int(q) < a.NumStates }
+	for _, q := range a.Initial {
+		if !ok(q) {
+			return fmt.Errorf("tva: wva initial state %d out of range", q)
+		}
+	}
+	for _, q := range a.Final {
+		if !ok(q) {
+			return fmt.Errorf("tva: wva final state %d out of range", q)
+		}
+	}
+	for _, t := range a.Trans {
+		if !ok(t.From) || !ok(t.To) {
+			return fmt.Errorf("tva: wva transition %v state out of range", t)
+		}
+		if !labels[t.Label] {
+			return fmt.Errorf("tva: wva transition label %q not in alphabet", t.Label)
+		}
+		if t.Set&^a.Vars != 0 {
+			return fmt.Errorf("tva: wva transition set %v outside universe", t.Set)
+		}
+	}
+	return nil
+}
+
+// Accepts reports whether the WVA accepts the word (a sequence of labels)
+// under the valuation ν, where position i (0-based) is addressed as
+// NodeID ids[i].
+func (a *WVA) Accepts(word []tree.Label, ids []tree.NodeID, nu tree.Valuation) bool {
+	cur := map[State]bool{}
+	for _, q := range a.Initial {
+		cur[q] = true
+	}
+	for i, l := range word {
+		ann := nu[ids[i]]
+		next := map[State]bool{}
+		for _, t := range a.Trans {
+			if t.Label == l && t.Set == ann && cur[t.From] {
+				next[t.To] = true
+			}
+		}
+		cur = next
+	}
+	for _, q := range a.Final {
+		if cur[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// SatisfyingAssignments enumerates by brute force the satisfying
+// assignments of the WVA on the word (ground truth for tests).
+func (a *WVA) SatisfyingAssignments(word []tree.Label, ids []tree.NodeID, maxLen int) (map[string]tree.Assignment, error) {
+	if len(word) > maxLen {
+		return nil, fmt.Errorf("tva: brute force on word of length %d exceeds cap %d", len(word), maxLen)
+	}
+	subsets := []tree.VarSet{}
+	tree.SubsetsOf(a.Vars, func(s tree.VarSet) { subsets = append(subsets, s) })
+	results := map[string]tree.Assignment{}
+	nu := tree.Valuation{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(word) {
+			if a.Accepts(word, ids, nu) {
+				asg := nu.Assignment()
+				results[asg.Key()] = asg
+			}
+			return
+		}
+		for _, s := range subsets {
+			if s == 0 {
+				delete(nu, ids[i])
+			} else {
+				nu[ids[i]] = s
+			}
+			rec(i + 1)
+		}
+		delete(nu, ids[i])
+	}
+	rec(0)
+	return results, nil
+}

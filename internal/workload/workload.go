@@ -1,0 +1,246 @@
+// Package workload provides the synthetic inputs of the experiment
+// harness: tree shapes, words, queries, and update streams. Every
+// experiment in EXPERIMENTS.md names the generator it uses, so results
+// are reproducible from seeds.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// Shape names accepted by Tree.
+const (
+	ShapeRandom = "random"
+	ShapePath   = "path"
+	ShapeStar   = "star"
+	ShapeComb   = "comb"
+	ShapeXMLish = "xmlish"
+)
+
+// Tree builds a tree of the given shape with n nodes over the alphabet
+// {a, b, c} (xmlish uses element-like labels).
+func Tree(shape string, n int, rng *rand.Rand) (*tree.Unranked, error) {
+	switch shape {
+	case ShapeRandom:
+		return tva.RandomUnrankedTree(rng, n, []tree.Label{"a", "b", "c"}), nil
+	case ShapePath:
+		t := tree.NewUnranked("a")
+		cur := t.Root.ID
+		for i := 1; i < n; i++ {
+			nn, err := t.InsertFirstChild(cur, pick(rng, "a", "b"))
+			if err != nil {
+				return nil, err
+			}
+			cur = nn.ID
+		}
+		return t, nil
+	case ShapeStar:
+		t := tree.NewUnranked("a")
+		for i := 1; i < n; i++ {
+			if _, err := t.InsertFirstChild(t.Root.ID, pick(rng, "a", "b")); err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	case ShapeComb:
+		t := tree.NewUnranked("a")
+		cur := t.Root.ID
+		for i := 1; i < n; i += 2 {
+			leaf, err := t.InsertFirstChild(cur, pick(rng, "a", "b"))
+			if err != nil {
+				return nil, err
+			}
+			nn, err := t.InsertRightSibling(leaf.ID, "a")
+			if err != nil {
+				return nil, err
+			}
+			cur = nn.ID
+		}
+		return t, nil
+	case ShapeXMLish:
+		// Document-like: moderate fanout, moderate depth.
+		t := tree.NewUnranked("doc")
+		frontier := []tree.NodeID{t.Root.ID}
+		labels := []tree.Label{"sec", "par", "fig", "ref"}
+		for t.Size() < n {
+			parent := frontier[rng.Intn(len(frontier))]
+			nn, err := t.InsertFirstChild(parent, labels[rng.Intn(len(labels))])
+			if err != nil {
+				return nil, err
+			}
+			if rng.Float64() < 0.6 {
+				frontier = append(frontier, nn.ID)
+			}
+			if len(frontier) > 64 {
+				frontier = frontier[len(frontier)-64:]
+			}
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown shape %q", shape)
+	}
+}
+
+func pick(rng *rand.Rand, ls ...tree.Label) tree.Label { return ls[rng.Intn(len(ls))] }
+
+// Word builds a random word of length n over {a, b, c}.
+func Word(n int, rng *rand.Rand) []tree.Label {
+	out := make([]tree.Label, n)
+	for i := range out {
+		out[i] = pick(rng, "a", "b", "c")
+	}
+	return out
+}
+
+// TreeMutator is the edit interface shared by the real enumerator and
+// the rebuild baseline, so update streams apply to both.
+type TreeMutator interface {
+	Tree() *tree.Unranked
+	Relabel(id tree.NodeID, l tree.Label) error
+	InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, error)
+	InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, error)
+	Delete(id tree.NodeID) error
+}
+
+// Edit is one update of a reproducible stream.
+type Edit struct {
+	Kind  int // 0 relabel, 1 insert first child, 2 insert right sibling, 3 delete
+	Index int // index into the current preorder node list
+	Label tree.Label
+}
+
+// RandomEdits draws a stream of e edit descriptors.
+func RandomEdits(e int, rng *rand.Rand) []Edit {
+	out := make([]Edit, e)
+	for i := range out {
+		out[i] = Edit{Kind: rng.Intn(4), Index: rng.Int(), Label: pick(rng, "a", "b", "c")}
+	}
+	return out
+}
+
+// Apply replays one edit descriptor on a mutator, resolving the index
+// against the current tree; invalid combinations degrade to relabels so
+// every descriptor performs exactly one update.
+func Apply(m TreeMutator, ed Edit) error {
+	nodes := m.Tree().Nodes()
+	n := nodes[ed.Index%len(nodes)]
+	switch ed.Kind {
+	case 1:
+		_, err := m.InsertFirstChild(n.ID, ed.Label)
+		return err
+	case 2:
+		if n.Parent != nil {
+			_, err := m.InsertRightSibling(n.ID, ed.Label)
+			return err
+		}
+	case 3:
+		if n.IsLeaf() && n.Parent != nil {
+			return m.Delete(n.ID)
+		}
+	}
+	return m.Relabel(n.ID, ed.Label)
+}
+
+// Editor applies random edits in O(1) bookkeeping per step (unlike
+// Apply, which re-lists all nodes and would pollute update-time
+// measurements with Θ(n) scan cost). It tracks live node IDs itself.
+type Editor struct {
+	m   TreeMutator
+	rng *rand.Rand
+	ids []tree.NodeID
+}
+
+// NewEditor indexes the current nodes of the mutator's tree.
+func NewEditor(m TreeMutator, rng *rand.Rand) *Editor {
+	ed := &Editor{m: m, rng: rng}
+	for _, n := range m.Tree().Nodes() {
+		ed.ids = append(ed.ids, n.ID)
+	}
+	return ed
+}
+
+// Step performs one random edit (relabel, insert, insertR or delete).
+func (ed *Editor) Step() error {
+	for attempt := 0; attempt < 8; attempt++ {
+		i := ed.rng.Intn(len(ed.ids))
+		id := ed.ids[i]
+		n := ed.m.Tree().Node(id)
+		if n == nil {
+			ed.ids[i] = ed.ids[len(ed.ids)-1]
+			ed.ids = ed.ids[:len(ed.ids)-1]
+			continue
+		}
+		l := pick(ed.rng, "a", "b", "c")
+		switch ed.rng.Intn(4) {
+		case 0:
+			return ed.m.Relabel(id, l)
+		case 1:
+			v, err := ed.m.InsertFirstChild(id, l)
+			if err == nil {
+				ed.ids = append(ed.ids, v)
+			}
+			return err
+		case 2:
+			if n.Parent == nil {
+				continue
+			}
+			v, err := ed.m.InsertRightSibling(id, l)
+			if err == nil {
+				ed.ids = append(ed.ids, v)
+			}
+			return err
+		default:
+			if !n.IsLeaf() || n.Parent == nil {
+				continue
+			}
+			if err := ed.m.Delete(id); err != nil {
+				return err
+			}
+			ed.ids[i] = ed.ids[len(ed.ids)-1]
+			ed.ids = ed.ids[:len(ed.ids)-1]
+			return nil
+		}
+	}
+	// Fall back to a relabel of the root, which always exists.
+	return ed.m.Relabel(ed.m.Tree().Root.ID, pick(ed.rng, "a", "b", "c"))
+}
+
+// AncestorQuery returns the standing query of experiments E1-E4 over the
+// alphabet {a, b, c}: select every node x (any label) that has an
+// a-labeled proper ancestor. Four automaton states.
+func AncestorQuery() *tva.Unranked {
+	const (
+		m0 = tva.State(0) // no x in subtree, subtree root labeled a
+		u0 = tva.State(1) // no x in subtree, subtree root not a
+		s1 = tva.State(2) // x in subtree, no a-ancestor of x inside
+		s2 = tva.State(3) // x in subtree with an a-labeled proper ancestor
+	)
+	x := tree.NewVarSet(0)
+	a := &tva.Unranked{
+		NumStates: 4,
+		Alphabet:  []tree.Label{"a", "b", "c"},
+		Vars:      x,
+		Final:     []tva.State{s2},
+		Init: []tva.InitRule{
+			{Label: "a", Set: 0, State: m0},
+			{Label: "b", Set: 0, State: u0},
+			{Label: "c", Set: 0, State: u0},
+			{Label: "a", Set: x, State: s1},
+			{Label: "b", Set: x, State: s1},
+			{Label: "c", Set: x, State: s1},
+		},
+		Delta: []tva.StepTriple{
+			{From: m0, Child: m0, To: m0}, {From: m0, Child: u0, To: m0},
+			{From: m0, Child: s1, To: s2}, {From: m0, Child: s2, To: s2},
+			{From: u0, Child: m0, To: u0}, {From: u0, Child: u0, To: u0},
+			{From: u0, Child: s1, To: s1}, {From: u0, Child: s2, To: s2},
+			{From: s1, Child: m0, To: s1}, {From: s1, Child: u0, To: s1},
+			{From: s2, Child: m0, To: s2}, {From: s2, Child: u0, To: s2},
+		},
+	}
+	return a
+}
