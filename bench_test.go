@@ -1,4 +1,4 @@
-// Benchmarks regenerating the experiments of EXPERIMENTS.md, one per
+// Benchmarks mirroring the experiment harness (cmd/benchtables), one per
 // table/figure claim (see DESIGN.md §4 for the index). Absolute numbers
 // are machine-dependent; the shapes (flat vs logarithmic vs linear vs
 // exponential) are what reproduce the paper.
@@ -7,6 +7,8 @@ package enumtrees_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	enumtrees "repro"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/enumerate"
 	"repro/internal/forest"
 	"repro/internal/markedanc"
@@ -267,7 +270,7 @@ func BenchmarkE8JumpAblation(b *testing.B) {
 		}
 		bt.SetRoot(cur)
 		c := bd.Build(bt)
-		enumerate.BuildIndex(c)
+		croot := enumerate.BuildIndex(c)
 		gamma, emptyOK := bd.RootAccepting(c)
 		for _, mode := range []struct {
 			name string
@@ -276,7 +279,7 @@ func BenchmarkE8JumpAblation(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/depth=%d", mode.name, depth), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					k := 0
-					for range enumerate.Assignments(c.Root, gamma, emptyOK, mode.m) {
+					for range enumerate.Assignments(croot, gamma, emptyOK, mode.m) {
 						k++
 					}
 					if k != 16 {
@@ -361,6 +364,115 @@ func BenchmarkT2Translation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkConcurrentReaders measures aggregate snapshot-enumeration
+// throughput at 1/4/16 reader goroutines while the engine applies a
+// continuous update stream. Readers are lock-free (one atomic load per
+// snapshot, then a walk of frozen structure), so ns/op — the aggregate
+// cost per produced result — should drop roughly with the core count as
+// readers are added; the update stream runs unthrottled throughout.
+// cmd/benchtables -concurrent emits the same measurement as a
+// machine-readable JSON baseline.
+func BenchmarkConcurrentReaders(b *testing.B) {
+	q := workload.AncestorQuery()
+	rng := rand.New(rand.NewSource(20))
+	ut := mustTree(b, workload.ShapeRandom, 20000, rng)
+	for _, readers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			eng, err := engine.NewTree(ut.Clone(), q, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stopWriter atomic.Bool
+			var writerWG sync.WaitGroup
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				wrng := rand.New(rand.NewSource(21))
+				// Relabels keep the ID set stable, so list the nodes once:
+				// the update stream must not be throttled by O(n) scans.
+				nodes := eng.Tree().Nodes()
+				for !stopWriter.Load() {
+					n := nodes[wrng.Intn(len(nodes))]
+					if _, err := eng.Relabel(n.ID, workload.Word(1, wrng)[0]); err != nil {
+						panic(err)
+					}
+				}
+			}()
+
+			var produced atomic.Int64
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for produced.Load() < int64(b.N) {
+						for range eng.Snapshot().Results() {
+							if produced.Add(1) >= int64(b.N) {
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			stopWriter.Store(true)
+			writerWG.Wait()
+		})
+	}
+}
+
+// BenchmarkApplyBatch compares k clustered relabels applied one by one
+// (k publications) against one ApplyBatch call (one publication with
+// amortized box repair).
+func BenchmarkApplyBatch(b *testing.B) {
+	q := workload.AncestorQuery()
+	rng := rand.New(rand.NewSource(22))
+	ut := mustTree(b, workload.ShapeRandom, 16000, rng)
+	nodes := ut.Nodes()
+	const k = 16
+	mkBatch := func(wrng *rand.Rand) []engine.Update {
+		batch := make([]engine.Update, k)
+		for i := range batch {
+			batch[i] = engine.Update{
+				Op:    engine.OpRelabel,
+				Node:  nodes[wrng.Intn(len(nodes))].ID,
+				Label: workload.Word(1, wrng)[0],
+			}
+		}
+		return batch
+	}
+	b.Run(fmt.Sprintf("batched/k=%d", k), func(b *testing.B) {
+		eng, err := engine.NewTree(ut.Clone(), q, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wrng := rand.New(rand.NewSource(23))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.ApplyBatch(mkBatch(wrng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("sequential/k=%d", k), func(b *testing.B) {
+		eng, err := engine.NewTree(ut.Clone(), q, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wrng := rand.New(rand.NewSource(23))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, u := range mkBatch(wrng) {
+				if _, err := eng.Relabel(u.Node, u.Label); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkFacadeQuickstart keeps the README flow honest under -bench.

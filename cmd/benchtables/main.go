@@ -1,16 +1,23 @@
-// Command benchtables regenerates every table of EXPERIMENTS.md by
-// running the experiment harness and printing markdown.
+// Command benchtables regenerates the experiment tables by running the
+// experiment harness and printing markdown, and can emit the
+// machine-readable concurrent-readers baseline for the perf trajectory.
 //
 // Usage:
 //
 //	benchtables              # full sizes (minutes)
 //	benchtables -quick       # reduced sizes (tens of seconds)
 //	benchtables -only E4,E7  # a subset
+//	benchtables -concurrent BENCH_concurrent.json
+//	                         # run the concurrent-readers experiment and
+//	                         # write its JSON baseline (also printed as a
+//	                         # markdown table); combine with -quick/-only
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -19,9 +26,21 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run reduced input sizes")
-	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E4,T2)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "run reduced input sizes")
+	only := fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E4,T2)")
+	concurrent := fs.String("concurrent", "", "run the concurrent-readers experiment and write its JSON baseline to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -48,14 +67,33 @@ func main() {
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "T1", "T2", "F1"}
 
 	start := time.Now()
-	for _, id := range order {
-		if len(want) > 0 && !want[id] {
-			continue
+	// -concurrent alone skips the table sweep unless IDs were requested.
+	runTables := *concurrent == "" || len(want) > 0
+	if runTables {
+		for _, id := range order {
+			if len(want) > 0 && !want[id] {
+				continue
+			}
+			t0 := time.Now()
+			tb := all[id]()
+			fmt.Fprintln(stdout, tb.Markdown())
+			fmt.Fprintf(stderr, "[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
 		}
-		t0 := time.Now()
-		tb := all[id]()
-		fmt.Println(tb.Markdown())
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(t0).Round(time.Millisecond))
 	}
-	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+	if *concurrent != "" {
+		t0 := time.Now()
+		base := experiments.ConcurrentReaders(*quick)
+		fmt.Fprintln(stdout, base.Table().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*concurrent, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[C1 done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *concurrent)
+	}
+	fmt.Fprintf(stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestTablesSubset smoke-tests the markdown table path on a fast
+// experiment.
+func TestTablesSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E10"}, &stdout, &stderr); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "E10") {
+		t.Fatalf("missing E10 table:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "E1 ·") {
+		t.Fatal("-only did not filter")
+	}
+}
+
+// TestConcurrentBaseline smoke-tests the BENCH_concurrent.json emitter:
+// the file must exist and decode with the expected reader sweep.
+func TestConcurrentBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_concurrent.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-concurrent", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base experiments.ConcurrentBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("invalid JSON baseline: %v", err)
+	}
+	if len(base.Points) != 3 {
+		t.Fatalf("baseline has %d points, want 3 (1/4/16 readers)", len(base.Points))
+	}
+	for i, readers := range []int{1, 4, 16} {
+		p := base.Points[i]
+		if p.Readers != readers {
+			t.Fatalf("point %d: readers = %d, want %d", i, p.Readers, readers)
+		}
+		if p.Results <= 0 || p.ResultsPerSecond <= 0 {
+			t.Fatalf("point %d: no throughput measured: %+v", i, p)
+		}
+		if p.Updates <= 0 {
+			t.Fatalf("point %d: writer applied no updates: %+v", i, p)
+		}
+	}
+	// The concurrent run must also print its markdown table.
+	if !strings.Contains(stdout.String(), "Concurrent snapshot readers") {
+		t.Fatalf("missing C1 table:\n%s", stdout.String())
+	}
+}

@@ -1,11 +1,15 @@
 // Command msoenum evaluates a query on a tree from the command line,
-// optionally replaying a stream of edits, re-enumerating after each.
+// optionally replaying a stream of edits, re-enumerating after each. It
+// runs on the snapshot engine: every edit publishes a new snapshot and
+// the results are read from it.
 //
 // Usage:
 //
 //	msoenum -tree '(a (b) (a (b)))' -query select:b
 //	msoenum -tree '(u (u (u)))' -query ancestor:m:u:s \
 //	        -edits 'relabel 0 m; relabel 2 s'
+//	msoenum -tree '(a (b))' -query select:b -batch \
+//	        -edits 'insert 0 b; relabel 1 a'
 //
 // Queries:
 //
@@ -21,12 +25,16 @@
 //	insert <id> <label>      (first child)
 //	insertR <id> <label>     (right sibling)
 //	delete <id>
+//
+// With -batch the whole edit stream is applied as one Engine.ApplyBatch
+// call: a single publication, with box and index repair amortized across
+// the batch, and one enumeration at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,48 +43,86 @@ import (
 )
 
 func main() {
-	treeFlag := flag.String("tree", "", "tree as an S-expression, e.g. '(a (b))'")
-	queryFlag := flag.String("query", "", "query spec (see -help)")
-	editsFlag := flag.String("edits", "", "semicolon-separated edit stream")
-	maxPrint := flag.Int("max", 20, "maximum results to print per enumeration")
-	statsFlag := flag.Bool("stats", false, "print structure statistics")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "msoenum:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("msoenum", flag.ContinueOnError)
+	treeFlag := fs.String("tree", "", "tree as an S-expression, e.g. '(a (b))'")
+	queryFlag := fs.String("query", "", "query spec (see -help)")
+	editsFlag := fs.String("edits", "", "semicolon-separated edit stream")
+	batchFlag := fs.Bool("batch", false, "apply the edit stream as one batched update")
+	maxPrint := fs.Int("max", 20, "maximum results to print per enumeration")
+	statsFlag := fs.Bool("stats", false, "print structure statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *treeFlag == "" || *queryFlag == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("-tree and -query are required")
 	}
 	t, err := enumtrees.ParseTree(*treeFlag)
 	if err != nil {
-		log.Fatalf("tree: %v", err)
+		return fmt.Errorf("tree: %w", err)
 	}
 	alphabet := collectLabels(t)
 	q, err := buildQuery(*queryFlag, alphabet)
 	if err != nil {
-		log.Fatalf("query: %v", err)
+		return fmt.Errorf("query: %w", err)
 	}
-	e, err := enumtrees.New(t, q, enumtrees.Options{})
+	eng, err := enumtrees.NewEngine(t, q, enumtrees.Options{})
 	if err != nil {
-		log.Fatalf("preprocess: %v", err)
+		return fmt.Errorf("preprocess: %w", err)
 	}
-	printResults(e, t, *maxPrint)
+	snap := eng.Snapshot()
+	printResults(w, snap, *maxPrint)
 
 	if *editsFlag != "" {
+		var edits []string
 		for _, ed := range strings.Split(*editsFlag, ";") {
-			ed = strings.TrimSpace(ed)
-			if ed == "" {
-				continue
+			if ed = strings.TrimSpace(ed); ed != "" {
+				edits = append(edits, ed)
 			}
-			if err := applyEdit(e, ed); err != nil {
-				log.Fatalf("edit %q: %v", ed, err)
+		}
+		if *batchFlag {
+			batch := make([]enumtrees.Update, 0, len(edits))
+			for _, ed := range edits {
+				u, err := parseEdit(ed)
+				if err != nil {
+					return fmt.Errorf("edit %q: %w", ed, err)
+				}
+				batch = append(batch, u)
 			}
-			fmt.Printf("\nafter %q: %s\n", ed, t)
-			printResults(e, t, *maxPrint)
+			snap, ids, err := eng.ApplyBatch(batch)
+			if err != nil {
+				return err
+			}
+			for i, id := range ids {
+				if batch[i].Op == enumtrees.OpInsertFirstChild || batch[i].Op == enumtrees.OpInsertRightSibling {
+					fmt.Fprintf(w, "  (new node %d)\n", id)
+				}
+			}
+			fmt.Fprintf(w, "\nafter batch of %d edits (snapshot v%d): %s\n", len(batch), snap.Version(), t)
+			printResults(w, snap, *maxPrint)
+		} else {
+			for _, ed := range edits {
+				snap, err := applyEdit(w, eng, ed)
+				if err != nil {
+					return fmt.Errorf("edit %q: %w", ed, err)
+				}
+				fmt.Fprintf(w, "\nafter %q: %s\n", ed, t)
+				printResults(w, snap, *maxPrint)
+			}
 		}
 	}
 	if *statsFlag {
-		fmt.Printf("\nstats: %+v\n", e.Stats())
+		fmt.Fprintf(w, "\nstats: %+v\n", eng.Snapshot().Stats())
 	}
+	return nil
 }
 
 func collectLabels(t *enumtrees.Tree) []enumtrees.Label {
@@ -149,57 +195,74 @@ func withLabels(alphabet []enumtrees.Label, ls ...enumtrees.Label) []enumtrees.L
 	return alphabet
 }
 
-func applyEdit(e *enumtrees.Enumerator, ed string) error {
+// parseEdit turns one textual edit into a batch update.
+func parseEdit(ed string) (enumtrees.Update, error) {
 	fields := strings.Fields(ed)
 	if len(fields) < 2 {
-		return fmt.Errorf("malformed edit")
+		return enumtrees.Update{}, fmt.Errorf("malformed edit")
 	}
 	id64, err := strconv.Atoi(fields[1])
 	if err != nil {
-		return err
+		return enumtrees.Update{}, err
 	}
-	id := enumtrees.NodeID(id64)
+	u := enumtrees.Update{Node: enumtrees.NodeID(id64)}
 	switch fields[0] {
-	case "relabel":
+	case "relabel", "insert", "insertR":
 		if len(fields) != 3 {
-			return fmt.Errorf("usage: relabel <id> <label>")
+			return enumtrees.Update{}, fmt.Errorf("usage: %s <id> <label>", fields[0])
 		}
-		return e.Relabel(id, enumtrees.Label(fields[2]))
-	case "insert":
-		if len(fields) != 3 {
-			return fmt.Errorf("usage: insert <id> <label>")
+		u.Label = enumtrees.Label(fields[2])
+		switch fields[0] {
+		case "relabel":
+			u.Op = enumtrees.OpRelabel
+		case "insert":
+			u.Op = enumtrees.OpInsertFirstChild
+		default:
+			u.Op = enumtrees.OpInsertRightSibling
 		}
-		v, err := e.InsertFirstChild(id, enumtrees.Label(fields[2]))
-		if err == nil {
-			fmt.Printf("  (new node %d)\n", v)
-		}
-		return err
-	case "insertR":
-		if len(fields) != 3 {
-			return fmt.Errorf("usage: insertR <id> <label>")
-		}
-		v, err := e.InsertRightSibling(id, enumtrees.Label(fields[2]))
-		if err == nil {
-			fmt.Printf("  (new node %d)\n", v)
-		}
-		return err
 	case "delete":
-		return e.Delete(id)
+		u.Op = enumtrees.OpDelete
 	default:
-		return fmt.Errorf("unknown edit %q", fields[0])
+		return enumtrees.Update{}, fmt.Errorf("unknown edit %q", fields[0])
+	}
+	return u, nil
+}
+
+func applyEdit(w io.Writer, eng *enumtrees.Engine, ed string) (*enumtrees.Snapshot, error) {
+	u, err := parseEdit(ed)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Op {
+	case enumtrees.OpRelabel:
+		return eng.Relabel(u.Node, u.Label)
+	case enumtrees.OpInsertFirstChild:
+		v, snap, err := eng.InsertFirstChild(u.Node, u.Label)
+		if err == nil {
+			fmt.Fprintf(w, "  (new node %d)\n", v)
+		}
+		return snap, err
+	case enumtrees.OpInsertRightSibling:
+		v, snap, err := eng.InsertRightSibling(u.Node, u.Label)
+		if err == nil {
+			fmt.Fprintf(w, "  (new node %d)\n", v)
+		}
+		return snap, err
+	default:
+		return eng.Delete(u.Node)
 	}
 }
 
-func printResults(e *enumtrees.Enumerator, t *enumtrees.Tree, max int) {
+func printResults(w io.Writer, snap *enumtrees.Snapshot, max int) {
 	n := 0
-	for asg := range e.Results() {
+	for asg := range snap.Results() {
 		if n < max {
-			fmt.Printf("  %v\n", asg)
+			fmt.Fprintf(w, "  %v\n", asg)
 		}
 		n++
 	}
 	if n > max {
-		fmt.Printf("  … %d more\n", n-max)
+		fmt.Fprintf(w, "  … %d more\n", n-max)
 	}
-	fmt.Printf("%d result(s)\n", n)
+	fmt.Fprintf(w, "%d result(s)\n", n)
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, buf.String())
+	}
+	return buf.String()
+}
+
+// TestSelectQuery smoke-tests the basic select flow.
+func TestSelectQuery(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (a (b)))", "-query", "select:b")
+	if !strings.Contains(out, "2 result(s)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+// TestEditStream smoke-tests edit replay with per-edit re-enumeration.
+func TestEditStream(t *testing.T) {
+	out := runOut(t, "-tree", "(u (u (u)))", "-query", "ancestor:m:u:s",
+		"-edits", "relabel 0 m; relabel 2 s", "-stats")
+	if !strings.Contains(out, "0 result(s)") || !strings.Contains(out, "1 result(s)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "stats:") {
+		t.Fatalf("missing stats:\n%s", out)
+	}
+}
+
+// TestBatchMode smoke-tests the single-publication batch path.
+func TestBatchMode(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b))", "-query", "select:b", "-batch",
+		"-edits", "insert 0 b; relabel 1 a")
+	if !strings.Contains(out, "after batch of 2 edits (snapshot v2)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// b at node 1 was relabeled away; the batch inserted one fresh b.
+	if !strings.Contains(out, "1 result(s)") {
+		t.Fatalf("unexpected result count:\n%s", out)
+	}
+}
+
+// TestErrors covers flag validation and bad edits.
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-query", "select:b"}, &buf); err == nil {
+		t.Fatal("missing -tree should fail")
+	}
+	if err := run([]string{"-tree", "(a)", "-query", "select:b", "-edits", "explode 0"}, &buf); err == nil {
+		t.Fatal("unknown edit should fail")
+	}
+	if err := run([]string{"-tree", "(a)", "-query", "nope:x"}, &buf); err == nil {
+		t.Fatal("unknown query should fail")
+	}
+}

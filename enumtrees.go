@@ -18,8 +18,8 @@
 //
 // The package is a facade over the internal packages that implement the
 // paper layer by layer: see DESIGN.md for the map from lemmas and
-// theorems to code, and EXPERIMENTS.md for the measured reproduction of
-// every claimed bound.
+// theorems to code, and `go run ./cmd/benchtables` for the measured
+// reproduction of every claimed bound.
 //
 // # Quick start
 //
@@ -32,10 +32,28 @@
 //	id, _ := e.InsertFirstChild(t.Root.ID, "b") // O(log n)
 //	_ = id
 //	fmt.Println(e.Count()) // 3
+//
+// # Concurrent readers and batched updates
+//
+// The Enumerator above is a single-threaded convenience. For serving
+// workloads, use the snapshot-isolated engine: the writer applies single
+// or batched updates, readers take immutable snapshots lock-free and
+// enumerate from them unaffected by concurrent edits.
+//
+//	eng, _ := enumtrees.NewEngine(t, q, enumtrees.Options{})
+//	snap := eng.Snapshot()        // lock-free, from any goroutine
+//	go func() {
+//	    for asg := range snap.Results() { use(asg) } // isolated
+//	}()
+//	eng.ApplyBatch([]enumtrees.Update{            // one publication
+//	    {Op: enumtrees.OpRelabel, Node: 1, Label: "b"},
+//	    {Op: enumtrees.OpInsertFirstChild, Node: 0, Label: "a"},
+//	})
 package enumtrees
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/enumerate"
 	"repro/internal/mso"
 	"repro/internal/paths"
@@ -111,7 +129,8 @@ const (
 	ModeNaive = enumerate.ModeNaive
 )
 
-// Enumerator is the update-aware tree enumerator (Theorem 8.1).
+// Enumerator is the update-aware tree enumerator (Theorem 8.1), a
+// single-threaded convenience wrapper over Engine.
 type Enumerator = core.TreeEnumerator
 
 // New preprocesses a tree and a tree automaton query.
@@ -119,7 +138,8 @@ func New(t *Tree, q *TreeAutomaton, opts Options) (*Enumerator, error) {
 	return core.NewTreeEnumerator(t, q, opts)
 }
 
-// WordEnumerator is the update-aware word enumerator (Theorem 8.5).
+// WordEnumerator is the update-aware word enumerator (Theorem 8.5), a
+// single-threaded convenience wrapper over WordEngine.
 type WordEnumerator = core.WordEnumerator
 
 // NewWord preprocesses a word and a word automaton query.
@@ -130,6 +150,52 @@ func NewWord(letters []Label, q *WordAutomaton, opts Options) (*WordEnumerator, 
 // Stats describes preprocessed structure sizes and cumulative update
 // work.
 type Stats = core.Stats
+
+// Snapshot-isolated engine API (see the package comment's second
+// example). The engine separates one writer from any number of lock-free
+// readers: every update publishes a fresh immutable Snapshot while older
+// snapshots — including in-flight enumerations from them — stay valid.
+type (
+	// Engine is the concurrent tree engine (Theorem 8.1 + snapshots).
+	Engine = engine.TreeEngine
+	// WordEngine is the concurrent word engine (Theorem 8.5 + snapshots).
+	WordEngine = engine.WordEngine
+	// Snapshot is one immutable published version of the structure.
+	Snapshot = engine.Snapshot
+	// Update is one edit of a batch for Engine.ApplyBatch /
+	// WordEngine.ApplyBatch.
+	Update = engine.Update
+	// UpdateOp identifies the operation of an Update.
+	UpdateOp = engine.UpdateOp
+)
+
+// Batch update operations.
+const (
+	// OpRelabel replaces a node's (or letter's) label.
+	OpRelabel = engine.OpRelabel
+	// OpDelete removes a tree leaf or word letter.
+	OpDelete = engine.OpDelete
+	// OpInsertFirstChild inserts a new first child (trees).
+	OpInsertFirstChild = engine.OpInsertFirstChild
+	// OpInsertRightSibling inserts a new right sibling (trees).
+	OpInsertRightSibling = engine.OpInsertRightSibling
+	// OpInsertAfter inserts a letter after the given one (words).
+	OpInsertAfter = engine.OpInsertAfter
+	// OpInsertBefore inserts a letter before the given one (words).
+	OpInsertBefore = engine.OpInsertBefore
+)
+
+// NewEngine preprocesses a tree and a query into a snapshot-isolated
+// engine for concurrent use.
+func NewEngine(t *Tree, q *TreeAutomaton, opts Options) (*Engine, error) {
+	return engine.NewTree(t, q, opts)
+}
+
+// NewWordEngine preprocesses a word and a word automaton query into a
+// snapshot-isolated engine for concurrent use.
+func NewWordEngine(letters []Label, q *WordAutomaton, opts Options) (*WordEngine, error) {
+	return engine.NewWord(letters, q, opts)
+}
 
 // MSO formulas (Corollaries 8.2 and 8.3).
 type (

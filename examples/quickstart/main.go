@@ -1,22 +1,32 @@
 // Command quickstart is the smallest end-to-end tour of the library:
 // build a tree, run an automaton query, enumerate, edit the tree, and
-// enumerate again — all through the public facade.
+// enumerate again — all through the public facade. It finishes with the
+// snapshot engine: a batched update and an old snapshot that keeps
+// answering for its own version.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	enumtrees "repro"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// A small document tree.
 	t, err := enumtrees.ParseTree("(doc (sec (par) (fig)) (sec (par)))")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("tree:", t)
+	fmt.Fprintln(w, "tree:", t)
 
 	// Query: X0 selects a node labeled "fig".
 	alpha := []enumtrees.Label{"doc", "sec", "par", "fig"}
@@ -25,11 +35,11 @@ func main() {
 	// Preprocess (linear time) and enumerate (constant delay per result).
 	e, err := enumtrees.New(t, q, enumtrees.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("figures:")
+	fmt.Fprintln(w, "figures:")
 	for asg := range e.Results() {
-		fmt.Printf("  %v (node %d)\n", asg, asg[0].Node)
+		fmt.Fprintf(w, "  %v (node %d)\n", asg, asg[0].Node)
 	}
 
 	// Edit the tree: add a figure to the second section (O(log n)).
@@ -41,13 +51,36 @@ func main() {
 	}
 	newFig, err := e.InsertFirstChild(secondSec, "fig")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("inserted fig as node %d\n", newFig)
+	fmt.Fprintf(w, "inserted fig as node %d\n", newFig)
 
 	// Enumeration restarts on the updated tree.
-	fmt.Println("figures now:", e.Count())
+	fmt.Fprintln(w, "figures now:", e.Count())
 	st := e.Stats()
-	fmt.Printf("structures: %d boxes, width %d, term height %d\n",
+	fmt.Fprintf(w, "structures: %d boxes, width %d, term height %d\n",
 		st.Boxes, st.CircuitWidth, st.TermHeight)
+
+	// The same pipeline as a snapshot engine: updates publish immutable
+	// versions, and a snapshot taken before an edit keeps answering for
+	// its version — that is what makes concurrent readers safe.
+	t2, err := enumtrees.ParseTree("(doc (sec (fig) (par)))")
+	if err != nil {
+		return err
+	}
+	eng, err := enumtrees.NewEngine(t2, q, enumtrees.Options{})
+	if err != nil {
+		return err
+	}
+	before := eng.Snapshot()
+	after, _, err := eng.ApplyBatch([]enumtrees.Update{
+		{Op: enumtrees.OpInsertFirstChild, Node: t2.Root.ID, Label: "fig"},
+		{Op: enumtrees.OpInsertFirstChild, Node: t2.Root.ID, Label: "fig"},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "engine: snapshot v%d sees %d figure(s), v%d sees %d (batch of 2 edits, one publication)\n",
+		before.Version(), before.Count(), after.Version(), after.Count())
+	return nil
 }

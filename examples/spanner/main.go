@@ -1,12 +1,16 @@
 // Command spanner runs information extraction over a mutating log line
 // (Theorem 8.5 / document spanners): the pattern captures error codes
 // "E<digits>" and the extraction stays current as the text is edited —
-// the words-under-updates scenario of Section 8.
+// the words-under-updates scenario of Section 8. Edits go through the
+// snapshot word engine, so every shown extraction reads one published
+// version.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	enumtrees "repro"
@@ -34,7 +38,7 @@ func nonDigits(alpha []enumtrees.Label) enumtrees.Pattern {
 	return enumtrees.AltP{Branches: ls}
 }
 
-func show(e *enumtrees.WordEnumerator) {
+func show(w io.Writer, e *enumtrees.WordEngine) {
 	ids, labels := e.Word()
 	pos := map[enumtrees.NodeID]int{}
 	var b []byte
@@ -42,9 +46,9 @@ func show(e *enumtrees.WordEnumerator) {
 		pos[id] = i
 		b = append(b, labels[i][0])
 	}
-	fmt.Printf("text: %q\n", string(b))
+	fmt.Fprintf(w, "text: %q\n", string(b))
 	n := 0
-	for asg := range e.Results() {
+	for asg := range e.Snapshot().Results() {
 		spans := enumtrees.Spans(asg)
 		var ps []int
 		for _, id := range spans[0] {
@@ -55,15 +59,21 @@ func show(e *enumtrees.WordEnumerator) {
 		for _, p := range ps {
 			code += string(labels[p])
 		}
-		fmt.Printf("  code E%s at positions %v\n", code, ps)
+		fmt.Fprintf(w, "  code E%s at positions %v\n", code, ps)
 		n++
 	}
 	if n == 0 {
-		fmt.Println("  no error codes")
+		fmt.Fprintln(w, "  no error codes")
 	}
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	alpha := enumtrees.ByteAlphabet(text + "E0123456789")
 	// Pattern: anywhere, "E" followed by a maximal captured run of
 	// digits: the run ends at a non-digit or at the end of the word.
@@ -75,55 +85,58 @@ func main() {
 	)
 	q, err := enumtrees.CompilePattern(pat, alpha)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("compiled spanner: %d WVA states\n", q.NumStates)
+	fmt.Fprintf(w, "compiled spanner: %d WVA states\n", q.NumStates)
 
-	e, err := enumtrees.NewWord(enumtrees.TextLabels(text), q, enumtrees.Options{})
+	e, err := enumtrees.NewWordEngine(enumtrees.TextLabels(text), q, enumtrees.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	show(e)
+	show(w, e)
 
 	// Live edit 1: the operator fixes "E4" to "E42" (insert a digit).
-	fmt.Println("\nedit: E4 -> E42")
+	fmt.Fprintln(w, "\nedit: E4 -> E42")
 	ids, labels := e.Word()
 	for i := range labels {
 		if labels[i] == "E" && i+1 < len(labels) && labels[i+1] == "4" {
-			if _, err := e.InsertAfter(ids[i+1], "2"); err != nil {
-				log.Fatal(err)
+			if _, _, err := e.InsertAfter(ids[i+1], "2"); err != nil {
+				return err
 			}
 			break
 		}
 	}
-	show(e)
+	show(w, e)
 
 	// Live edit 2: a new error is appended.
-	fmt.Println("\nedit: append \" E9\"")
+	fmt.Fprintln(w, "\nedit: append \" E9\"")
 	ids, _ = e.Word()
 	last := ids[len(ids)-1]
 	for _, c := range " E9" {
 		var err error
-		last, err = e.InsertAfter(last, enumtrees.Label(string(c)))
+		last, _, err = e.InsertAfter(last, enumtrees.Label(string(c)))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	show(e)
+	show(w, e)
 
-	// Live edit 3: the first error line is deleted character by
-	// character.
-	fmt.Println("\nedit: erase \"E17 \"")
+	// Live edit 3: the first error line is erased as ONE batched update —
+	// four deletes, a single publication, box repair amortized.
+	fmt.Fprintln(w, "\nedit: erase \"E17 \" (one batch)")
 	ids, labels = e.Word()
 	for i := 0; i+3 < len(labels); i++ {
 		if labels[i] == "E" && labels[i+1] == "1" && labels[i+2] == "7" {
+			var batch []enumtrees.Update
 			for k := 0; k < 4; k++ {
-				if err := e.Delete(ids[i+k]); err != nil {
-					log.Fatal(err)
-				}
+				batch = append(batch, enumtrees.Update{Op: enumtrees.OpDelete, Node: ids[i+k]})
+			}
+			if _, _, err := e.ApplyBatch(batch); err != nil {
+				return err
 			}
 			break
 		}
 	}
-	show(e)
+	show(w, e)
+	return nil
 }

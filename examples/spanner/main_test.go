@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSpannerRuns smoke-tests the extraction-under-updates flow.
+func TestSpannerRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"code E17",       // initial extraction
+		"code E42",       // after the insert edit
+		"code E9",        // after the append
+		`"boot ok disk `, // after the batched erase
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The final extraction (after the batched erase) must not report E17.
+	final := out[strings.LastIndex(out, "text:"):]
+	if strings.Contains(final, "code E17") {
+		t.Fatalf("E17 still extracted after the batched erase:\n%s", out)
+	}
+}

@@ -3,33 +3,42 @@
 // caption". The query is written as an MSO formula (Corollary 8.3),
 // compiled once to a tree automaton, and kept up to date through edits
 // in logarithmic time — the scenario the paper's introduction motivates
-// for tree-shaped data.
+// for tree-shaped data. The bulk-grow phase uses the engine's batched
+// updates: 500 figure+caption pairs are published as one snapshot.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	enumtrees "repro"
 )
 
 var alpha = []enumtrees.Label{"doc", "sec", "par", "fig", "caption"}
 
-func report(e *enumtrees.Enumerator, t *enumtrees.Tree) {
+func report(w io.Writer, snap *enumtrees.Snapshot, t *enumtrees.Tree) {
 	n := 0
-	for asg := range e.Results() {
+	for asg := range snap.Results() {
 		node := t.Node(asg[0].Node)
-		fmt.Printf("  uncaptioned figure in section node %d (parent %d)\n",
+		fmt.Fprintf(w, "  uncaptioned figure in section node %d (parent %d)\n",
 			asg[0].Node, node.Parent.ID)
 		n++
 	}
 	if n == 0 {
-		fmt.Println("  all figures captioned ✓")
+		fmt.Fprintln(w, "  all figures captioned ✓")
 	}
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Φ(x): x is a fig node with no caption child.
 	phi := enumtrees.Conj(
 		enumtrees.HasLabel{X: 0, Label: "fig"},
@@ -41,22 +50,22 @@ func main() {
 	)
 	q, err := enumtrees.CompileMSOFirstOrder(phi, alpha, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("compiled MSO query: %d automaton states\n", q.NumStates)
+	fmt.Fprintf(w, "compiled MSO query: %d automaton states\n", q.NumStates)
 
 	t, err := enumtrees.ParseTree(
 		"(doc (sec (par) (fig (caption))) (sec (fig) (par (fig (caption)))))")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	e, err := enumtrees.New(t, q, enumtrees.Options{})
+	eng, err := enumtrees.NewEngine(t, q, enumtrees.Options{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Println("initial document:", t)
-	report(e, t)
+	fmt.Fprintln(w, "initial document:", t)
+	report(w, eng.Snapshot(), t)
 
 	// An editing session: captions appear and disappear, figures are
 	// added; after each edit the standing query re-answers instantly.
@@ -66,13 +75,14 @@ func main() {
 			uncaptioned = n.ID
 		}
 	}
-	fmt.Println("\nedit: caption the bare figure")
-	if _, err := e.InsertFirstChild(uncaptioned, "caption"); err != nil {
-		log.Fatal(err)
+	fmt.Fprintln(w, "\nedit: caption the bare figure")
+	_, capSnap, err := eng.InsertFirstChild(uncaptioned, "caption")
+	if err != nil {
+		return err
 	}
-	report(e, t)
+	report(w, capSnap, t)
 
-	fmt.Println("\nedit: grow the document with 500 random captioned figures")
+	fmt.Fprintln(w, "\nedit: grow the document with 500 random captioned figures (batched)")
 	rng := rand.New(rand.NewSource(42))
 	secs := []enumtrees.NodeID{}
 	for _, n := range t.Nodes() {
@@ -80,32 +90,47 @@ func main() {
 			secs = append(secs, n.ID)
 		}
 	}
-	var lastFig enumtrees.NodeID
-	for i := 0; i < 500; i++ {
-		fig, err := e.InsertFirstChild(secs[rng.Intn(len(secs))], "fig")
-		if err != nil {
-			log.Fatal(err)
+	// Figures go in as one batch (one snapshot publication for all 500);
+	// the captions, whose parents are only known after that batch, as a
+	// second one.
+	figBatch := make([]enumtrees.Update, 500)
+	for i := range figBatch {
+		figBatch[i] = enumtrees.Update{
+			Op:    enumtrees.OpInsertFirstChild,
+			Node:  secs[rng.Intn(len(secs))],
+			Label: "fig",
 		}
-		if _, err := e.InsertFirstChild(fig, "caption"); err != nil {
-			log.Fatal(err)
-		}
-		lastFig = fig
 	}
-	report(e, t)
+	_, figIDs, err := eng.ApplyBatch(figBatch)
+	if err != nil {
+		return err
+	}
+	capBatch := make([]enumtrees.Update, len(figIDs))
+	for i, fig := range figIDs {
+		capBatch[i] = enumtrees.Update{Op: enumtrees.OpInsertFirstChild, Node: fig, Label: "caption"}
+	}
+	snap, _, err := eng.ApplyBatch(capBatch)
+	if err != nil {
+		return err
+	}
+	report(w, snap, t)
+	lastFig := figIDs[len(figIDs)-1]
 
-	fmt.Println("\nedit: delete one caption deep in the document")
+	fmt.Fprintln(w, "\nedit: delete one caption deep in the document")
 	var cap enumtrees.NodeID = -1
 	for c := t.Node(lastFig).FirstChild; c != nil; c = c.NextSib {
 		if c.Label == "caption" {
 			cap = c.ID
 		}
 	}
-	if err := e.Delete(cap); err != nil {
-		log.Fatal(err)
+	snap, err = eng.Delete(cap)
+	if err != nil {
+		return err
 	}
-	report(e, t)
+	report(w, snap, t)
 
-	st := e.Stats()
-	fmt.Printf("\nfinal: %d nodes, %d boxes, width %d, %d boxes rebuilt over the session\n",
+	st := eng.Snapshot().Stats()
+	fmt.Fprintf(w, "\nfinal: %d nodes, %d boxes, width %d, %d boxes rebuilt over the session\n",
 		t.Size(), st.Boxes, st.CircuitWidth, st.BoxesRebuilt)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestXMLMonitorRuns smoke-tests the MSO monitoring session, including
+// the 500-figure batched growth.
+func TestXMLMonitorRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"compiled MSO query",
+		"all figures captioned ✓",
+		"uncaptioned figure in section node",
+		"final: 1010 nodes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -131,9 +131,9 @@ func DeterminizeFirst(q *tva.Unranked) (*tva.Binary, DeterminizeFirstStats, erro
 type StaticBinaryRelabel struct {
 	builder *circuit.Builder
 	tree    *tree.Binary
-	boxes   map[*tree.BNode]*circuit.Box
+	boxes   map[*tree.BNode]*enumerate.IndexedBox
 	parents map[*tree.BNode]*tree.BNode
-	root    *circuit.Box
+	root    *enumerate.IndexedBox
 	mode    enumerate.Mode
 }
 
@@ -151,25 +151,23 @@ func NewStaticBinaryRelabel(t *tree.Binary, a *tva.Binary, mode enumerate.Mode) 
 	s := &StaticBinaryRelabel{
 		builder: bd,
 		tree:    t,
-		boxes:   map[*tree.BNode]*circuit.Box{},
+		boxes:   map[*tree.BNode]*enumerate.IndexedBox{},
 		parents: map[*tree.BNode]*tree.BNode{},
 		mode:    mode,
 	}
-	var rec func(n *tree.BNode) *circuit.Box
-	rec = func(n *tree.BNode) *circuit.Box {
-		var b *circuit.Box
+	indexed := mode == enumerate.ModeIndexed
+	var rec func(n *tree.BNode) *enumerate.IndexedBox
+	rec = func(n *tree.BNode) *enumerate.IndexedBox {
+		var b *enumerate.IndexedBox
 		if n.IsLeaf() {
-			b = bd.LeafBox(n.Label, n.ID)
+			b = enumerate.Wrap(bd.LeafBox(n.Label, n.ID), nil, nil, indexed)
 		} else {
 			s.parents[n.Left] = n
 			s.parents[n.Right] = n
-			b = bd.InnerBox(n.Label, rec(n.Left), rec(n.Right))
-			b.Node = n.ID
+			l, r := rec(n.Left), rec(n.Right)
+			b = enumerate.Wrap(bd.InnerBox(n.Label, n.ID, l.Box, r.Box), l, r, indexed)
 		}
 		s.boxes[n] = b
-		if mode == enumerate.ModeIndexed {
-			enumerate.BuildBoxIndex(b)
-		}
 		return b
 	}
 	s.root = rec(t.Root)
@@ -180,25 +178,23 @@ func NewStaticBinaryRelabel(t *tree.Binary, a *tva.Binary, mode enumerate.Mode) 
 // root: O(depth(T)·poly(|Q|)), the cost the balanced encoding avoids.
 func (s *StaticBinaryRelabel) Relabel(n *tree.BNode, l tree.Label) {
 	n.Label = l
+	indexed := s.mode == enumerate.ModeIndexed
 	for cur := n; cur != nil; cur = s.parents[cur] {
-		var b *circuit.Box
+		var b *enumerate.IndexedBox
 		if cur.IsLeaf() {
-			b = s.builder.LeafBox(cur.Label, cur.ID)
+			b = enumerate.Wrap(s.builder.LeafBox(cur.Label, cur.ID), nil, nil, indexed)
 		} else {
-			b = s.builder.InnerBox(cur.Label, s.boxes[cur.Left], s.boxes[cur.Right])
-			b.Node = cur.ID
+			l, r := s.boxes[cur.Left], s.boxes[cur.Right]
+			b = enumerate.Wrap(s.builder.InnerBox(cur.Label, cur.ID, l.Box, r.Box), l, r, indexed)
 		}
 		s.boxes[cur] = b
-		if s.mode == enumerate.ModeIndexed {
-			enumerate.BuildBoxIndex(b)
-		}
 	}
 	s.root = s.boxes[s.tree.Root]
 }
 
 // Results enumerates the satisfying assignments.
 func (s *StaticBinaryRelabel) Results() iter.Seq[tree.Assignment] {
-	gamma, emptyOK := s.builder.RootAccepting(&circuit.Circuit{Root: s.root})
+	gamma, emptyOK := s.builder.RootAccepting(&circuit.Circuit{Root: s.root.Box})
 	return enumerate.Assignments(s.root, gamma, emptyOK, s.mode)
 }
 

@@ -105,15 +105,15 @@ func (bd *Builder) LeafBox(label tree.Label, node tree.NodeID) *Box {
 	return b
 }
 
-// InnerBox builds the box B_n for an inner node with the given label and
-// child boxes, following the inner case of Lemma 3.7: one (deduplicated)
-// ×-gate per pair (q1, q2) of child states that some transition uses and
-// whose γ gates are both ∪-gates; alias wires when one side is ⊤.
-func (bd *Builder) InnerBox(label tree.Label, left, right *Box) *Box {
+// InnerBox builds the box B_n for an inner node with the given label,
+// node ID and child boxes, following the inner case of Lemma 3.7: one
+// (deduplicated) ×-gate per pair (q1, q2) of child states that some
+// transition uses and whose γ gates are both ∪-gates; alias wires when
+// one side is ⊤. The children are only read, never modified: a box built
+// over already-published children leaves them shareable.
+func (bd *Builder) InnerBox(label tree.Label, node tree.NodeID, left, right *Box) *Box {
 	nq := bd.A.NumStates
-	b := &Box{Label: label, Left: left, Right: right, GammaKind: make([]GammaKind, nq), GammaIdx: make([]int32, nq)}
-	left.Parent = b
-	right.Parent = b
+	b := &Box{Label: label, Node: node, Left: left, Right: right, GammaKind: make([]GammaKind, nq), GammaIdx: make([]int32, nq)}
 	for i := range b.GammaIdx {
 		b.GammaIdx[i] = -1
 	}
@@ -234,9 +234,7 @@ func (bd *Builder) Build(t *tree.Binary) *Circuit {
 		}
 		l := rec(n.Left)
 		r := rec(n.Right)
-		b := bd.InnerBox(n.Label, l, r)
-		b.Node = n.ID
-		return b
+		return bd.InnerBox(n.Label, n.ID, l, r)
 	}
 	if t.Root == nil {
 		return &Circuit{}

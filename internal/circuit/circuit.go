@@ -62,10 +62,17 @@ type UnionGate struct {
 
 // Box is the set of gates mapped to one v-tree node by the structuring
 // function σ. The tree of boxes is isomorphic to the input binary tree.
+//
+// Boxes are immutable once the Builder returns them: a box never changes
+// after construction, and the update machinery replaces boxes along the
+// hollowing trunk with fresh ones instead of editing them in place. This
+// is what makes a box (plus its enumerate-layer index) a frozen unit that
+// any number of concurrent readers and engine snapshots can share. For
+// the same reason boxes carry no parent pointers: a parent link would
+// have to be rewritten when a new parent is built over a shared child.
 type Box struct {
-	Left   *Box
-	Right  *Box
-	Parent *Box
+	Left  *Box
+	Right *Box
 
 	// Node is the input-tree node this box was built for; leaf boxes use
 	// it to label their var gates.
@@ -96,11 +103,6 @@ type Box struct {
 	// provenance of ↓-gates in Algorithm 2.
 	VarOut   [][]int32
 	TimesOut [][]int32
-
-	// Index is the per-box part of the index structure I(C) of
-	// Definition 6.1; it is built by enumerate.BuildIndex and owned by
-	// that package (stored here so updates can recompute it box by box).
-	Index any
 }
 
 // NumUnions returns the number of ∪-gates in the box (its contribution to
@@ -178,8 +180,8 @@ func (c *Circuit) Walk(f func(*Box)) {
 
 // Validate checks the structural rules of set circuits and of complete
 // structured DNNFs (Definitions 3.1 and 3.4) on the whole circuit:
-// fan-ins, wire targets, var gates only in leaf boxes, Svar injectivity,
-// and the parent/child pointer symmetry of the box tree.
+// fan-ins, wire targets, var gates only in leaf boxes, and Svar
+// injectivity.
 func (c *Circuit) Validate() error {
 	var rec func(b *Box) error
 	rec = func(b *Box) error {
@@ -188,9 +190,6 @@ func (c *Circuit) Validate() error {
 		}
 		if (b.Left == nil) != (b.Right == nil) {
 			return fmt.Errorf("circuit: box for n%d has exactly one child", b.Node)
-		}
-		if b.Left != nil && (b.Left.Parent != b || b.Right.Parent != b) {
-			return fmt.Errorf("circuit: box for n%d has wrong child parent pointers", b.Node)
 		}
 		if b.IsLeaf() {
 			if len(b.Times) != 0 {

@@ -229,7 +229,6 @@ func TestEvaluatorExample32(t *testing.T) {
 	leafR.Vars = []VarGate{{Set: tree.NewVarSet(1), Node: 1}, {Set: tree.NewVarSet(1, 2), Node: 1}}
 	leafR.Unions = []UnionGate{{Vars: []int32{0, 1}}}
 	root := &Box{Node: 2, Left: leafL, Right: leafR, GammaKind: []GammaKind{GammaUnion}, GammaIdx: []int32{0}}
-	leafL.Parent, leafR.Parent = root, root
 	root.Times = []TimesGate{{Left: 0, Right: 0}}
 	root.Unions = []UnionGate{{Times: []int32{0}}}
 	root.rebuildWires()

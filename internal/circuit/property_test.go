@@ -73,29 +73,34 @@ func TestLemma51LCA(t *testing.T) {
 		}
 		bt := tva.RandomBinaryTree(rng, 2+rng.Intn(5), []tree.Label{"a", "b"})
 		c := bd.Build(bt)
-		// Map node IDs to leaf boxes and record ancestry.
+		// Map node IDs to leaf boxes and record ancestry (boxes carry no
+		// parent pointers, so compute them by walking the tree of boxes).
 		leafBox := map[tree.NodeID]*Box{}
+		parent := map[*Box]*Box{}
 		c.Walk(func(b *Box) {
 			if b.IsLeaf() {
 				leafBox[b.Node] = b
+			} else {
+				parent[b.Left] = b
+				parent[b.Right] = b
 			}
 		})
 		depth := func(b *Box) int {
 			d := 0
-			for x := b; x.Parent != nil; x = x.Parent {
+			for x := b; parent[x] != nil; x = parent[x] {
 				d++
 			}
 			return d
 		}
 		lca := func(x, y *Box) *Box {
 			for depth(x) > depth(y) {
-				x = x.Parent
+				x = parent[x]
 			}
 			for depth(y) > depth(x) {
-				y = y.Parent
+				y = parent[y]
 			}
 			for x != y {
-				x, y = x.Parent, y.Parent
+				x, y = parent[x], parent[y]
 			}
 			return x
 		}

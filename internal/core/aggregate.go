@@ -24,6 +24,7 @@ type aggregates struct {
 }
 
 func (e *TreeEnumerator) aggr() *aggregates {
+	rebuilt := e.eng.BoxesRebuilt()
 	if e.agg == nil {
 		e.agg = &aggregates{
 			deriv: counting.NewEvaluator[*big.Int](counting.Derivations{}),
@@ -31,15 +32,15 @@ func (e *TreeEnumerator) aggr() *aggregates {
 			max:   counting.NewEvaluator[int64](counting.MaxSize{}),
 			boolE: counting.NewEvaluator[bool](counting.Bool{}),
 		}
-		e.agg.lastPrune = e.boxesRebuilt
+		e.agg.lastPrune = rebuilt
 	}
-	if e.boxesRebuilt-e.agg.lastPrune > pruneEvery {
-		root := e.f.Root.Box
+	if rebuilt-e.agg.lastPrune > pruneEvery {
+		root, _, _ := e.eng.Snapshot().Accepting()
 		e.agg.deriv.Prune(root)
 		e.agg.min.Prune(root)
 		e.agg.max.Prune(root)
 		e.agg.boolE.Prune(root)
-		e.agg.lastPrune = e.boxesRebuilt
+		e.agg.lastPrune = rebuilt
 	}
 	return e.agg
 }
@@ -52,7 +53,7 @@ func (e *TreeEnumerator) aggr() *aggregates {
 // is exactly the number of satisfying assignments, computed in
 // O(log n · poly(|Q|)) after each update instead of by enumeration.
 func (e *TreeEnumerator) DerivationCount() *big.Int {
-	rb, gamma, emptyOK := e.root()
+	rb, gamma, emptyOK := e.eng.Snapshot().Accepting()
 	return e.aggr().deriv.Gamma(rb, gamma, emptyOK)
 }
 
@@ -60,7 +61,7 @@ func (e *TreeEnumerator) DerivationCount() *big.Int {
 // assignments S, and false if there are none. Computed algebraically
 // (tropical semiring), without enumerating.
 func (e *TreeEnumerator) MinResultSize() (int, bool) {
-	rb, gamma, emptyOK := e.root()
+	rb, gamma, emptyOK := e.eng.Snapshot().Accepting()
 	v := e.aggr().min.Gamma(rb, gamma, emptyOK)
 	if counting.IsInfinite(v) {
 		return 0, false
@@ -71,7 +72,7 @@ func (e *TreeEnumerator) MinResultSize() (int, bool) {
 // MaxResultSize returns the largest |S| over all satisfying
 // assignments, and false if there are none.
 func (e *TreeEnumerator) MaxResultSize() (int, bool) {
-	rb, gamma, emptyOK := e.root()
+	rb, gamma, emptyOK := e.eng.Snapshot().Accepting()
 	v := e.aggr().max.Gamma(rb, gamma, emptyOK)
 	if counting.IsInfinite(v) {
 		return 0, false
@@ -83,6 +84,6 @@ func (e *TreeEnumerator) MaxResultSize() (int, bool) {
 // must always agree with NonEmpty (which uses the enumeration path) and
 // exists as a cross-check and a cheaper primitive.
 func (e *TreeEnumerator) NonEmptyAlgebraic() bool {
-	rb, gamma, emptyOK := e.root()
+	rb, gamma, emptyOK := e.eng.Snapshot().Accepting()
 	return e.aggr().boolE.Gamma(rb, gamma, emptyOK)
 }

@@ -3,12 +3,10 @@ package core
 // MoveRange is the bulk word update sketched in the paper's conclusion:
 // it moves the k letters starting at position from so that they follow
 // position dest of the remaining word (dest = -1 prepends). Letter IDs
-// are preserved; the enumeration structure is repaired incrementally
-// (O(k·log n) — see forest.Word.MoveRange for the complexity note).
+// are preserved; the enumeration structure is repaired incrementally and
+// republished once (O(k·log n) — see forest.Word.MoveRange for the
+// complexity note).
 func (e *WordEnumerator) MoveRange(from, k, dest int) error {
-	if err := e.w.MoveRange(from, k, dest); err != nil {
-		return err
-	}
-	e.refresh()
-	return nil
+	_, err := e.eng.MoveRange(from, k, dest)
+	return err
 }

@@ -8,211 +8,106 @@
 //	      ──Homogenize──▶ homogenized TVA      (Lemma 2.1)
 //	term  ──circuit.Builder──▶ assignment circuit, one box per term node
 //	                                           (Lemma 3.7)
-//	boxes ──enumerate.BuildBoxIndex──▶ I(C)    (Definition 6.1, Lemma 6.3)
+//	boxes ──enumerate.Wrap──▶ I(C)             (Definition 6.1, Lemma 6.3)
 //	      ──enumerate.Assignments──▶ results   (Theorem 6.5)
 //
 // Updates flow through the forest's hollowing trunks (Definition 7.2):
 // the engine rebuilds exactly the boxes and index entries of the trunk,
 // bottom-up, which is Lemma 7.3.
+//
+// Since the snapshot refactor the heavy lifting lives in package engine,
+// which publishes immutable snapshots for lock-free concurrent readers;
+// the enumerators in this package are thin single-threaded compatibility
+// shims over it. New code that wants concurrent readers or batched
+// updates should use engine.TreeEngine / engine.WordEngine directly (or
+// the enumtrees facade's NewEngine / NewWordEngine).
 package core
 
 import (
-	"fmt"
 	"iter"
 
-	"repro/internal/bitset"
-	"repro/internal/circuit"
-	"repro/internal/enumerate"
-	"repro/internal/forest"
+	"repro/internal/engine"
 	"repro/internal/tree"
 	"repro/internal/tva"
 )
 
 // Options configure an enumerator.
-type Options struct {
-	// Mode selects the enumeration algorithm (default: ModeIndexed, the
-	// paper's algorithm). ModeNaive and ModeSimple are the baselines of
-	// experiments E1/E8.
-	Mode enumerate.Mode
-}
+type Options = engine.Options
 
 // Stats reports sizes of the preprocessed structures and cumulative
 // update work, for the experiment harness.
-type Stats struct {
-	TranslatedStates int // |Q′| after trimming (before homogenization)
-	AutomatonStates  int // states of the homogenized binary TVA
-	CircuitWidth     int
-	Boxes            int
-	UnionGates       int
-	TimesGates       int
-	VarGates         int
-	TermHeight       int
-	BoxesRebuilt     int // cumulative, across all updates
-	Rebalances       int // scapegoat rebuilds in the term
-}
+type Stats = engine.Stats
 
-// TreeEnumerator is the update-aware enumerator of Theorem 8.1.
+// TreeEnumerator is the update-aware enumerator of Theorem 8.1, as a
+// single-threaded convenience wrapper over engine.TreeEngine: every edit
+// publishes a snapshot internally, and the read methods always address
+// the latest one.
 type TreeEnumerator struct {
-	f       *forest.Forest
-	query   *tva.Unranked
-	binary  *tva.Binary
-	builder *circuit.Builder
-	opts    Options
-
-	translatedStates int
-	boxesRebuilt     int
-	agg              *aggregates
+	eng *engine.TreeEngine
+	agg *aggregates
 }
 
-// NewTreeEnumerator preprocesses the tree and the query: it translates
-// the stepwise TVA to the term alphabet, homogenizes it, encodes the tree
-// as a balanced term, and builds the assignment circuit and its index.
-// Preprocessing is linear in |T| (up to the balancing's O(log) factor
-// documented in DESIGN.md) and polynomial in |Q|.
+// NewTreeEnumerator preprocesses the tree and the query (see
+// engine.NewTree).
 func NewTreeEnumerator(t *tree.Unranked, query *tva.Unranked, opts Options) (*TreeEnumerator, error) {
-	ab, err := forest.Translate(query)
+	eng, err := engine.NewTree(t, query, opts)
 	if err != nil {
 		return nil, err
 	}
-	translated := ab.NumStates
-	hb := ab.Homogenize()
-	builder, err := circuit.NewBuilder(hb)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	e := &TreeEnumerator{
-		f:                forest.New(t),
-		query:            query,
-		binary:           hb,
-		builder:          builder,
-		opts:             opts,
-		translatedStates: translated,
-	}
-	e.refresh()
-	return e, nil
+	return &TreeEnumerator{eng: eng}, nil
 }
 
-// refresh rebuilds circuit boxes and index entries for every term node in
-// the drained hollowing trunk (Lemma 7.3).
-func (e *TreeEnumerator) refresh() {
-	for _, n := range e.f.Drain() {
-		e.buildBox(n)
-	}
-}
-
-func (e *TreeEnumerator) buildBox(n *forest.Node) {
-	if n.IsLeaf() {
-		n.Box = e.builder.LeafBox(n.BinaryLabel(), n.TreeID)
-	} else {
-		n.Box = e.builder.InnerBox(n.BinaryLabel(), n.Left.Box, n.Right.Box)
-		n.Box.Node = -1
-	}
-	if e.opts.Mode == enumerate.ModeIndexed {
-		enumerate.BuildBoxIndex(n.Box)
-	}
-	e.boxesRebuilt++
-}
+// Engine exposes the underlying snapshot engine, for callers that want
+// to mix this convenience API with concurrent snapshot readers.
+func (e *TreeEnumerator) Engine() *engine.TreeEngine { return e.eng }
 
 // Tree returns the underlying tree (read-only use; edits must go through
 // the enumerator).
-func (e *TreeEnumerator) Tree() *tree.Unranked { return e.f.Tree }
+func (e *TreeEnumerator) Tree() *tree.Unranked { return e.eng.Tree() }
 
 // Relabel implements relabel(n, l) with O(log|T|·poly(|Q|)) work.
 func (e *TreeEnumerator) Relabel(id tree.NodeID, l tree.Label) error {
-	if err := e.f.Relabel(id, l); err != nil {
-		return err
-	}
-	e.refresh()
-	return nil
+	_, err := e.eng.Relabel(id, l)
+	return err
 }
 
 // InsertFirstChild implements insert(n, l), returning the new node's ID.
 func (e *TreeEnumerator) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
-	v, err := e.f.InsertFirstChild(id, l)
-	if err != nil {
-		return 0, err
-	}
-	e.refresh()
-	return v, nil
+	v, _, err := e.eng.InsertFirstChild(id, l)
+	return v, err
 }
 
 // InsertRightSibling implements insertR(n, l), returning the new node's
 // ID.
 func (e *TreeEnumerator) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
-	v, err := e.f.InsertRightSibling(id, l)
-	if err != nil {
-		return 0, err
-	}
-	e.refresh()
-	return v, nil
+	v, _, err := e.eng.InsertRightSibling(id, l)
+	return v, err
 }
 
 // Delete implements delete(n) for leaves.
 func (e *TreeEnumerator) Delete(id tree.NodeID) error {
-	if err := e.f.Delete(id); err != nil {
-		return err
-	}
-	e.refresh()
-	return nil
-}
-
-// root returns the root box and the accepting boxed set.
-func (e *TreeEnumerator) root() (*circuit.Box, bitset.Set, bool) {
-	rb := e.f.Root.Box
-	gamma, emptyOK := e.builder.RootAccepting(&circuit.Circuit{Root: rb})
-	return rb, gamma, emptyOK
+	_, err := e.eng.Delete(id)
+	return err
 }
 
 // Results enumerates the satisfying assignments of the query on the
 // current tree, without duplicates, with delay O(|S|·poly(|Q|))
 // independent of |T| in the default indexed mode. The iterator reads the
-// live structure: do not interleave edits with an open iteration.
+// snapshot current at the call: edits made while an iteration is open do
+// not disturb it (it keeps enumerating its own version).
 func (e *TreeEnumerator) Results() iter.Seq[tree.Assignment] {
-	rb, gamma, emptyOK := e.root()
-	return enumerate.Assignments(rb, gamma, emptyOK, e.opts.Mode)
+	return e.eng.Snapshot().Results()
 }
 
 // Count drains Results and returns the number of satisfying assignments.
-func (e *TreeEnumerator) Count() int {
-	n := 0
-	for range e.Results() {
-		n++
-	}
-	return n
-}
+func (e *TreeEnumerator) Count() int { return e.eng.Snapshot().Count() }
 
 // NonEmpty reports whether at least one satisfying assignment exists; by
 // the delay bound it runs in time independent of |T| (indexed mode).
-func (e *TreeEnumerator) NonEmpty() bool {
-	for range e.Results() {
-		return true
-	}
-	return false
-}
+func (e *TreeEnumerator) NonEmpty() bool { return e.eng.Snapshot().NonEmpty() }
 
 // All materializes every result (test/benchmark helper).
-func (e *TreeEnumerator) All() []tree.Assignment {
-	var out []tree.Assignment
-	for a := range e.Results() {
-		out = append(out, a)
-	}
-	return out
-}
+func (e *TreeEnumerator) All() []tree.Assignment { return e.eng.Snapshot().All() }
 
 // Stats reports structure sizes.
-func (e *TreeEnumerator) Stats() Stats {
-	c := &circuit.Circuit{Root: e.f.Root.Box}
-	u, x, v := c.CountGates()
-	return Stats{
-		TranslatedStates: e.translatedStates,
-		AutomatonStates:  e.binary.NumStates,
-		CircuitWidth:     c.Width(),
-		Boxes:            c.NumBoxes(),
-		UnionGates:       u,
-		TimesGates:       x,
-		VarGates:         v,
-		TermHeight:       e.f.Root.Height,
-		BoxesRebuilt:     e.boxesRebuilt,
-		Rebalances:       e.f.Rebuilds,
-	}
-}
+func (e *TreeEnumerator) Stats() Stats { return e.eng.Snapshot().Stats() }

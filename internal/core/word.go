@@ -1,151 +1,75 @@
 package core
 
 import (
-	"fmt"
 	"iter"
 
-	"repro/internal/circuit"
-	"repro/internal/enumerate"
-	"repro/internal/forest"
+	"repro/internal/engine"
 	"repro/internal/tree"
 	"repro/internal/tva"
 )
 
-// WordEnumerator is the update-aware enumerator of Theorem 8.5: it
-// maintains the satisfying assignments of a word variable automaton on a
-// dynamic word under letter insertion, deletion and replacement.
+// WordEnumerator is the update-aware enumerator of Theorem 8.5, as a
+// single-threaded convenience wrapper over engine.WordEngine.
 type WordEnumerator struct {
-	w       *forest.Word
-	builder *circuit.Builder
-	opts    Options
-
-	translatedStates int
-	boxesRebuilt     int
+	eng *engine.WordEngine
 }
 
 // NewWordEnumerator preprocesses the word and the WVA (Corollary 8.4
 // translation, then the same pipeline as trees).
 func NewWordEnumerator(letters []tree.Label, query *tva.WVA, opts Options) (*WordEnumerator, error) {
-	ab, err := forest.TranslateWord(query)
+	eng, err := engine.NewWord(letters, query, opts)
 	if err != nil {
 		return nil, err
 	}
-	translated := ab.NumStates
-	hb := ab.Homogenize()
-	builder, err := circuit.NewBuilder(hb)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	w, err := forest.NewWord(letters)
-	if err != nil {
-		return nil, err
-	}
-	e := &WordEnumerator{w: w, builder: builder, opts: opts, translatedStates: translated}
-	e.refresh()
-	return e, nil
+	return &WordEnumerator{eng: eng}, nil
 }
 
-func (e *WordEnumerator) refresh() {
-	for _, n := range e.w.Drain() {
-		if n.IsLeaf() {
-			n.Box = e.builder.LeafBox(n.BinaryLabel(), n.TreeID)
-		} else {
-			n.Box = e.builder.InnerBox(n.BinaryLabel(), n.Left.Box, n.Right.Box)
-			n.Box.Node = -1
-		}
-		if e.opts.Mode == enumerate.ModeIndexed {
-			enumerate.BuildBoxIndex(n.Box)
-		}
-		e.boxesRebuilt++
-	}
-}
+// Engine exposes the underlying snapshot engine.
+func (e *WordEnumerator) Engine() *engine.WordEngine { return e.eng }
 
 // Word returns the current word content as (letter IDs, labels).
-func (e *WordEnumerator) Word() ([]tree.NodeID, []tree.Label) { return e.w.Letters() }
+func (e *WordEnumerator) Word() ([]tree.NodeID, []tree.Label) { return e.eng.Word() }
 
 // IDAt resolves a 0-based position to its stable letter ID in O(log n).
-func (e *WordEnumerator) IDAt(i int) (tree.NodeID, error) { return e.w.IDAt(i) }
+func (e *WordEnumerator) IDAt(i int) (tree.NodeID, error) { return e.eng.IDAt(i) }
 
 // Len returns the word length.
-func (e *WordEnumerator) Len() int { return e.w.Len() }
+func (e *WordEnumerator) Len() int { return e.eng.Len() }
 
 // Relabel replaces the letter with the given ID.
 func (e *WordEnumerator) Relabel(id tree.NodeID, l tree.Label) error {
-	if err := e.w.Relabel(id, l); err != nil {
-		return err
-	}
-	e.refresh()
-	return nil
+	_, err := e.eng.Relabel(id, l)
+	return err
 }
 
 // InsertAfter inserts a letter after the given ID.
 func (e *WordEnumerator) InsertAfter(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
-	v, err := e.w.InsertAfter(id, l)
-	if err != nil {
-		return 0, err
-	}
-	e.refresh()
-	return v, nil
+	v, _, err := e.eng.InsertAfter(id, l)
+	return v, err
 }
 
 // InsertBefore inserts a letter before the given ID.
 func (e *WordEnumerator) InsertBefore(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
-	v, err := e.w.InsertBefore(id, l)
-	if err != nil {
-		return 0, err
-	}
-	e.refresh()
-	return v, nil
+	v, _, err := e.eng.InsertBefore(id, l)
+	return v, err
 }
 
 // Delete removes a letter (the word must stay nonempty).
 func (e *WordEnumerator) Delete(id tree.NodeID) error {
-	if err := e.w.Delete(id); err != nil {
-		return err
-	}
-	e.refresh()
-	return nil
+	_, err := e.eng.Delete(id)
+	return err
 }
 
 // Results enumerates the satisfying assignments on the current word.
 func (e *WordEnumerator) Results() iter.Seq[tree.Assignment] {
-	rb := e.w.Root.Box
-	gamma, emptyOK := e.builder.RootAccepting(&circuit.Circuit{Root: rb})
-	return enumerate.Assignments(rb, gamma, emptyOK, e.opts.Mode)
+	return e.eng.Snapshot().Results()
 }
 
 // Count drains Results and returns the number of results.
-func (e *WordEnumerator) Count() int {
-	n := 0
-	for range e.Results() {
-		n++
-	}
-	return n
-}
+func (e *WordEnumerator) Count() int { return e.eng.Snapshot().Count() }
 
 // All materializes every result.
-func (e *WordEnumerator) All() []tree.Assignment {
-	var out []tree.Assignment
-	for a := range e.Results() {
-		out = append(out, a)
-	}
-	return out
-}
+func (e *WordEnumerator) All() []tree.Assignment { return e.eng.Snapshot().All() }
 
 // Stats reports structure sizes.
-func (e *WordEnumerator) Stats() Stats {
-	c := &circuit.Circuit{Root: e.w.Root.Box}
-	u, x, v := c.CountGates()
-	return Stats{
-		TranslatedStates: e.translatedStates,
-		AutomatonStates:  e.builder.A.NumStates,
-		CircuitWidth:     c.Width(),
-		Boxes:            c.NumBoxes(),
-		UnionGates:       u,
-		TimesGates:       x,
-		VarGates:         v,
-		TermHeight:       e.w.Root.Height,
-		BoxesRebuilt:     e.boxesRebuilt,
-		Rebalances:       e.w.Rebuilds,
-	}
-}
+func (e *WordEnumerator) Stats() Stats { return e.eng.Snapshot().Stats() }

@@ -1,0 +1,176 @@
+// Package engine is the snapshot-isolated dynamic enumeration engine:
+// the concurrent serving layer over the paper's pipeline (Theorems 8.1
+// and 8.5).
+//
+// The engine splits the pipeline into a single-writer / many-reader
+// architecture built on publication by snapshot:
+//
+//   - The WRITER side (Engine, specialized by TreeEngine and WordEngine)
+//     applies updates — single edits or batches — under a mutex. Each
+//     update flows through the forest layer's path-copying edits: fresh
+//     term nodes appear along the logarithmic hollowing trunk
+//     (Definition 7.2) while all untouched subtrees persist. The engine
+//     then rebuilds exactly the circuit boxes and index entries of the
+//     trunk (Lemma 7.3) as fresh, frozen (Box, BoxIndex) units and
+//     atomically publishes the new root as a Snapshot.
+//
+//   - The READER side (Snapshot) is lock-free: Engine.Snapshot is a
+//     single atomic pointer load, and everything reachable from a
+//     snapshot is immutable. Enumeration from a snapshot is therefore
+//     unaffected by any number of concurrent updates, restartable, and
+//     safe from any number of goroutines; later updates only make newer
+//     snapshots available, they never disturb an in-flight iteration.
+//
+// Batched updates (ApplyBatch) amortize the publication work: all edits
+// of a batch run back-to-back on the forest, the dirtied trunk is
+// deduplicated by Drain, and boxes shared by several edits' trunks are
+// rebuilt once instead of once per edit — one publication per batch.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/circuit"
+	"repro/internal/enumerate"
+	"repro/internal/forest"
+)
+
+// Options configure an engine.
+type Options struct {
+	// Mode selects the enumeration algorithm (default: ModeIndexed, the
+	// paper's algorithm). ModeNaive and ModeSimple are the baselines of
+	// experiments E1/E8.
+	Mode enumerate.Mode
+}
+
+// Source is the writer-side view of a maintained forest algebra term:
+// both forest.Forest (trees, Theorem 8.1) and forest.Word (words,
+// Theorem 8.5) implement it, which is what lets one engine core serve
+// both pipelines.
+type Source interface {
+	// TermRoot returns the current term root.
+	TermRoot() *forest.Node
+	// Drain returns the term nodes needing circuit-box (re)construction,
+	// children before parents, and resets the dirty list.
+	Drain() []*forest.Node
+	// DrainRetired returns the term nodes dropped from the term since
+	// the last call (their attachments can be released) and resets the
+	// list.
+	DrainRetired() []*forest.Node
+	// Rebalances returns the cumulative number of scapegoat rebuilds.
+	Rebalances() int
+}
+
+// Engine is the shared writer core: it owns the circuit builder, the
+// attachment of frozen (Box, BoxIndex) units to term nodes, and the
+// published snapshot. All mutation goes through Mutate, which serializes
+// writers; Snapshot is safe from any goroutine at any time.
+type Engine struct {
+	mu      sync.Mutex
+	src     Source
+	builder *circuit.Builder
+	mode    enumerate.Mode
+
+	// attach maps live term nodes to their frozen wrapper. Entries of
+	// term nodes retired by path copying are released eagerly after
+	// every rebuild (DrainRetired), so the map — and with it the set of
+	// superseded boxes the writer keeps alive — tracks the live term;
+	// published snapshots hold their own references and are unaffected.
+	attach map[*forest.Node]*enumerate.IndexedBox
+
+	snap atomic.Pointer[Snapshot]
+
+	version          uint64
+	boxesRebuilt     int
+	translatedStates int
+}
+
+// initEngine wires the shared fields and performs the initial build and
+// publication. Called by NewTree / NewWord with the freshly built source
+// (whose dirty list holds the whole term).
+func (e *Engine) initEngine(src Source, builder *circuit.Builder, translated int, opts Options) {
+	e.src = src
+	e.builder = builder
+	e.mode = opts.Mode
+	e.translatedStates = translated
+	e.attach = map[*forest.Node]*enumerate.IndexedBox{}
+	e.rebuildTrunk()
+	e.publish()
+}
+
+// Mutate runs edit under the writer lock, rebuilds the boxes and index
+// entries of the dirtied trunk bottom-up (Lemma 7.3), and atomically
+// publishes the resulting snapshot. The returned snapshot reflects
+// whatever the edit managed to apply, also when it returns an error
+// (forest edits are atomic, so a failed single edit publishes an
+// unchanged structure).
+func (e *Engine) Mutate(edit func() error) (*Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	err := edit()
+	e.rebuildTrunk()
+	return e.publish(), err
+}
+
+// Snapshot returns the currently published snapshot: one atomic load, no
+// locks. The result is immutable and remains fully usable — including
+// restartable enumeration — no matter how many updates are applied
+// afterwards.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// BoxesRebuilt returns the cumulative number of circuit boxes built,
+// including the initial construction (the update-work counter of the
+// amortization experiments).
+func (e *Engine) BoxesRebuilt() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.boxesRebuilt
+}
+
+// rebuildTrunk builds a fresh frozen (box, index) unit for every node of
+// the drained hollowing trunk, children before parents, sharing the
+// wrappers of all untouched subtrees (Lemma 7.3).
+func (e *Engine) rebuildTrunk() {
+	indexed := e.mode == enumerate.ModeIndexed
+	for _, n := range e.src.Drain() {
+		var ib *enumerate.IndexedBox
+		if n.IsLeaf() {
+			ib = enumerate.Wrap(e.builder.LeafBox(n.BinaryLabel(), n.TreeID), nil, nil, indexed)
+		} else {
+			l, r := e.attach[n.Left], e.attach[n.Right]
+			ib = enumerate.Wrap(e.builder.InnerBox(n.BinaryLabel(), -1, l.Box, r.Box), l, r, indexed)
+		}
+		e.attach[n] = ib
+		e.boxesRebuilt++
+	}
+	// Release the attachments of superseded trunk nodes right away:
+	// O(trunk) deletes, and the old boxes become garbage as soon as no
+	// snapshot references them. (Nodes created and dropped within the
+	// same batch were never attached; deleting them is a no-op.)
+	for _, n := range e.src.DrainRetired() {
+		delete(e.attach, n)
+	}
+}
+
+// publish assembles and atomically installs the snapshot for the current
+// term. O(poly |Q|): it touches only the root box.
+func (e *Engine) publish() *Snapshot {
+	root := e.attach[e.src.TermRoot()]
+	gamma, emptyOK := e.builder.RootAccepting(&circuit.Circuit{Root: root.Box})
+	e.version++
+	s := &Snapshot{
+		root:             root,
+		gamma:            gamma,
+		emptyOK:          emptyOK,
+		mode:             e.mode,
+		version:          e.version,
+		termHeight:       e.src.TermRoot().Height,
+		boxesRebuilt:     e.boxesRebuilt,
+		rebalances:       e.src.Rebalances(),
+		translatedStates: e.translatedStates,
+		automatonStates:  e.builder.A.NumStates,
+	}
+	e.snap.Store(s)
+	return s
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"iter"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/enumerate"
+	"repro/internal/tree"
+)
+
+// Stats reports sizes of the preprocessed structures and cumulative
+// update work, for the experiment harness. Counters are as of the
+// snapshot's publication.
+type Stats struct {
+	TranslatedStates int // |Q′| after trimming (before homogenization)
+	AutomatonStates  int // states of the homogenized binary TVA
+	CircuitWidth     int
+	Boxes            int
+	UnionGates       int
+	TimesGates       int
+	VarGates         int
+	TermHeight       int
+	BoxesRebuilt     int // cumulative, across all updates
+	Rebalances       int // scapegoat rebuilds in the term
+}
+
+// Snapshot is one published version of the enumeration structure: the
+// root of a frozen (box, index) tree plus the accepting boxed set of the
+// automaton on it. Everything reachable from a snapshot is immutable, so
+// all methods are safe from any number of goroutines, and an in-flight
+// enumeration is unaffected by updates applied to the engine after the
+// snapshot was taken.
+type Snapshot struct {
+	root    *enumerate.IndexedBox
+	gamma   bitset.Set
+	emptyOK bool
+	mode    enumerate.Mode
+
+	version          uint64
+	termHeight       int
+	boxesRebuilt     int
+	rebalances       int
+	translatedStates int
+	automatonStates  int
+
+	statsOnce sync.Once
+	stats     Stats
+}
+
+// Version returns the publication sequence number of the snapshot
+// (monotonically increasing per engine, starting at 1).
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Results enumerates the satisfying assignments of the query on this
+// version of the input, without duplicates, with delay O(|S|·poly(|Q|))
+// independent of |T| in the default indexed mode. The iteration may be
+// abandoned, restarted, and run concurrently with engine updates and
+// with other iterations of the same snapshot.
+func (s *Snapshot) Results() iter.Seq[tree.Assignment] {
+	return enumerate.Assignments(s.root, s.gamma, s.emptyOK, s.mode)
+}
+
+// Ropes is Results without materialization: assignments as shared ropes
+// (nil = the empty assignment).
+func (s *Snapshot) Ropes() iter.Seq[*enumerate.Rope] {
+	return enumerate.Ropes(s.root, s.gamma, s.emptyOK, s.mode)
+}
+
+// Count drains Results and returns the number of satisfying assignments.
+func (s *Snapshot) Count() int {
+	n := 0
+	for range s.Results() {
+		n++
+	}
+	return n
+}
+
+// NonEmpty reports whether at least one satisfying assignment exists; by
+// the delay bound it runs in time independent of |T| (indexed mode).
+func (s *Snapshot) NonEmpty() bool {
+	for range s.Results() {
+		return true
+	}
+	return false
+}
+
+// All materializes every result (test/benchmark helper).
+func (s *Snapshot) All() []tree.Assignment {
+	var out []tree.Assignment
+	for a := range s.Results() {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Accepting exposes the snapshot's root box together with its accepting
+// boxed set and empty-assignment flag, for algebraic evaluators (package
+// counting) that walk the frozen circuit directly.
+func (s *Snapshot) Accepting() (*circuit.Box, bitset.Set, bool) {
+	return s.root.Box, s.gamma, s.emptyOK
+}
+
+// Root returns the root of the snapshot's frozen wrapper tree.
+func (s *Snapshot) Root() *enumerate.IndexedBox { return s.root }
+
+// Stats reports structure sizes for this version. The circuit walk runs
+// once, lazily, on first call (so publishing a snapshot stays O(log n)).
+func (s *Snapshot) Stats() Stats {
+	s.statsOnce.Do(func() {
+		c := &circuit.Circuit{Root: s.root.Box}
+		u, x, v := c.CountGates()
+		s.stats = Stats{
+			TranslatedStates: s.translatedStates,
+			AutomatonStates:  s.automatonStates,
+			CircuitWidth:     c.Width(),
+			Boxes:            c.NumBoxes(),
+			UnionGates:       u,
+			TimesGates:       x,
+			VarGates:         v,
+			TermHeight:       s.termHeight,
+			BoxesRebuilt:     s.boxesRebuilt,
+			Rebalances:       s.rebalances,
+		}
+	})
+	return s.stats
+}

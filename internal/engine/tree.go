@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/forest"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// TreeEngine is the snapshot-isolated engine of Theorem 8.1: it
+// maintains the satisfying assignments of an unranked stepwise TVA on a
+// dynamic unranked tree. Edits (single or batched) go through the writer
+// API below; any number of goroutines read via Snapshot.
+type TreeEngine struct {
+	Engine
+	f     *forest.Forest
+	query *tva.Unranked
+}
+
+// NewTree preprocesses the tree and the query: it translates the
+// stepwise TVA to the term alphabet, homogenizes it, encodes the tree as
+// a balanced term, builds the assignment circuit and its index, and
+// publishes the first snapshot. Preprocessing is linear in |T| (up to
+// the balancing's O(log) factor documented in DESIGN.md) and polynomial
+// in |Q|.
+func NewTree(t *tree.Unranked, query *tva.Unranked, opts Options) (*TreeEngine, error) {
+	ab, err := forest.Translate(query)
+	if err != nil {
+		return nil, err
+	}
+	translated := ab.NumStates
+	hb := ab.Homogenize()
+	builder, err := circuit.NewBuilder(hb)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	e := &TreeEngine{f: forest.New(t), query: query}
+	e.initEngine(e.f, builder, translated, opts)
+	return e, nil
+}
+
+// Tree returns the underlying tree. It is owned by the writer: read it
+// only from the goroutine applying updates (concurrent readers should
+// work from snapshots, which are self-contained).
+func (e *TreeEngine) Tree() *tree.Unranked { return e.f.Tree }
+
+// Query returns the preprocessed query automaton.
+func (e *TreeEngine) Query() *tva.Unranked { return e.query }
+
+// Relabel implements relabel(n, l) with O(log|T|·poly(|Q|)) work and
+// publishes the resulting snapshot.
+func (e *TreeEngine) Relabel(id tree.NodeID, l tree.Label) (*Snapshot, error) {
+	return e.Mutate(func() error { return e.f.Relabel(id, l) })
+}
+
+// InsertFirstChild implements insert(n, l), returning the new node's ID
+// and the resulting snapshot.
+func (e *TreeEngine) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	var v tree.NodeID
+	s, err := e.Mutate(func() error {
+		var err error
+		v, err = e.f.InsertFirstChild(id, l)
+		return err
+	})
+	return v, s, err
+}
+
+// InsertRightSibling implements insertR(n, l), returning the new node's
+// ID and the resulting snapshot.
+func (e *TreeEngine) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	var v tree.NodeID
+	s, err := e.Mutate(func() error {
+		var err error
+		v, err = e.f.InsertRightSibling(id, l)
+		return err
+	})
+	return v, s, err
+}
+
+// Delete implements delete(n) for leaves and publishes the resulting
+// snapshot.
+func (e *TreeEngine) Delete(id tree.NodeID) (*Snapshot, error) {
+	return e.Mutate(func() error { return e.f.Delete(id) })
+}
+
+// ApplyBatch applies the updates in order under one writer-lock hold and
+// publishes ONE snapshot for the whole batch. Box and index repair is
+// amortized across the batch: trunk nodes dirtied by several edits are
+// rebuilt once, not once per edit, so k clustered edits cost well below
+// k single publications.
+//
+// The returned IDs give, per batch position, the node created by an
+// insert operation (-1 for relabels, deletes and unapplied positions;
+// node 0 is a valid ID, the root of parsed trees). On the first failing
+// update the batch stops; the edits already applied are still published
+// (each forest edit is atomic), and the error identifies the position.
+func (e *TreeEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error) {
+	ids := make([]tree.NodeID, len(batch))
+	for i := range ids {
+		ids[i] = -1
+	}
+	s, err := e.Mutate(func() error {
+		for i, u := range batch {
+			var v tree.NodeID
+			var err error
+			switch u.Op {
+			case OpRelabel:
+				err = e.f.Relabel(u.Node, u.Label)
+			case OpInsertFirstChild:
+				v, err = e.f.InsertFirstChild(u.Node, u.Label)
+			case OpInsertRightSibling:
+				v, err = e.f.InsertRightSibling(u.Node, u.Label)
+			case OpDelete:
+				err = e.f.Delete(u.Node)
+			default:
+				err = fmt.Errorf("engine: update %v is not a tree operation", u.Op)
+			}
+			if err != nil {
+				return fmt.Errorf("engine: batch update %d (%v n%d): %w", i, u.Op, u.Node, err)
+			}
+			if u.Op == OpInsertFirstChild || u.Op == OpInsertRightSibling {
+				ids[i] = v
+			}
+		}
+		return nil
+	})
+	return s, ids, err
+}

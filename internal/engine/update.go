@@ -1,0 +1,49 @@
+package engine
+
+import "repro/internal/tree"
+
+// UpdateOp identifies one edit operation of Definition 7.1 (trees) or
+// its word counterpart.
+type UpdateOp uint8
+
+const (
+	// OpRelabel replaces the label of a tree node / word letter.
+	OpRelabel UpdateOp = iota
+	// OpDelete removes a tree leaf / word letter.
+	OpDelete
+	// OpInsertFirstChild inserts a new first child (trees only).
+	OpInsertFirstChild
+	// OpInsertRightSibling inserts a new right sibling (trees only).
+	OpInsertRightSibling
+	// OpInsertAfter inserts a letter after the given one (words only).
+	OpInsertAfter
+	// OpInsertBefore inserts a letter before the given one (words only).
+	OpInsertBefore
+)
+
+// String returns the edit-language name of the operation.
+func (op UpdateOp) String() string {
+	switch op {
+	case OpRelabel:
+		return "relabel"
+	case OpDelete:
+		return "delete"
+	case OpInsertFirstChild:
+		return "insert"
+	case OpInsertRightSibling:
+		return "insertR"
+	case OpInsertAfter:
+		return "insertAfter"
+	case OpInsertBefore:
+		return "insertBefore"
+	}
+	return "?"
+}
+
+// Update is one edit of a batch: an operation, the node (or letter) it
+// targets, and the label for relabels and inserts.
+type Update struct {
+	Op    UpdateOp
+	Node  tree.NodeID
+	Label tree.Label
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/forest"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// WordEngine is the snapshot-isolated engine of Theorem 8.5: it
+// maintains the satisfying assignments of a word variable automaton on a
+// dynamic word under letter insertion, deletion and replacement.
+type WordEngine struct {
+	Engine
+	w *forest.Word
+}
+
+// NewWord preprocesses the word and the WVA (Corollary 8.4 translation,
+// then the same pipeline as trees) and publishes the first snapshot.
+func NewWord(letters []tree.Label, query *tva.WVA, opts Options) (*WordEngine, error) {
+	ab, err := forest.TranslateWord(query)
+	if err != nil {
+		return nil, err
+	}
+	translated := ab.NumStates
+	hb := ab.Homogenize()
+	builder, err := circuit.NewBuilder(hb)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	w, err := forest.NewWord(letters)
+	if err != nil {
+		return nil, err
+	}
+	e := &WordEngine{w: w}
+	e.initEngine(w, builder, translated, opts)
+	return e, nil
+}
+
+// Word returns the current word content as (letter IDs, labels).
+// Writer-side view: concurrent readers should work from snapshots.
+func (e *WordEngine) Word() ([]tree.NodeID, []tree.Label) { return e.w.Letters() }
+
+// IDAt resolves a 0-based position to its stable letter ID in O(log n).
+func (e *WordEngine) IDAt(i int) (tree.NodeID, error) { return e.w.IDAt(i) }
+
+// Len returns the word length.
+func (e *WordEngine) Len() int { return e.w.Len() }
+
+// Relabel replaces the letter with the given ID and publishes the
+// resulting snapshot.
+func (e *WordEngine) Relabel(id tree.NodeID, l tree.Label) (*Snapshot, error) {
+	return e.Mutate(func() error { return e.w.Relabel(id, l) })
+}
+
+// InsertAfter inserts a letter after the given ID.
+func (e *WordEngine) InsertAfter(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	var v tree.NodeID
+	s, err := e.Mutate(func() error {
+		var err error
+		v, err = e.w.InsertAfter(id, l)
+		return err
+	})
+	return v, s, err
+}
+
+// InsertBefore inserts a letter before the given ID.
+func (e *WordEngine) InsertBefore(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	var v tree.NodeID
+	s, err := e.Mutate(func() error {
+		var err error
+		v, err = e.w.InsertBefore(id, l)
+		return err
+	})
+	return v, s, err
+}
+
+// Delete removes a letter (the word must stay nonempty).
+func (e *WordEngine) Delete(id tree.NodeID) (*Snapshot, error) {
+	return e.Mutate(func() error { return e.w.Delete(id) })
+}
+
+// MoveRange is the bulk word update sketched in the paper's conclusion:
+// it moves the k letters starting at position from so that they follow
+// position dest of the remaining word (dest = -1 prepends). Letter IDs
+// are preserved. The whole move publishes ONE snapshot: the O(k·log n)
+// box repair is amortized over a single Drain, the same batching as
+// ApplyBatch.
+func (e *WordEngine) MoveRange(from, k, dest int) (*Snapshot, error) {
+	return e.Mutate(func() error { return e.w.MoveRange(from, k, dest) })
+}
+
+// ApplyBatch applies the letter updates in order under one writer-lock
+// hold and publishes ONE snapshot for the whole batch (see
+// TreeEngine.ApplyBatch for the amortization, -1-sentinel ID and error
+// contracts).
+func (e *WordEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error) {
+	ids := make([]tree.NodeID, len(batch))
+	for i := range ids {
+		ids[i] = -1
+	}
+	s, err := e.Mutate(func() error {
+		for i, u := range batch {
+			var v tree.NodeID
+			var err error
+			switch u.Op {
+			case OpRelabel:
+				err = e.w.Relabel(u.Node, u.Label)
+			case OpInsertAfter:
+				v, err = e.w.InsertAfter(u.Node, u.Label)
+			case OpInsertBefore:
+				v, err = e.w.InsertBefore(u.Node, u.Label)
+			case OpDelete:
+				err = e.w.Delete(u.Node)
+			default:
+				err = fmt.Errorf("engine: update %v is not a word operation", u.Op)
+			}
+			if err != nil {
+				return fmt.Errorf("engine: batch update %d (%v n%d): %w", i, u.Op, u.Node, err)
+			}
+			if u.Op == OpInsertAfter || u.Op == OpInsertBefore {
+				ids[i] = v
+			}
+		}
+		return nil
+	})
+	return s, ids, err
+}

@@ -11,13 +11,13 @@ import (
 // together with the full ∪-reachability relation R(B′, Γ) (rows: ∪-gates
 // of B′, columns: ∪-gates of Γ's box, populated only on Γ's columns).
 type BoxRelation struct {
-	Box *circuit.Box
+	Box *IndexedBox
 	R   bitset.Matrix
 }
 
 // BoxEnum enumerates, exactly once each, the interesting boxes for the
 // boxed set gamma of box b, i.e. the boxes B′ with ↓(Γ) ∩ B′ ≠ ∅.
-type BoxEnum func(b *circuit.Box, gamma bitset.Set) iter.Seq[BoxRelation]
+type BoxEnum func(b *IndexedBox, gamma bitset.Set) iter.Seq[BoxRelation]
 
 // interesting reports whether the box holds ↓-gates for the relation R:
 // some ∪-gate with a nonempty R-row has a local var- or ×-input.
@@ -46,31 +46,33 @@ func seedRelation(b *circuit.Box, gamma bitset.Set) bitset.Matrix {
 // NaiveBoxEnum is the straightforward implementation discussed in Section
 // 5: depth-first traversal of the tree of boxes carrying the relation
 // along, with delay proportional to the depth of the circuit. It is the
-// baseline of experiment E8.
-func NaiveBoxEnum(b *circuit.Box, gamma bitset.Set) iter.Seq[BoxRelation] {
+// baseline of experiment E8. It never touches the index, so it works on
+// wrappers built without one.
+func NaiveBoxEnum(b *IndexedBox, gamma bitset.Set) iter.Seq[BoxRelation] {
 	return func(yield func(BoxRelation) bool) {
-		naiveRec(b, seedRelation(b, gamma), yield)
+		naiveRec(b, seedRelation(b.Box, gamma), yield)
 	}
 }
 
-func naiveRec(b *circuit.Box, r bitset.Matrix, yield func(BoxRelation) bool) bool {
+func naiveRec(n *IndexedBox, r bitset.Matrix, yield func(BoxRelation) bool) bool {
+	b := n.Box
 	if interesting(b, r) {
-		if !yield(BoxRelation{b, r}) {
+		if !yield(BoxRelation{n, r}) {
 			return false
 		}
 	}
-	if b.IsLeaf() {
+	if n.IsLeaf() {
 		return true
 	}
 	rl := bitset.Compose(b.WLeft, r)
 	if !rl.Empty() {
-		if !naiveRec(b.Left, rl, yield) {
+		if !naiveRec(n.Left, rl, yield) {
 			return false
 		}
 	}
 	rr := bitset.Compose(b.WRight, r)
 	if !rr.Empty() {
-		if !naiveRec(b.Right, rr, yield) {
+		if !naiveRec(n.Right, rr, yield) {
 			return false
 		}
 	}
@@ -79,11 +81,11 @@ func naiveRec(b *circuit.Box, r bitset.Matrix, yield func(BoxRelation) bool) boo
 
 // IndexedBoxEnum is Algorithm 3 (Lemma 6.4): box enumeration with delay
 // O(w³) independent of the circuit depth, jumping with the fib/fbb
-// pointers of the index structure. BuildIndex must have run on the
-// circuit.
-func IndexedBoxEnum(b *circuit.Box, gamma bitset.Set) iter.Seq[BoxRelation] {
+// pointers of the index structure. The wrapper tree must have been built
+// with the index (Wrap withIndex / BuildIndex).
+func IndexedBoxEnum(b *IndexedBox, gamma bitset.Set) iter.Seq[BoxRelation] {
 	return func(yield func(BoxRelation) bool) {
-		indexedRec(b, seedRelation(b, gamma), yield)
+		indexedRec(b, seedRelation(b.Box, gamma), yield)
 	}
 }
 
@@ -92,8 +94,8 @@ func IndexedBoxEnum(b *circuit.Box, gamma bitset.Set) iter.Seq[BoxRelation] {
 // subtree of B. The explicit iteration over the bidirectional boxes on
 // the path from B to the first interesting box B1 plays the role of the
 // paper's tail-recursion elimination.
-func indexedRec(b *circuit.Box, r bitset.Matrix, yield func(BoxRelation) bool) bool {
-	idx := Index(b)
+func indexedRec(n *IndexedBox, r bitset.Matrix, yield func(BoxRelation) bool) bool {
+	idx := n.Index
 	gates := r.NonEmptyRows()
 
 	// Line 4: jump to the first interesting box B1 and output it.
@@ -108,13 +110,13 @@ func indexedRec(b *circuit.Box, r bitset.Matrix, yield func(BoxRelation) bool) b
 	}
 	// Lines 7-10: all interesting boxes strictly below B1.
 	if !b1.IsLeaf() {
-		rl := bitset.Compose(b1.WLeft, r1)
+		rl := bitset.Compose(b1.Box.WLeft, r1)
 		if !rl.Empty() {
 			if !indexedRec(b1.Left, rl, yield) {
 				return false
 			}
 		}
-		rr := bitset.Compose(b1.WRight, r1)
+		rr := bitset.Compose(b1.Box.WRight, r1)
 		if !rr.Empty() {
 			if !indexedRec(b1.Right, rr, yield) {
 				return false
@@ -134,15 +136,15 @@ func indexedRec(b *circuit.Box, r bitset.Matrix, yield func(BoxRelation) bool) b
 		}
 		bb := idx.Targets[fbb]
 		rb := bitset.Compose(idx.Rel[fbb], r)
-		rr := bitset.Compose(bb.WRight, rb)
+		rr := bitset.Compose(bb.Box.WRight, rb)
 		if !rr.Empty() {
 			if !indexedRec(bb.Right, rr, yield) {
 				return false
 			}
 		}
-		r = bitset.Compose(bb.WLeft, rb)
-		b = bb.Left
-		idx = Index(b)
+		r = bitset.Compose(bb.Box.WLeft, rb)
+		n = bb.Left
+		idx = n.Index
 		gates = r.NonEmptyRows()
 	}
 }

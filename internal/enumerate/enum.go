@@ -4,7 +4,6 @@ import (
 	"iter"
 
 	"repro/internal/bitset"
-	"repro/internal/circuit"
 	"repro/internal/tree"
 )
 
@@ -37,7 +36,7 @@ func boxEnumFor(m Mode) BoxEnum {
 // assignment its provenance Prov(S, Γ) = {g ∈ Γ | S ∈ S(g)} as a set of
 // local ∪-gate indices. The box enumeration strategy is a parameter
 // (Lemma 6.4 supplies the efficient one).
-func Boxwise(b *circuit.Box, gamma bitset.Set, be BoxEnum) iter.Seq2[*Rope, bitset.Set] {
+func Boxwise(b *IndexedBox, gamma bitset.Set, be BoxEnum) iter.Seq2[*Rope, bitset.Set] {
 	return func(yield func(*Rope, bitset.Set) bool) {
 		if gamma.Empty() {
 			return
@@ -54,7 +53,7 @@ func Boxwise(b *circuit.Box, gamma bitset.Set, be BoxEnum) iter.Seq2[*Rope, bits
 // 2): outputs the assignments of var gates of B′ whose ∪-wires reach Γ,
 // then recursively combines the ×-gates of B′.
 func boxwiseStep(br BoxRelation, be BoxEnum, yield func(*Rope, bitset.Set) bool) bool {
-	bp := br.Box
+	bp := br.Box.Box
 	// Provenance of each local ↓-gate: union of the R-rows of the
 	// ∪-gates it feeds (this is {h}∘W∘R(B′,Γ) from the paper).
 	for vi := range bp.Vars {
@@ -90,7 +89,7 @@ func boxwiseStep(br BoxRelation, be BoxEnum, yield func(*Rope, bitset.Set) bool)
 	}
 	// Lines 10-16: enumerate left factors, then for each the compatible
 	// right factors.
-	for sl, provL := range Boxwise(bp.Left, gammaL, be) {
+	for sl, provL := range Boxwise(br.Box.Left, gammaL, be) {
 		gammaR := bitset.NewSet(len(bp.Right.Unions))
 		liveT := make([]int32, 0, len(bp.Times))
 		for ti := range bp.Times {
@@ -102,7 +101,7 @@ func boxwiseStep(br BoxRelation, be BoxEnum, yield func(*Rope, bitset.Set) bool)
 		if len(liveT) == 0 {
 			continue
 		}
-		for sr, provR := range Boxwise(bp.Right, gammaR, be) {
+		for sr, provR := range Boxwise(br.Box.Right, gammaR, be) {
 			var prov bitset.Set
 			first := true
 			for _, ti := range liveT {
@@ -139,8 +138,10 @@ func gateProv(r bitset.Matrix, outs []int32) bitset.Set {
 
 // Ropes enumerates S(Γ) for the boxed set gamma of box b as ropes,
 // without duplicates (plus the empty assignment first if emptyOK), using
-// the given mode. A nil rope stands for the empty assignment.
-func Ropes(b *circuit.Box, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[*Rope] {
+// the given mode. A nil rope stands for the empty assignment. The
+// wrapper tree is only read, so any number of goroutines may run
+// independent enumerations from the same wrapper concurrently.
+func Ropes(b *IndexedBox, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[*Rope] {
 	return func(yield func(*Rope) bool) {
 		if emptyOK {
 			if !yield(nil) {
@@ -151,7 +152,7 @@ func Ropes(b *circuit.Box, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[*
 			return
 		}
 		if mode == ModeSimple {
-			for r := range Simple(b, gamma) {
+			for r := range Simple(b.Box, gamma) {
 				if !yield(r) {
 					return
 				}
@@ -168,7 +169,7 @@ func Ropes(b *circuit.Box, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[*
 
 // Assignments is like Ropes but materializes each assignment (the empty
 // assignment materializes to an empty, non-nil slice).
-func Assignments(b *circuit.Box, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[tree.Assignment] {
+func Assignments(b *IndexedBox, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[tree.Assignment] {
 	return func(yield func(tree.Assignment) bool) {
 		for r := range Ropes(b, gamma, emptyOK, mode) {
 			if r == nil {

@@ -29,10 +29,10 @@ func buildRandom(rng *rand.Rand, states, leaves int, vars tree.VarSet) (*circuit
 	return bd, c
 }
 
-// allBoxes lists the boxes of a circuit bottom-up.
-func allBoxes(c *circuit.Circuit) []*circuit.Box {
-	var out []*circuit.Box
-	c.Walk(func(b *circuit.Box) { out = append(out, b) })
+// allNodes lists the wrappers of an indexed circuit bottom-up.
+func allNodes(root *IndexedBox) []*IndexedBox {
+	var out []*IndexedBox
+	root.Walk(func(n *IndexedBox) { out = append(out, n) })
 	return out
 }
 
@@ -61,23 +61,23 @@ func TestModesMatchBruteForce(t *testing.T) {
 			continue
 		}
 		trials++
-		BuildIndex(c)
-		boxes := allBoxes(c)
+		root := BuildIndex(c)
+		boxes := allNodes(root)
 		// Pick a random box with ∪-gates and a random boxed set.
 		b := boxes[rng.Intn(len(boxes))]
-		if len(b.Unions) == 0 {
+		if len(b.Box.Unions) == 0 {
 			continue
 		}
-		gamma := bitset.NewSet(len(b.Unions))
-		for u := range b.Unions {
+		gamma := bitset.NewSet(len(b.Box.Unions))
+		for u := range b.Box.Unions {
 			if rng.Intn(2) == 0 {
 				gamma.Add(u)
 			}
 		}
 		if gamma.Empty() {
-			gamma.Add(rng.Intn(len(b.Unions)))
+			gamma.Add(rng.Intn(len(b.Box.Unions)))
 		}
-		want := wantSet(b, gamma)
+		want := wantSet(b.Box, gamma)
 		ev := circuit.NewEvaluator()
 
 		for _, mode := range []Mode{ModeIndexed, ModeNaive} {
@@ -93,9 +93,9 @@ func TestModesMatchBruteForce(t *testing.T) {
 					t.Fatalf("mode %d: spurious assignment %v", mode, asg)
 				}
 				// Provenance must be exactly {g ∈ Γ : S ∈ S(g)}.
-				wantProv := bitset.NewSet(len(b.Unions))
+				wantProv := bitset.NewSet(len(b.Box.Unions))
 				gamma.ForEach(func(u int) bool {
-					if _, ok := ev.Union(b, u)[k]; ok {
+					if _, ok := ev.Union(b.Box, u)[k]; ok {
 						wantProv.Add(u)
 					}
 					return true
@@ -111,7 +111,7 @@ func TestModesMatchBruteForce(t *testing.T) {
 
 		// Algorithm 1: same distinct set, duplicates allowed.
 		distinct := map[string]bool{}
-		for rope := range Simple(b, gamma) {
+		for rope := range Simple(b.Box, gamma) {
 			k := rope.Materialize().Key()
 			if _, ok := want[k]; !ok {
 				t.Fatalf("simple: spurious assignment %q", k)
@@ -136,24 +136,24 @@ func TestBoxEnumStrategiesAgree(t *testing.T) {
 			continue
 		}
 		trials++
-		BuildIndex(c)
-		boxes := allBoxes(c)
+		root := BuildIndex(c)
+		boxes := allNodes(root)
 		b := boxes[rng.Intn(len(boxes))]
-		if len(b.Unions) == 0 {
+		if len(b.Box.Unions) == 0 {
 			continue
 		}
-		gamma := bitset.NewSet(len(b.Unions))
-		for u := range b.Unions {
+		gamma := bitset.NewSet(len(b.Box.Unions))
+		for u := range b.Box.Unions {
 			if rng.Intn(2) == 0 {
 				gamma.Add(u)
 			}
 		}
 		if gamma.Empty() {
-			gamma.Add(rng.Intn(len(b.Unions)))
+			gamma.Add(rng.Intn(len(b.Box.Unions)))
 		}
 
-		naive := map[*circuit.Box]bitset.Matrix{}
-		var naiveOrder []*circuit.Box
+		naive := map[*IndexedBox]bitset.Matrix{}
+		var naiveOrder []*IndexedBox
 		for br := range NaiveBoxEnum(b, gamma) {
 			if _, dup := naive[br.Box]; dup {
 				t.Fatal("naive box-enum yielded a box twice")
@@ -161,7 +161,7 @@ func TestBoxEnumStrategiesAgree(t *testing.T) {
 			naive[br.Box] = br.R
 			naiveOrder = append(naiveOrder, br.Box)
 		}
-		indexed := map[*circuit.Box]bitset.Matrix{}
+		indexed := map[*IndexedBox]bitset.Matrix{}
 		first := true
 		for br := range IndexedBoxEnum(b, gamma) {
 			if _, dup := indexed[br.Box]; dup {
@@ -174,7 +174,7 @@ func TestBoxEnumStrategiesAgree(t *testing.T) {
 				// indexed enumeration's first output (fib property).
 				if len(naiveOrder) > 0 && naiveOrder[0] != br.Box {
 					t.Fatalf("indexed first box is not fib: got n%d, want n%d",
-						br.Box.Node, naiveOrder[0].Node)
+						br.Box.Box.Node, naiveOrder[0].Box.Node)
 				}
 			}
 		}
@@ -184,10 +184,10 @@ func TestBoxEnumStrategiesAgree(t *testing.T) {
 		for bx, r := range naive {
 			r2, ok := indexed[bx]
 			if !ok {
-				t.Fatalf("indexed missing box n%d", bx.Node)
+				t.Fatalf("indexed missing box n%d", bx.Box.Node)
 			}
 			if !r.Equal(r2) {
-				t.Fatalf("relation differs for box n%d:\nnaive:\n%sindexed:\n%s", bx.Node, r, r2)
+				t.Fatalf("relation differs for box n%d:\nnaive:\n%sindexed:\n%s", bx.Box.Node, r, r2)
 			}
 		}
 	}
@@ -212,7 +212,7 @@ func TestRootEnumerationMatchesAutomaton(t *testing.T) {
 		}
 		bt := tva.RandomBinaryTree(rng, 1+rng.Intn(6), alphaAB)
 		c := bd.Build(bt)
-		BuildIndex(c)
+		root := BuildIndex(c)
 		gamma, emptyOK := bd.RootAccepting(c)
 		want, err := a.SatisfyingAssignments(bt, 8)
 		if err != nil {
@@ -220,7 +220,7 @@ func TestRootEnumerationMatchesAutomaton(t *testing.T) {
 		}
 		for _, mode := range []Mode{ModeIndexed, ModeNaive} {
 			got := map[string]bool{}
-			for asg := range Assignments(c.Root, gamma, emptyOK, mode) {
+			for asg := range Assignments(root, gamma, emptyOK, mode) {
 				k := asg.Key()
 				if got[k] {
 					t.Fatalf("mode %d: duplicate %v", mode, asg)
@@ -276,18 +276,18 @@ func TestDeepChainJump(t *testing.T) {
 	}
 	bt.SetRoot(cur)
 	c := bd.Build(bt)
-	BuildIndex(c)
+	root := BuildIndex(c)
 	gamma, emptyOK := bd.RootAccepting(c)
 	if emptyOK {
 		t.Fatal("empty valuation should not be accepted")
 	}
 	n := 0
 	var boxesVisited int
-	for br := range IndexedBoxEnum(c.Root, gamma) {
+	for br := range IndexedBoxEnum(root, gamma) {
 		boxesVisited++
 		_ = br
 	}
-	for asg := range Assignments(c.Root, gamma, false, ModeIndexed) {
+	for asg := range Assignments(root, gamma, false, ModeIndexed) {
 		n++
 		if len(asg) != 1 {
 			t.Fatalf("assignment size %d", len(asg))
@@ -312,13 +312,13 @@ func TestIndexTargetsSmall(t *testing.T) {
 		if c == nil || c.Root == nil {
 			continue
 		}
-		BuildIndex(c)
+		root := BuildIndex(c)
 		w := c.Width()
 		bound := 6*w + 2
-		c.Walk(func(b *circuit.Box) {
-			idx := Index(b)
+		root.Walk(func(n *IndexedBox) {
+			idx := n.Index
 			if len(idx.Targets) > bound {
-				t.Fatalf("box n%d has %d targets > bound %d (w=%d)", b.Node, len(idx.Targets), bound, w)
+				t.Fatalf("box n%d has %d targets > bound %d (w=%d)", n.Box.Node, len(idx.Targets), bound, w)
 			}
 		})
 	}
@@ -342,13 +342,13 @@ func TestEmptyGammaAndEmptyFlag(t *testing.T) {
 	if c == nil || c.Root == nil {
 		t.Skip("degenerate")
 	}
-	BuildIndex(c)
+	root := BuildIndex(c)
 	empty := bitset.NewSet(len(c.Root.Unions))
-	got := collectSeq(Assignments(c.Root, empty, true, ModeIndexed))
+	got := collectSeq(Assignments(root, empty, true, ModeIndexed))
 	if len(got) != 1 || len(got[0]) != 0 {
 		t.Fatalf("want exactly the empty assignment, got %v", got)
 	}
-	got = collectSeq(Assignments(c.Root, empty, false, ModeIndexed))
+	got = collectSeq(Assignments(root, empty, false, ModeIndexed))
 	if len(got) != 0 {
 		t.Fatalf("want nothing, got %v", got)
 	}

@@ -7,6 +7,69 @@ import (
 	"repro/internal/circuit"
 )
 
+// IndexedBox pairs an immutable circuit box with the enumerate-layer
+// data attached to it: the tree structure mirroring the tree of boxes
+// and, when built in indexed mode, the per-box part of the index
+// structure I(C) of Definition 6.1. It is the typed replacement for the
+// untyped side field the circuit layer used to carry.
+//
+// An IndexedBox — like the box it wraps — is frozen after construction:
+// nothing reachable from it is ever modified. A box plus its index
+// therefore form a shareable unit, and the update machinery repairs the
+// index along a hollowing trunk by building fresh IndexedBox nodes over
+// the fresh boxes while reusing the wrappers of all untouched subtrees
+// (Lemma 7.3). Any number of goroutines may enumerate from the same
+// IndexedBox concurrently.
+type IndexedBox struct {
+	Box   *circuit.Box
+	Left  *IndexedBox
+	Right *IndexedBox
+	// Index is nil when the wrapper was built without the Definition 6.1
+	// index (ModeNaive / ModeSimple pipelines).
+	Index *BoxIndex
+}
+
+// IsLeaf reports whether the wrapped box is a leaf of the tree of boxes.
+func (n *IndexedBox) IsLeaf() bool { return n.Left == nil }
+
+// Walk visits every wrapper bottom-up (children before parents).
+func (n *IndexedBox) Walk(f func(*IndexedBox)) {
+	if n == nil {
+		return
+	}
+	n.Left.Walk(f)
+	n.Right.Walk(f)
+	f(n)
+}
+
+// Wrap builds the IndexedBox for a box whose children wrappers are given
+// (nil for leaf boxes); left and right must wrap b.Left and b.Right.
+// With withIndex set, the children must have been wrapped with an index
+// too, and the box's part of I(C) is computed from theirs (Lemma 6.3).
+func Wrap(b *circuit.Box, left, right *IndexedBox, withIndex bool) *IndexedBox {
+	n := &IndexedBox{Box: b, Left: left, Right: right}
+	if withIndex {
+		n.Index = buildBoxIndex(n)
+	}
+	return n
+}
+
+// WrapCircuit wraps a whole circuit bottom-up.
+func WrapCircuit(c *circuit.Circuit, withIndex bool) *IndexedBox {
+	var rec func(b *circuit.Box) *IndexedBox
+	rec = func(b *circuit.Box) *IndexedBox {
+		if b == nil {
+			return nil
+		}
+		return Wrap(b, rec(b.Left), rec(b.Right), withIndex)
+	}
+	return rec(c.Root)
+}
+
+// BuildIndex computes the index structure for the whole circuit bottom-up
+// (Lemma 6.3), returning the root wrapper.
+func BuildIndex(c *circuit.Circuit) *IndexedBox { return WrapCircuit(c, true) }
+
 // BoxIndex is the per-box part of the index structure I(C) of Definition
 // 6.1. For each box B it stores:
 //
@@ -30,7 +93,7 @@ import (
 // (Lemma 6.3), which is what makes the index repairable along a hollowing
 // trunk after updates (Lemma 7.3).
 type BoxIndex struct {
-	Targets []*circuit.Box
+	Targets []*IndexedBox
 	// side/childIdx locate each target: side 0 = the box itself (always
 	// target 0), 1 = a target of the left child, 2 = of the right child.
 	side     []int8
@@ -44,28 +107,19 @@ type BoxIndex struct {
 	FbbE []int16 // per ∪-gate: target position of the end of g's unbranched descent
 }
 
-// Index returns the BoxIndex stored on a box (panicking if the index has
-// not been built; callers must run BuildIndex or repair after updates).
-func Index(b *circuit.Box) *BoxIndex { return b.Index.(*BoxIndex) }
-
-// BuildIndex computes the index structure for the whole circuit bottom-up
-// (Lemma 6.3) and stores each box's part in Box.Index.
-func BuildIndex(c *circuit.Circuit) {
-	c.Walk(func(b *circuit.Box) { BuildBoxIndex(b) })
-}
-
 // targetKey identifies a prospective target during construction.
 type targetKey struct {
 	side int8
 	ci   int16
 }
 
-// BuildBoxIndex computes the index for one box from its children's
-// indexes (which must already be built) and stores it in b.Index.
-func BuildBoxIndex(b *circuit.Box) {
-	if b.IsLeaf() {
+// buildBoxIndex computes the index for one wrapper from its children's
+// indexes (which must already be built).
+func buildBoxIndex(n *IndexedBox) *BoxIndex {
+	b := n.Box
+	if n.IsLeaf() {
 		idx := &BoxIndex{
-			Targets:  []*circuit.Box{b},
+			Targets:  []*IndexedBox{n},
 			side:     []int8{0},
 			childIdx: []int16{0},
 			Rel:      []bitset.Matrix{bitset.Identity(len(b.Unions))},
@@ -79,11 +133,10 @@ func BuildBoxIndex(b *circuit.Box) {
 			idx.FbbF[g] = -1
 			idx.FbbE[g] = 0
 		}
-		b.Index = idx
-		return
+		return idx
 	}
-	li := Index(b.Left)
-	ri := Index(b.Right)
+	li := n.Left.Index
+	ri := n.Right.Index
 
 	// Step 1: raw per-gate values in (side, childIdx) form.
 	type fe struct{ f, e int16 } // child-level target positions; f may be -1
@@ -226,7 +279,7 @@ func BuildBoxIndex(b *circuit.Box) {
 		idx.childIdx = append(idx.childIdx, k.ci)
 		switch k.side {
 		case 0:
-			idx.Targets = append(idx.Targets, b)
+			idx.Targets = append(idx.Targets, n)
 			idx.Rel = append(idx.Rel, bitset.Identity(len(b.Unions)))
 		case 1:
 			idx.Targets = append(idx.Targets, li.Targets[k.ci])
@@ -240,11 +293,11 @@ func BuildBoxIndex(b *circuit.Box) {
 	}
 
 	// Step 5: lca table.
-	n := len(idx.Targets)
-	idx.Lca = make([][]int16, n)
-	for i := 0; i < n; i++ {
-		idx.Lca[i] = make([]int16, n)
-		for j := 0; j < n; j++ {
+	nt := len(idx.Targets)
+	idx.Lca = make([][]int16, nt)
+	for i := 0; i < nt; i++ {
+		idx.Lca[i] = make([]int16, nt)
+		for j := 0; j < nt; j++ {
 			si, sj := idx.side[i], idx.side[j]
 			switch {
 			case si == 0 || sj == 0 || si != sj:
@@ -292,7 +345,7 @@ func BuildBoxIndex(b *circuit.Box) {
 			panic("enumerate: fbb end target not materialized")
 		}
 	}
-	b.Index = idx
+	return idx
 }
 
 // sortTargets sorts target keys by preorder of the tree of boxes: the box

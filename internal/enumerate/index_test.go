@@ -118,9 +118,10 @@ func TestIndexFibFbbAgainstBruteForce(t *testing.T) {
 			continue
 		}
 		trials++
-		BuildIndex(c)
-		boxes := allBoxes(c)
-		b := boxes[rng.Intn(len(boxes))]
+		croot := BuildIndex(c)
+		nodes := allNodes(croot)
+		nb := nodes[rng.Intn(len(nodes))]
+		b := nb.Box
 		if len(b.Unions) == 0 {
 			continue
 		}
@@ -133,16 +134,16 @@ func TestIndexFibFbbAgainstBruteForce(t *testing.T) {
 		if gamma.Empty() {
 			gamma.Add(rng.Intn(len(b.Unions)))
 		}
-		idx := Index(b)
+		idx := nb.Index
 
 		wantFib := bruteFib(b, gamma)
 		gotFibPos := idx.FoldFib(gamma)
 		if wantFib == nil {
 			t.Fatal("every nonempty boxed set has an interesting box")
 		}
-		if idx.Targets[gotFibPos] != wantFib {
+		if idx.Targets[gotFibPos].Box != wantFib {
 			t.Fatalf("trial %d: fib mismatch: got %p want %p", trials,
-				idx.Targets[gotFibPos], wantFib)
+				idx.Targets[gotFibPos].Box, wantFib)
 		}
 
 		wantFbb := bruteFbb(b, gamma)
@@ -155,7 +156,7 @@ func TestIndexFibFbbAgainstBruteForce(t *testing.T) {
 			if gotFbbPos < 0 {
 				t.Fatalf("trial %d: fbb undefined, want %p", trials, wantFbb)
 			}
-			if idx.Targets[gotFbbPos] != wantFbb {
+			if idx.Targets[gotFbbPos].Box != wantFbb {
 				t.Fatalf("trial %d: fbb mismatch", trials)
 			}
 		}
@@ -163,7 +164,7 @@ func TestIndexFibFbbAgainstBruteForce(t *testing.T) {
 		// Reachability relations must match brute-force propagation.
 		reach := bruteReach(b, gamma)
 		for i, target := range idx.Targets {
-			wantGates, ok := reach[target]
+			wantGates, ok := reach[target.Box]
 			r := bitset.Compose(idx.Rel[i], seedRelation(b, gamma))
 			gotGates := r.NonEmptyRows()
 			if !ok {
@@ -184,44 +185,51 @@ func TestIndexFibFbbAgainstBruteForce(t *testing.T) {
 func TestIndexLcaTable(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	trials := 0
-	parent := func(bx *circuit.Box) *circuit.Box { return bx.Parent }
-	depth := func(bx *circuit.Box) int {
-		d := 0
-		for x := bx; x.Parent != nil; x = x.Parent {
-			d++
-		}
-		return d
-	}
-	lca := func(a, b *circuit.Box) *circuit.Box {
-		for depth(a) > depth(b) {
-			a = parent(a)
-		}
-		for depth(b) > depth(a) {
-			b = parent(b)
-		}
-		for a != b {
-			a, b = parent(a), parent(b)
-		}
-		return a
-	}
 	for trials < 100 {
 		_, c := buildRandom(rng, 1+rng.Intn(3), 1+rng.Intn(10), tree.NewVarSet(0))
 		if c == nil || c.Root == nil {
 			continue
 		}
 		trials++
-		BuildIndex(c)
-		for _, b := range allBoxes(c) {
-			idx := Index(b)
+		croot := BuildIndex(c)
+		// Wrappers carry no parent pointers; compute them by walking.
+		parents := map[*IndexedBox]*IndexedBox{}
+		croot.Walk(func(n *IndexedBox) {
+			if !n.IsLeaf() {
+				parents[n.Left] = n
+				parents[n.Right] = n
+			}
+		})
+		depth := func(n *IndexedBox) int {
+			d := 0
+			for x := n; parents[x] != nil; x = parents[x] {
+				d++
+			}
+			return d
+		}
+		lca := func(a, b *IndexedBox) *IndexedBox {
+			for depth(a) > depth(b) {
+				a = parents[a]
+			}
+			for depth(b) > depth(a) {
+				b = parents[b]
+			}
+			for a != b {
+				a, b = parents[a], parents[b]
+			}
+			return a
+		}
+		croot.Walk(func(n *IndexedBox) {
+			idx := n.Index
 			for i := range idx.Targets {
 				for j := range idx.Targets {
 					want := lca(idx.Targets[i], idx.Targets[j])
 					got := idx.Targets[idx.Lca[i][j]]
 					if got != want {
-						t.Fatalf("lca table wrong at box %p (%d, %d)", b, i, j)
+						t.Fatalf("lca table wrong at box %p (%d, %d)", n.Box, i, j)
 					}
 				}
 			}
-		}
+		})
 	}
 }

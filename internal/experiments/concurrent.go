@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/tree"
+	"repro/internal/workload"
+)
+
+// ConcurrentPoint is one row of the concurrent-readers baseline: the
+// aggregate enumeration throughput of `Readers` goroutines, each pulling
+// the latest snapshot and enumerating from it, while one writer applies
+// an uninterrupted stream of random single-node updates.
+type ConcurrentPoint struct {
+	Readers          int     `json:"readers"`
+	Results          int64   `json:"results"`            // results produced across all readers
+	Enumerations     int64   `json:"enumerations"`       // snapshot iterations completed
+	Updates          int64   `json:"updates"`            // writer updates applied during the window
+	DurationSeconds  float64 `json:"duration_seconds"`   // measurement window
+	ResultsPerSecond float64 `json:"results_per_second"` // aggregate throughput
+	SpeedupVsOne     float64 `json:"speedup_vs_one"`     // vs the 1-reader row
+}
+
+// ConcurrentBaseline is the machine-readable output of the
+// concurrent-readers experiment (written by cmd/benchtables as
+// BENCH_concurrent.json), the perf trajectory anchor for the snapshot
+// engine.
+type ConcurrentBaseline struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	TreeNodes  int               `json:"tree_nodes"`
+	Query      string            `json:"query"`
+	Points     []ConcurrentPoint `json:"points"`
+}
+
+// ConcurrentReaders measures aggregate snapshot-enumeration throughput
+// at 1, 4 and 16 readers under a concurrent update stream. Readers are
+// lock-free (each iteration is one atomic snapshot load plus a walk of
+// frozen structure), so on a multicore machine the aggregate throughput
+// scales with the reader count; the writer's updates never block or
+// disturb them.
+func ConcurrentReaders(quick bool) ConcurrentBaseline {
+	n := 20000
+	window := time.Second
+	if quick {
+		n = 2000
+		window = 200 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(77))
+	ut, err := workload.Tree(workload.ShapeRandom, n, rng)
+	if err != nil {
+		panic(err)
+	}
+	q := workload.AncestorQuery()
+
+	base := ConcurrentBaseline{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		TreeNodes:  n,
+		Query:      "ancestor (E1-E4 standing query)",
+	}
+	for _, readers := range []int{1, 4, 16} {
+		eng, err := engine.NewTree(ut.Clone(), q, engine.Options{})
+		if err != nil {
+			panic(err)
+		}
+		var (
+			results atomic.Int64
+			enums   atomic.Int64
+			updates atomic.Int64
+			stop    atomic.Bool
+			wg      sync.WaitGroup
+		)
+		// Writer: continuous random single updates.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ed := workload.NewEditor(treeMutator{eng}, rand.New(rand.NewSource(78)))
+			for !stop.Load() {
+				if err := ed.Step(); err != nil {
+					panic(err)
+				}
+				updates.Add(1)
+			}
+		}()
+		// Readers: latest snapshot, full enumeration, repeat.
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					k := int64(0)
+					for range eng.Snapshot().Results() {
+						k++
+					}
+					results.Add(k)
+					enums.Add(1)
+				}
+			}()
+		}
+		start := time.Now()
+		time.Sleep(window)
+		stop.Store(true)
+		wg.Wait()
+		dur := time.Since(start).Seconds()
+		base.Points = append(base.Points, ConcurrentPoint{
+			Readers:          readers,
+			Results:          results.Load(),
+			Enumerations:     enums.Load(),
+			Updates:          updates.Load(),
+			DurationSeconds:  dur,
+			ResultsPerSecond: float64(results.Load()) / dur,
+		})
+	}
+	for i := range base.Points {
+		base.Points[i].SpeedupVsOne = base.Points[i].ResultsPerSecond / base.Points[0].ResultsPerSecond
+	}
+	return base
+}
+
+// treeMutator adapts the engine's writer API (which returns snapshots)
+// to workload.TreeMutator.
+type treeMutator struct{ e *engine.TreeEngine }
+
+func (m treeMutator) Tree() *tree.Unranked { return m.e.Tree() }
+
+func (m treeMutator) Relabel(id tree.NodeID, l tree.Label) error {
+	_, err := m.e.Relabel(id, l)
+	return err
+}
+
+func (m treeMutator) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	v, _, err := m.e.InsertFirstChild(id, l)
+	return v, err
+}
+
+func (m treeMutator) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
+	v, _, err := m.e.InsertRightSibling(id, l)
+	return v, err
+}
+
+func (m treeMutator) Delete(id tree.NodeID) error {
+	_, err := m.e.Delete(id)
+	return err
+}
+
+// Table renders the baseline as a markdown table for the benchtables
+// output.
+func (b ConcurrentBaseline) Table() Table {
+	t := Table{
+		ID:     "C1",
+		Title:  "Concurrent snapshot readers under an update stream",
+		Claim:  fmt.Sprintf("lock-free readers scale with cores (GOMAXPROCS=%d); updates never block them", b.GOMAXPROCS),
+		Header: []string{"readers", "results/s", "speedup", "enumerations", "writer updates"},
+	}
+	for _, p := range b.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Readers),
+			fmt.Sprintf("%.0f", p.ResultsPerSecond),
+			fmt.Sprintf("%.2fx", p.SpeedupVsOne),
+			fmt.Sprint(p.Enumerations),
+			fmt.Sprint(p.Updates),
+		})
+	}
+	return t
+}

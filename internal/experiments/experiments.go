@@ -1,7 +1,7 @@
-// Package experiments implements the measurement harness behind
-// EXPERIMENTS.md: one function per experiment (E1-E10, T1, T2, F1, F2 in
-// DESIGN.md), each returning a table whose rows the paper's complexity
-// claims predict the shape of. cmd/benchtables prints them; bench_test.go
+// Package experiments implements the measurement harness: one function
+// per experiment (E1-E10, T1, T2, F1, C1 — indexed in DESIGN.md §4),
+// each returning a table whose rows the paper's complexity claims
+// predict the shape of. cmd/benchtables prints them; bench_test.go
 // wraps them as benchmarks.
 package experiments
 
@@ -479,14 +479,14 @@ func E8JumpAblation(quick bool) Table {
 		}
 		bt.SetRoot(cur)
 		c := bd.Build(bt)
-		enumerate.BuildIndex(c)
+		croot := enumerate.BuildIndex(c)
 		gamma, emptyOK := bd.RootAccepting(c)
 		measure := func(mode enumerate.Mode) (pass, first time.Duration) {
 			var passes, firsts []time.Duration
 			for p := 0; p < 30; p++ {
 				start := time.Now()
 				got1 := false
-				for range enumerate.Assignments(c.Root, gamma, emptyOK, mode) {
+				for range enumerate.Assignments(croot, gamma, emptyOK, mode) {
 					if !got1 {
 						firsts = append(firsts, time.Since(start))
 						got1 = true
@@ -708,7 +708,7 @@ func F1Order() Table {
 		panic(err)
 	}
 	c := bd.Build(bt)
-	enumerate.BuildIndex(c)
+	croot := enumerate.BuildIndex(c)
 	gamma, _ := bd.RootAccepting(c)
 	// Preorder ranks of boxes.
 	rank := map[*circuit.Box]int{}
@@ -723,10 +723,10 @@ func F1Order() Table {
 	}
 	pre(c.Root)
 	i := 0
-	for br := range enumerate.IndexedBoxEnum(c.Root, gamma) {
+	for br := range enumerate.IndexedBoxEnum(croot, gamma) {
 		i++
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(i), string(br.Box.Label), fmt.Sprint(rank[br.Box]),
+			fmt.Sprint(i), string(br.Box.Box.Label), fmt.Sprint(rank[br.Box.Box]),
 		})
 	}
 	return t

@@ -27,6 +27,10 @@ type Forest struct {
 	// created lists term nodes needing circuit-box (re)construction, in
 	// an order where children precede parents.
 	created []*Node
+	// retired lists term nodes dropped from the term by path copying
+	// since the last DrainRetired: the engine uses it to release the
+	// attachments (boxes, indexes) of superseded trunk nodes eagerly.
+	retired []*Node
 
 	// Height budget: rebuild a subterm when its height exceeds
 	// HeightFactor·log₂(weight+1) + HeightBase (scapegoat rule).
@@ -55,6 +59,32 @@ func New(t *tree.Unranked) *Forest {
 
 // record registers a node as created/modified for the dirty protocol.
 func (f *Forest) record(n *Node) { f.created = append(f.created, n) }
+
+// retire registers a node as dropped from the term. Shared subtrees are
+// never retired — only the nodes a path copy or rebuild actually
+// replaced. Nodes created and superseded within the same batch may be
+// retired too; consumers treat unknown nodes as a no-op.
+func (f *Forest) retire(n *Node) { f.retired = append(f.retired, n) }
+
+// retireSubterm retires a whole subterm (used when a scapegoat rebuild
+// replaces it with a freshly built cluster that shares nothing).
+func (f *Forest) retireSubterm(n *Node) {
+	if n == nil {
+		return
+	}
+	f.retireSubterm(n.Left)
+	f.retireSubterm(n.Right)
+	f.retired = append(f.retired, n)
+}
+
+// DrainRetired returns the nodes dropped from the term since the last
+// call and resets the list. Consumed by the dynamic engine right after
+// Drain, to release superseded attachments without delay.
+func (f *Forest) DrainRetired() []*Node {
+	out := f.retired
+	f.retired = nil
+	return out
+}
 
 // Drain returns the nodes whose circuit boxes must be rebuilt, children
 // before parents and deduplicated, and resets the dirty list. The
@@ -149,18 +179,16 @@ func (f *Forest) build(roots []*tree.UNode, hole *tree.UNode, sz map[tree.NodeID
 			// children changes the weights of its ancestors.
 			ctx := f.buildCluster(roots, w)
 			forestPart := f.buildCluster(children(w), nil)
-			op := f.newInner(ApplyVH, ctx, forestPart)
-			f.plugOp[w.ID] = op
-			return op
+			// newInner registers the ⊙VH node as plugOp[w] (w is ctx's hole).
+			return f.newInner(ApplyVH, ctx, forestPart)
 		}
 		// Context cluster: w must be a proper ancestor of the hole so
 		// that the children cluster of w still contains it.
 		w := chooseSplitContext(r, hole, sz)
 		upper := f.buildCluster(roots, w)
 		lower := f.buildCluster(children(w), hole)
-		op := f.newInner(ComposeVV, upper, lower)
-		f.plugOp[w.ID] = op
-		return op
+		// newInner registers the ⊙VV node as plugOp[w] (w is upper's hole).
+		return f.newInner(ComposeVV, upper, lower)
 	}
 	// Horizontal split at the most balanced tree boundary.
 	total := 0

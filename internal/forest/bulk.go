@@ -73,13 +73,13 @@ func (w *Word) MoveRange(from, k, dest int) error {
 			return err
 		}
 		// Restore the stable identity: remap the fresh leaf to the old
-		// ID so assignments referring to moved letters stay valid.
+		// ID so assignments referring to moved letters stay valid. The
+		// leaf was created by this very call, so it has not been drained
+		// or boxed yet and the pre-publication ID rewrite is safe.
 		leaf := w.leafOf[id]
 		delete(w.leafOf, id)
 		leaf.TreeID = movedIDs[i]
 		w.leafOf[movedIDs[i]] = leaf
-		leaf.Box = nil
-		w.recordPathToRoot(leaf)
 		prev = movedIDs[i]
 	}
 	return nil

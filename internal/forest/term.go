@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/circuit"
 	"repro/internal/tree"
 )
 
@@ -68,6 +67,17 @@ func (o Op) String() string {
 // Node is a node of a forest algebra term. Leaves correspond bijectively
 // to the nodes of the encoded unranked tree (the φ of Lemma 7.4); internal
 // nodes carry one of the five operators.
+//
+// Term nodes follow a persistence discipline: every edit produces fresh
+// nodes along the hollowing trunk (Definition 7.2) and shares all
+// untouched subtrees, instead of mutating nodes in place. A node's Op,
+// Label, TreeID, children and cached weights are therefore fixed once the
+// node has been handed out by Drain, which is what lets the dynamic
+// engine attach a frozen circuit box to each trunk node exactly once.
+// The Parent pointers are writer-side bookkeeping only: when a fresh
+// parent is built over a shared subtree, the subtree's Parent is
+// redirected to it (superseded nodes keep their stale chain, which is how
+// Drain detects them).
 type Node struct {
 	Op     Op
 	Label  tree.Label  // leaves: the tree label of the represented node
@@ -82,10 +92,6 @@ type Node struct {
 
 	Weight int // number of term leaves below (= tree nodes represented)
 	Height int
-
-	// Box is the circuit box attached to this term node by the dynamic
-	// engine (nil until built or after invalidation).
-	Box *circuit.Box
 }
 
 // IsLeaf reports whether the term node is a leaf (aᵗ or a□).
@@ -139,12 +145,17 @@ func (n *Node) update() {
 
 // newInner allocates an internal node, wiring parents and recomputing
 // weights; creation order is children first, which the dynamic engine
-// relies on for bottom-up box rebuilding.
+// relies on for bottom-up box rebuilding. Plug operations (⊙VH, ⊙VV)
+// register themselves in plugOp under their left operand's hole node, so
+// path copies of plug nodes keep the map current automatically.
 func (f *Forest) newInner(op Op, l, r *Node) *Node {
 	n := &Node{Op: op, Left: l, Right: r}
 	l.Parent = n
 	r.Parent = n
 	n.update()
+	if op == ApplyVH || op == ComposeVV {
+		f.plugOp[l.HoleNode] = n
+	}
 	f.record(n)
 	return n
 }

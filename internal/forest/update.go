@@ -8,51 +8,60 @@ import (
 
 // This file implements the edit operations of Definition 7.1 on the
 // maintained (tree, term) pair. Each edit performs O(1) local term
-// surgery at a leaf, refreshes weights/heights on the leaf-to-root path,
-// and, when the height budget of some subterm is exceeded, rebuilds the
-// topmost such subterm from the underlying tree cluster (the scapegoat
-// substitution for [30]'s rotations, see the package comment). The nodes
-// created or modified — the trunk of the tree hollowing of Definition
-// 7.2 — are recorded for Drain.
+// surgery at a leaf and then publishes the change by PATH COPYING: fresh
+// nodes are created along the leaf-to-root trunk while all untouched
+// subtrees are shared with the previous term version (exactly the shape
+// of the tree hollowings of Definition 7.2 — the trunk is new, the
+// □-leaves are reused). Superseded nodes are never modified, so circuit
+// boxes attached to them by the dynamic engine stay valid for readers
+// that captured the previous version. When the height budget of some
+// fresh subterm is exceeded, the topmost such subterm is rebuilt from the
+// underlying tree cluster (the scapegoat substitution for [30]'s
+// rotations, see the package comment). All fresh nodes are recorded for
+// Drain, children before parents.
 
-// replaceChild makes repl take old's place under parent (nil parent =
-// root). old's parent pointer is left dangling; callers capture parent
-// and side before any re-wiring.
-func (f *Forest) replaceAt(parent *Node, wasLeft bool, repl *Node) {
-	if parent == nil {
-		f.Root = repl
-		repl.Parent = nil
-		return
+// spliceUp publishes repl in place of the child slot (p, wasLeft): it
+// builds fresh copies of every node from p up to the root, sharing the
+// off-trunk siblings, and then applies the scapegoat rule to the fresh
+// path (repl itself included). p and wasLeft must be captured BEFORE
+// repl's construction re-targets any parent pointers; p == nil makes
+// repl the new root.
+func (f *Forest) spliceUp(p *Node, wasLeft bool, repl *Node) {
+	var scapegoat *Node
+	if repl.Height > f.heightBudget(repl.Weight) {
+		scapegoat = repl
 	}
-	if wasLeft {
-		parent.Left = repl
-	} else {
-		parent.Right = repl
+	for p != nil {
+		// Capture the next slot before newInner redirects any pointers.
+		np, nwasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
+		var nn *Node
+		if wasLeft {
+			nn = f.newInner(p.Op, repl, p.Right)
+		} else {
+			nn = f.newInner(p.Op, p.Left, repl)
+		}
+		if nn.Height > f.heightBudget(nn.Weight) {
+			scapegoat = nn
+		}
+		f.retire(p)
+		repl, p, wasLeft = nn, np, nwasLeft
 	}
-	repl.Parent = parent
+	f.Root = repl
+	repl.Parent = nil
+	if scapegoat != nil {
+		f.rebuildSubterm(scapegoat)
+	}
 }
 
-// bubble refreshes weights/heights from n's parent chain up to the root,
-// then applies the scapegoat rule: if any node on the path exceeds its
-// height budget, the topmost such subterm is rebuilt from the tree.
-func (f *Forest) bubble(n *Node) {
-	var scapegoat *Node
-	for x := n; x != nil; x = x.Parent {
-		if !x.IsLeaf() {
-			x.update()
-		}
-		if x.Height > f.heightBudget(x.Weight) {
-			scapegoat = x
-		}
-	}
-	if scapegoat == nil {
-		return
-	}
-	f.rebuildSubterm(scapegoat)
+// slotOf captures the parent slot of n for a later spliceUp.
+func slotOf(n *Node) (p *Node, wasLeft bool) {
+	return n.Parent, n.Parent != nil && n.Parent.Left == n
 }
 
 // rebuildSubterm replaces the subterm rooted at t by a freshly balanced
-// term for the same cluster, then refreshes the ancestors.
+// term for the same cluster, then publishes it by path copying. The
+// rebuilt term is within its height budget and path copies only shrink
+// heights, so the nested scapegoat check cannot cascade.
 func (f *Forest) rebuildSubterm(t *Node) {
 	f.Rebuilds++
 	f.RebuiltWeight += t.Weight
@@ -64,19 +73,15 @@ func (f *Forest) rebuildSubterm(t *Node) {
 			panic("forest: context subterm with missing hole node")
 		}
 	}
-	parent, wasLeft := t.Parent, t.Parent != nil && t.Parent.Left == t
+	p, wasLeft := slotOf(t)
 	nt := f.buildCluster(roots, hole)
 	if nt.IsContext() != t.IsContext() {
 		panic("forest: rebuild changed cluster type")
 	}
-	f.replaceAt(parent, wasLeft, nt)
-	for x := parent; x != nil; x = x.Parent {
-		x.update()
-	}
-	// Ancestors' boxes depend on the rebuilt child; mark them modified.
-	for x := parent; x != nil; x = x.Parent {
-		f.record(x)
-	}
+	// The fresh cluster shares nothing with the old subterm: every old
+	// node under t is dropped.
+	f.retireSubterm(t)
+	f.spliceUp(p, wasLeft, nt)
 }
 
 // clusterRoots returns the roots of the top-level sibling segment of the
@@ -99,24 +104,22 @@ func (f *Forest) clusterRoots(t *Node) []*tree.UNode {
 	return out
 }
 
-// recordPathToRoot marks every ancestor of n (inclusive) as needing a new
-// circuit box.
-func (f *Forest) recordPathToRoot(n *Node) {
-	for x := n; x != nil; x = x.Parent {
-		f.record(x)
-	}
-}
-
-// Relabel implements relabel(n, l): the term shape is unchanged, only the
-// leaf's label (and hence its box and all ancestor boxes).
+// Relabel implements relabel(n, l): the term shape is unchanged; a fresh
+// leaf (and fresh copies of its ancestors) replaces the old trunk.
 func (f *Forest) Relabel(id tree.NodeID, l tree.Label) error {
 	if err := f.Tree.Relabel(id, l); err != nil {
 		return err
 	}
-	leaf := f.leafOf[id]
-	leaf.Label = l
-	leaf.Box = nil
-	f.recordPathToRoot(leaf)
+	old := f.leafOf[id]
+	p, wasLeft := slotOf(old)
+	var leaf *Node
+	if old.Op == LeafCtx {
+		leaf = f.newLeafCtx(f.Tree.Node(id))
+	} else {
+		leaf = f.newLeafTree(f.Tree.Node(id))
+	}
+	f.retire(old)
+	f.spliceUp(p, wasLeft, leaf)
 	return nil
 }
 
@@ -131,18 +134,18 @@ func (f *Forest) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, er
 	if p.Op == LeafTree {
 		// n was childless: its aᵗ leaf becomes a□ plugged with the new
 		// singleton forest: ⊙VH(n□, vᵗ).
-		parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
+		pp, wasLeft := slotOf(p)
 		ctx := f.newLeafCtx(f.Tree.Node(id))
 		lv := f.newLeafTree(v)
 		ap := f.newInner(ApplyVH, ctx, lv)
-		f.plugOp[id] = ap
-		f.replaceAt(parent, wasLeft, ap)
-		f.recordPathToRoot(ap)
-		f.bubble(ap)
+		f.retire(p)
+		f.spliceUp(pp, wasLeft, ap)
 	} else {
 		// Children exist: prepend vᵗ to the subterm X that represents
-		// them (the right child of the plug operation of n).
+		// them (the right child of the plug operation of n). The plug
+		// node itself is copied, not modified.
 		op := f.plugOp[id]
+		pp, wasLeft := slotOf(op)
 		x := op.Right
 		lv := f.newLeafTree(v)
 		var nx *Node
@@ -151,10 +154,9 @@ func (f *Forest) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, er
 		} else {
 			nx = f.newInner(ConcatHH, lv, x)
 		}
-		op.Right = nx
-		nx.Parent = op
-		f.recordPathToRoot(nx)
-		f.bubble(nx)
+		nop := f.newInner(op.Op, op.Left, nx)
+		f.retire(op)
+		f.spliceUp(pp, wasLeft, nop)
 	}
 	return v.ID, nil
 }
@@ -169,7 +171,7 @@ func (f *Forest) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, 
 		return 0, err
 	}
 	s := f.leafOf[id]
-	parent, wasLeft := s.Parent, s.Parent != nil && s.Parent.Left == s
+	p, wasLeft := slotOf(s)
 	lv := f.newLeafTree(v)
 	var nn *Node
 	if s.IsContext() {
@@ -177,9 +179,7 @@ func (f *Forest) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, 
 	} else {
 		nn = f.newInner(ConcatHH, s, lv)
 	}
-	f.replaceAt(parent, wasLeft, nn)
-	f.recordPathToRoot(nn)
-	f.bubble(nn)
+	f.spliceUp(p, wasLeft, nn)
 	return v.ID, nil
 }
 
@@ -202,64 +202,56 @@ func (f *Forest) Delete(id tree.NodeID) error {
 		if sibling == s {
 			sibling = p.Right
 		}
-		parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
-		f.replaceAt(parent, wasLeft, sibling)
-		if parent != nil {
-			f.recordPathToRoot(parent)
-			f.bubble(parent)
-		}
+		gp, wasLeft := slotOf(p)
+		f.retire(s)
+		f.retire(p)
+		f.spliceUp(gp, wasLeft, sibling)
 	case ApplyVH:
 		// p = ⊙VH(C, nᵗ): n was the only child of C's hole node w, which
-		// now becomes childless: retype the hole path of C (a□ → aᵗ,
-		// ⊕HV/⊕VH → ⊕HH, ⊙VV → ⊙VH) and let C take p's place.
+		// now becomes childless: a fresh copy of C's hole path closes the
+		// hole (a□ → aᵗ, ⊕HV/⊕VH → ⊕HH, ⊙VV → ⊙VH) and takes p's place.
 		if p.Right != s {
 			panic("forest: tree leaf plugged on the left of ⊙VH")
 		}
 		c := p.Left
 		w := c.HoleNode
-		f.retypeHolePath(c, w)
+		gp, wasLeft := slotOf(p)
 		delete(f.plugOp, w)
-		parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
-		f.replaceAt(parent, wasLeft, c)
-		f.recordPathToRoot(c)
-		f.bubble(c)
+		nc := f.retypeHolePath(c, w)
+		f.retire(s)
+		f.retire(p)
+		f.spliceUp(gp, wasLeft, nc)
 	default:
 		panic(fmt.Sprintf("forest: leaf under unexpected operator %v", p.Op))
 	}
 	return nil
 }
 
-// retypeHolePath converts the context c whose hole is at tree node w into
-// the forest obtained by closing the hole: the a□ leaf of w becomes aᵗ,
-// and every operator on the hole path flips to its forest counterpart.
-// The path nodes are recorded bottom-up, as the dirty protocol requires.
-func (f *Forest) retypeHolePath(c *Node, w tree.NodeID) {
-	var path []*Node
-	x := c
-	for {
-		path = append(path, x)
-		x.Box = nil
-		if x.Op == LeafCtx {
-			x.Op = LeafTree
-			f.leafOf[w] = x
-			break
-		}
-		switch x.Op {
-		case ConcatHV:
-			x.Op = ConcatHH
-			x = x.Right
-		case ConcatVH:
-			x.Op = ConcatHH
-			x = x.Left
-		case ComposeVV:
-			x.Op = ApplyVH
-			x = x.Right
-		default:
-			panic("forest: malformed hole path")
-		}
-	}
-	for i := len(path) - 1; i >= 0; i-- {
-		path[i].update()
-		f.record(path[i])
+// retypeHolePath returns a fresh forest-typed copy of the context c with
+// its hole (at tree node w) closed: the a□ leaf of w becomes aᵗ, and
+// every operator on the hole path flips to its forest counterpart. Nodes
+// off the hole path are shared; the fresh nodes are recorded bottom-up,
+// as the dirty protocol requires.
+func (f *Forest) retypeHolePath(c *Node, w tree.NodeID) *Node {
+	f.retire(c)
+	switch c.Op {
+	case LeafCtx:
+		return f.newLeafTree(f.Tree.Node(w)) // re-registers leafOf[w]
+	case ConcatHV:
+		return f.newInner(ConcatHH, c.Left, f.retypeHolePath(c.Right, w))
+	case ConcatVH:
+		return f.newInner(ConcatHH, f.retypeHolePath(c.Left, w), c.Right)
+	case ComposeVV:
+		return f.newInner(ApplyVH, c.Left, f.retypeHolePath(c.Right, w))
+	default:
+		panic("forest: malformed hole path")
 	}
 }
+
+// TermRoot returns the root of the current term (dynamic-engine
+// interface, shared with Word).
+func (f *Forest) TermRoot() *Node { return f.Root }
+
+// Rebalances returns the number of scapegoat rebuilds performed so far
+// (dynamic-engine interface, shared with Word).
+func (f *Forest) Rebalances() int { return f.Rebuilds }

@@ -12,7 +12,10 @@ import (
 // Corollary 8.4: a word is a forest of single-node trees). Letters carry
 // stable IDs so that assignments survive edits at other positions. The
 // supported edits are the usual local ones: insert a letter, delete a
-// letter, replace (relabel) a letter.
+// letter, replace (relabel) a letter. Like Forest, edits publish fresh
+// nodes along the trunk by path copying and share untouched subtrees, so
+// circuit boxes attached to superseded nodes stay valid for concurrent
+// readers of older versions.
 type Word struct {
 	Root *Node
 
@@ -20,6 +23,7 @@ type Word struct {
 	nextID  tree.NodeID
 	size    int
 	created []*Node
+	retired []*Node
 
 	HeightFactor float64
 	HeightBase   int
@@ -55,6 +59,15 @@ func (w *Word) newLetter(l tree.Label) *Node {
 
 func (w *Word) record(n *Node) { w.created = append(w.created, n) }
 
+func (w *Word) retire(n *Node) { w.retired = append(w.retired, n) }
+
+// DrainRetired mirrors Forest.DrainRetired for the dynamic engine.
+func (w *Word) DrainRetired() []*Node {
+	out := w.retired
+	w.retired = nil
+	return out
+}
+
 // Drain mirrors Forest.Drain for the dynamic engine.
 func (w *Word) Drain() []*Node {
 	last := map[*Node]int{}
@@ -84,6 +97,10 @@ func (w *Word) attached(n *Node) bool {
 
 // TermRoot returns the root of the term (dynamic-engine interface).
 func (w *Word) TermRoot() *Node { return w.Root }
+
+// Rebalances returns the number of scapegoat rebuilds performed so far
+// (dynamic-engine interface).
+func (w *Word) Rebalances() int { return w.Rebuilds }
 
 // Len returns the current word length.
 func (w *Word) Len() int { return w.size }
@@ -148,42 +165,40 @@ func (w *Word) heightBudget(weight int) int {
 	return int(w.HeightFactor*math.Log2(float64(weight+1))) + w.HeightBase
 }
 
-func (w *Word) replaceAt(parent *Node, wasLeft bool, repl *Node) {
-	if parent == nil {
-		w.Root = repl
-		repl.Parent = nil
-		return
-	}
-	if wasLeft {
-		parent.Left = repl
-	} else {
-		parent.Right = repl
-	}
-	repl.Parent = parent
-}
-
-func (w *Word) recordPathToRoot(n *Node) {
-	for x := n; x != nil; x = x.Parent {
-		w.record(x)
-	}
-}
-
-func (w *Word) bubble(n *Node) {
+// spliceUp publishes repl in place of the child slot (p, wasLeft) by
+// path copying, mirroring Forest.spliceUp: fresh ⊕HH copies up to the
+// root, shared siblings, scapegoat rule applied to the fresh path.
+func (w *Word) spliceUp(p *Node, wasLeft bool, repl *Node) {
 	var scapegoat *Node
-	for x := n; x != nil; x = x.Parent {
-		if !x.IsLeaf() {
-			x.update()
-		}
-		if x.Height > w.heightBudget(x.Weight) {
-			scapegoat = x
-		}
+	if repl.Height > w.heightBudget(repl.Weight) {
+		scapegoat = repl
 	}
-	if scapegoat == nil {
-		return
+	for p != nil {
+		np, nwasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
+		var nn *Node
+		if wasLeft {
+			nn = w.newInner(repl, p.Right)
+		} else {
+			nn = w.newInner(p.Left, repl)
+		}
+		if nn.Height > w.heightBudget(nn.Weight) {
+			scapegoat = nn
+		}
+		w.retire(p)
+		repl, p, wasLeft = nn, np, nwasLeft
 	}
+	w.Root = repl
+	repl.Parent = nil
+	if scapegoat != nil {
+		w.rebuildSubterm(scapegoat)
+	}
+}
+
+// rebuildSubterm rebuilds the subterm over its letter leaves, which are
+// reused (their labels, and hence their circuit boxes, are unchanged),
+// then publishes the balanced replacement by path copying.
+func (w *Word) rebuildSubterm(t *Node) {
 	w.Rebuilds++
-	// Rebuild the subterm over its letter leaves, which are reused (their
-	// labels and hence their circuit boxes are unchanged).
 	var leaves []*Node
 	var rec func(x *Node)
 	rec = func(x *Node) {
@@ -193,26 +208,27 @@ func (w *Word) bubble(n *Node) {
 		}
 		rec(x.Left)
 		rec(x.Right)
+		w.retire(x) // inner nodes are replaced; the letter leaves are reused
 	}
-	rec(scapegoat)
-	parent, wasLeft := scapegoat.Parent, scapegoat.Parent != nil && scapegoat.Parent.Left == scapegoat
+	rec(t)
+	p, wasLeft := slotOf(t)
 	nt := w.buildBalanced(leaves)
-	w.replaceAt(parent, wasLeft, nt)
-	for x := nt.Parent; x != nil; x = x.Parent {
-		x.update()
-		w.record(x)
-	}
+	w.spliceUp(p, wasLeft, nt)
 }
 
-// Relabel replaces the letter with the given ID.
+// Relabel replaces the letter with the given ID: a fresh leaf with the
+// same stable ID takes the old one's place.
 func (w *Word) Relabel(id tree.NodeID, l tree.Label) error {
-	leaf, ok := w.leafOf[id]
+	old, ok := w.leafOf[id]
 	if !ok {
 		return fmt.Errorf("forest: letter %d does not exist", id)
 	}
-	leaf.Label = l
-	leaf.Box = nil
-	w.recordPathToRoot(leaf)
+	p, wasLeft := slotOf(old)
+	leaf := &Node{Op: LeafTree, Label: l, TreeID: id, Weight: 1, HoleNode: -1}
+	w.leafOf[id] = leaf
+	w.record(leaf)
+	w.retire(old)
+	w.spliceUp(p, wasLeft, leaf)
 	return nil
 }
 
@@ -233,7 +249,7 @@ func (w *Word) insertBeside(id tree.NodeID, l tree.Label, before bool) (tree.Nod
 	if !ok {
 		return 0, fmt.Errorf("forest: letter %d does not exist", id)
 	}
-	parent, wasLeft := s.Parent, s.Parent != nil && s.Parent.Left == s
+	p, wasLeft := slotOf(s)
 	lv := w.newLetter(l)
 	var nn *Node
 	if before {
@@ -241,10 +257,8 @@ func (w *Word) insertBeside(id tree.NodeID, l tree.Label, before bool) (tree.Nod
 	} else {
 		nn = w.newInner(s, lv)
 	}
-	w.replaceAt(parent, wasLeft, nn)
 	w.size++
-	w.recordPathToRoot(nn)
-	w.bubble(nn)
+	w.spliceUp(p, wasLeft, nn)
 	return lv.TreeID, nil
 }
 
@@ -263,13 +277,11 @@ func (w *Word) Delete(id tree.NodeID) error {
 	if sibling == s {
 		sibling = p.Right
 	}
-	parent, wasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
-	w.replaceAt(parent, wasLeft, sibling)
+	gp, wasLeft := slotOf(p)
 	delete(w.leafOf, id)
 	w.size--
-	if parent != nil {
-		w.recordPathToRoot(parent)
-		w.bubble(parent)
-	}
+	w.retire(s)
+	w.retire(p)
+	w.spliceUp(gp, wasLeft, sibling)
 	return nil
 }

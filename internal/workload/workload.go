@@ -1,7 +1,7 @@
 // Package workload provides the synthetic inputs of the experiment
 // harness: tree shapes, words, queries, and update streams. Every
-// experiment in EXPERIMENTS.md names the generator it uses, so results
-// are reproducible from seeds.
+// experiment (see DESIGN.md §4 and cmd/benchtables) names the generator
+// it uses, so results are reproducible from seeds.
 package workload
 
 import (
