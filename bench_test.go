@@ -475,6 +475,72 @@ func BenchmarkApplyBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkMultiQueryBatch mirrors experiment C2: one batched update
+// stream fanned out to k standing queries, a shared QuerySet (term work
+// once, k box repairs) vs k independent engines (everything k times).
+// cmd/benchtables -multiquery emits the same measurement as a
+// machine-readable JSON baseline.
+func BenchmarkMultiQueryBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	ut := mustTree(b, workload.ShapeRandom, 16000, rng)
+	nodes := ut.Nodes()
+	alpha := []tree.Label{"a", "b", "c"}
+	queries := []*tva.Unranked{
+		tva.SelectLabel(alpha, "a", 0),
+		tva.SelectLabel(alpha, "b", 0),
+		tva.SelectLabel(alpha, "c", 0),
+		workload.AncestorQuery(),
+	}
+	const batchLen = 8
+	mkBatch := func(wrng *rand.Rand) []engine.Update {
+		batch := make([]engine.Update, batchLen)
+		for i := range batch {
+			batch[i] = engine.Update{
+				Op:    engine.OpRelabel,
+				Node:  nodes[wrng.Intn(len(nodes))].ID,
+				Label: workload.Word(1, wrng)[0],
+			}
+		}
+		return batch
+	}
+	k := len(queries)
+	b.Run(fmt.Sprintf("shared/k=%d", k), func(b *testing.B) {
+		qs := engine.NewTreeSet(ut.Clone())
+		for _, q := range queries {
+			if _, err := qs.Register(q, engine.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wrng := rand.New(rand.NewSource(25))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := qs.ApplyBatch(mkBatch(wrng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("independent/k=%d", k), func(b *testing.B) {
+		engines := make([]*engine.TreeEngine, k)
+		for i, q := range queries {
+			e, err := engine.NewTree(ut.Clone(), q, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			engines[i] = e
+		}
+		wrng := rand.New(rand.NewSource(25))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := mkBatch(wrng)
+			for _, e := range engines {
+				if _, _, err := e.ApplyBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkFacadeQuickstart keeps the README flow honest under -bench.
 func BenchmarkFacadeQuickstart(b *testing.B) {
 	tr, err := enumtrees.ParseTree("(a (b) (a (b)))")

@@ -1,7 +1,8 @@
-// Command msoenum evaluates a query on a tree from the command line,
-// optionally replaying a stream of edits, re-enumerating after each. It
-// runs on the snapshot engine: every edit publishes a new snapshot and
-// the results are read from it.
+// Command msoenum evaluates one or more queries on a tree from the
+// command line, optionally replaying a stream of edits, re-enumerating
+// after each. It runs on the multi-query snapshot engine: all queries
+// stand on ONE maintained structure, every edit publishes ONE
+// MultiSnapshot covering them all, and the results are read from it.
 //
 // Usage:
 //
@@ -10,8 +11,10 @@
 //	        -edits 'relabel 0 m; relabel 2 s'
 //	msoenum -tree '(a (b))' -query select:b -batch \
 //	        -edits 'insert 0 b; relabel 1 a'
+//	msoenum -tree '(a (b) (c))' -query select:b -query select:c \
+//	        -edits 'relabel 2 b'       # two standing queries, shared trunk
 //
-// Queries:
+// Queries (-query is repeatable; each one becomes a standing query):
 //
 //	select:<label>              X0 selects a node with the label
 //	ancestor:<m>:<u>:<s>        special s-nodes with an m-labeled proper
@@ -26,9 +29,10 @@
 //	insertR <id> <label>     (right sibling)
 //	delete <id>
 //
-// With -batch the whole edit stream is applied as one Engine.ApplyBatch
+// With -batch the whole edit stream is applied as one QuerySet.ApplyBatch
 // call: a single publication, with box and index repair amortized across
-// the batch, and one enumeration at the end.
+// the batch (and the term work shared across all standing queries), and
+// one enumeration per query at the end.
 package main
 
 import (
@@ -49,10 +53,27 @@ func main() {
 	}
 }
 
+// queryList collects repeated -query flags.
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, ",") }
+
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
+// standing is one registered query: its CLI spec and its ID in the set.
+type standing struct {
+	spec string
+	id   enumtrees.QueryID
+}
+
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("msoenum", flag.ContinueOnError)
 	treeFlag := fs.String("tree", "", "tree as an S-expression, e.g. '(a (b))'")
-	queryFlag := fs.String("query", "", "query spec (see -help)")
+	var queryFlags queryList
+	fs.Var(&queryFlags, "query", "query spec (repeatable; see -help)")
 	editsFlag := fs.String("edits", "", "semicolon-separated edit stream")
 	batchFlag := fs.Bool("batch", false, "apply the edit stream as one batched update")
 	maxPrint := fs.Int("max", 20, "maximum results to print per enumeration")
@@ -61,25 +82,29 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	if *treeFlag == "" || *queryFlag == "" {
+	if *treeFlag == "" || len(queryFlags) == 0 {
 		fs.Usage()
-		return fmt.Errorf("-tree and -query are required")
+		return fmt.Errorf("-tree and at least one -query are required")
 	}
 	t, err := enumtrees.ParseTree(*treeFlag)
 	if err != nil {
 		return fmt.Errorf("tree: %w", err)
 	}
 	alphabet := collectLabels(t)
-	q, err := buildQuery(*queryFlag, alphabet)
-	if err != nil {
-		return fmt.Errorf("query: %w", err)
+	qs := enumtrees.NewQuerySet(t)
+	queries := make([]standing, 0, len(queryFlags))
+	for _, spec := range queryFlags {
+		q, err := buildQuery(spec, alphabet)
+		if err != nil {
+			return fmt.Errorf("query %q: %w", spec, err)
+		}
+		id, err := qs.Register(q, enumtrees.Options{})
+		if err != nil {
+			return fmt.Errorf("preprocess %q: %w", spec, err)
+		}
+		queries = append(queries, standing{spec: spec, id: id})
 	}
-	eng, err := enumtrees.NewEngine(t, q, enumtrees.Options{})
-	if err != nil {
-		return fmt.Errorf("preprocess: %w", err)
-	}
-	snap := eng.Snapshot()
-	printResults(w, snap, *maxPrint)
+	printAll(w, qs.Snapshot(), queries, *maxPrint)
 
 	if *editsFlag != "" {
 		var edits []string
@@ -97,30 +122,37 @@ func run(args []string, w io.Writer) error {
 				}
 				batch = append(batch, u)
 			}
-			snap, ids, err := eng.ApplyBatch(batch)
+			m, ids, err := qs.ApplyBatch(batch)
 			if err != nil {
 				return err
 			}
-			for i, id := range ids {
-				if batch[i].Op == enumtrees.OpInsertFirstChild || batch[i].Op == enumtrees.OpInsertRightSibling {
+			for _, id := range ids {
+				if id != enumtrees.InvalidNode {
 					fmt.Fprintf(w, "  (new node %d)\n", id)
 				}
 			}
-			fmt.Fprintf(w, "\nafter batch of %d edits (snapshot v%d): %s\n", len(batch), snap.Version(), t)
-			printResults(w, snap, *maxPrint)
+			fmt.Fprintf(w, "\nafter batch of %d edits (snapshot v%d): %s\n", len(batch), m.Version(), t)
+			printAll(w, m, queries, *maxPrint)
 		} else {
 			for _, ed := range edits {
-				snap, err := applyEdit(w, eng, ed)
+				m, err := applyEdit(w, qs, ed)
 				if err != nil {
 					return fmt.Errorf("edit %q: %w", ed, err)
 				}
 				fmt.Fprintf(w, "\nafter %q: %s\n", ed, t)
-				printResults(w, snap, *maxPrint)
+				printAll(w, m, queries, *maxPrint)
 			}
 		}
 	}
 	if *statsFlag {
-		fmt.Fprintf(w, "\nstats: %+v\n", eng.Snapshot().Stats())
+		m := qs.Snapshot()
+		for _, q := range queries {
+			if len(queries) == 1 {
+				fmt.Fprintf(w, "\nstats: %+v\n", m.Query(q.id).Stats())
+			} else {
+				fmt.Fprintf(w, "\nstats [%s]: %+v\n", q.spec, m.Query(q.id).Stats())
+			}
+		}
 	}
 	return nil
 }
@@ -228,28 +260,39 @@ func parseEdit(ed string) (enumtrees.Update, error) {
 	return u, nil
 }
 
-func applyEdit(w io.Writer, eng *enumtrees.Engine, ed string) (*enumtrees.Snapshot, error) {
+func applyEdit(w io.Writer, qs *enumtrees.QuerySet, ed string) (*enumtrees.MultiSnapshot, error) {
 	u, err := parseEdit(ed)
 	if err != nil {
 		return nil, err
 	}
 	switch u.Op {
 	case enumtrees.OpRelabel:
-		return eng.Relabel(u.Node, u.Label)
+		return qs.Relabel(u.Node, u.Label)
 	case enumtrees.OpInsertFirstChild:
-		v, snap, err := eng.InsertFirstChild(u.Node, u.Label)
+		v, m, err := qs.InsertFirstChild(u.Node, u.Label)
 		if err == nil {
 			fmt.Fprintf(w, "  (new node %d)\n", v)
 		}
-		return snap, err
+		return m, err
 	case enumtrees.OpInsertRightSibling:
-		v, snap, err := eng.InsertRightSibling(u.Node, u.Label)
+		v, m, err := qs.InsertRightSibling(u.Node, u.Label)
 		if err == nil {
 			fmt.Fprintf(w, "  (new node %d)\n", v)
 		}
-		return snap, err
+		return m, err
 	default:
-		return eng.Delete(u.Node)
+		return qs.Delete(u.Node)
+	}
+}
+
+// printAll prints each standing query's results; with several queries
+// every block is prefixed by the query's spec.
+func printAll(w io.Writer, m *enumtrees.MultiSnapshot, queries []standing, max int) {
+	for _, q := range queries {
+		if len(queries) > 1 {
+			fmt.Fprintf(w, "[%s]\n", q.spec)
+		}
+		printResults(w, m.Query(q.id), max)
 	}
 }
 

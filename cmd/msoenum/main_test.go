@@ -48,6 +48,35 @@ func TestBatchMode(t *testing.T) {
 	}
 }
 
+// TestMultiQuery runs two standing queries over one edit stream: both
+// blocks must appear, labeled, and both must see the edit.
+func TestMultiQuery(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (c))", "-query", "select:b", "-query", "select:c",
+		"-edits", "relabel 2 b")
+	if !strings.Contains(out, "[select:b]") || !strings.Contains(out, "[select:c]") {
+		t.Fatalf("missing per-query headers:\n%s", out)
+	}
+	// After the relabel the c-query must be empty and the b-query must
+	// have both nodes.
+	tail := out[strings.Index(out, "after"):]
+	if !strings.Contains(tail, "2 result(s)") || !strings.Contains(tail, "0 result(s)") {
+		t.Fatalf("unexpected post-edit counts:\n%s", out)
+	}
+}
+
+// TestMultiQueryBatch applies a batch with several standing queries: one
+// publication, every query re-answered.
+func TestMultiQueryBatch(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b))", "-query", "select:b", "-query", "select:a", "-batch",
+		"-edits", "insert 0 b; relabel 1 a", "-stats")
+	if !strings.Contains(out, "after batch of 2 edits (snapshot v3)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "stats [select:b]:") || !strings.Contains(out, "stats [select:a]:") {
+		t.Fatalf("missing per-query stats:\n%s", out)
+	}
+}
+
 // TestErrors covers flag validation and bad edits.
 func TestErrors(t *testing.T) {
 	var buf bytes.Buffer

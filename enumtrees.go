@@ -49,6 +49,21 @@
 //	    {Op: enumtrees.OpRelabel, Node: 1, Label: "b"},
 //	    {Op: enumtrees.OpInsertFirstChild, Node: 0, Label: "a"},
 //	})
+//
+// # Many standing queries on one document
+//
+// A QuerySet serves any number of standing queries over the same
+// document from ONE update stream: the term/forest maintenance of each
+// edit is paid once, shared by all queries, and each publication is a
+// MultiSnapshot answering every query on the same version. Queries
+// register and unregister at runtime.
+//
+//	qs := enumtrees.NewQuerySet(t)
+//	q1, _ := qs.Register(query1, enumtrees.Options{})
+//	q2, _ := qs.Register(query2, enumtrees.Options{})
+//	m, _, _ := qs.ApplyBatch(batch)   // one publication for all queries
+//	for asg := range m.Query(q1).Results() { use(asg) }
+//	for asg := range m.Query(q2).Results() { use(asg) }
 package enumtrees
 
 import (
@@ -156,11 +171,13 @@ type Stats = core.Stats
 // readers: every update publishes a fresh immutable Snapshot while older
 // snapshots — including in-flight enumerations from them — stay valid.
 type (
-	// Engine is the concurrent tree engine (Theorem 8.1 + snapshots).
+	// Engine is the concurrent tree engine (Theorem 8.1 + snapshots),
+	// serving one standing query; QuerySet serves many.
 	Engine = engine.TreeEngine
 	// WordEngine is the concurrent word engine (Theorem 8.5 + snapshots).
 	WordEngine = engine.WordEngine
-	// Snapshot is one immutable published version of the structure.
+	// Snapshot is one immutable published version of one query's
+	// structure.
 	Snapshot = engine.Snapshot
 	// Update is one edit of a batch for Engine.ApplyBatch /
 	// WordEngine.ApplyBatch.
@@ -168,6 +185,43 @@ type (
 	// UpdateOp identifies the operation of an Update.
 	UpdateOp = engine.UpdateOp
 )
+
+// Multi-query engine API: one document, one update stream, many standing
+// queries. The term/forest work of every edit is shared across all
+// registered queries; only the logarithmic box/index repair scales with
+// the query count. Queries register and unregister at runtime, and each
+// publication is a MultiSnapshot — a consistent version of EVERY
+// standing query, taken with one atomic load.
+//
+//	qs := enumtrees.NewQuerySet(t)
+//	figs, _ := qs.Register(figQuery, enumtrees.Options{})
+//	secs, _ := qs.Register(secQuery, enumtrees.Options{})
+//	m, _ := qs.Relabel(3, "sec")        // ONE publication for both queries
+//	for a := range m.Query(figs).Results() { ... }
+//	for a := range m.Query(secs).Results() { ... }
+type (
+	// QuerySet is the multi-query tree engine.
+	QuerySet = engine.TreeSet
+	// WordQuerySet is the multi-query word engine.
+	WordQuerySet = engine.WordSet
+	// QueryID identifies a registered query within a QuerySet.
+	QueryID = engine.QueryID
+	// MultiSnapshot is one published version of every standing query.
+	MultiSnapshot = engine.MultiSnapshot
+)
+
+// InvalidNode is the sentinel NodeID meaning "no node" (unapplied batch
+// positions, not-yet-found searches). Real IDs are never negative.
+const InvalidNode = tree.InvalidNode
+
+// NewQuerySet preprocesses a tree into a multi-query engine with no
+// queries registered yet; add standing queries with Register.
+func NewQuerySet(t *Tree) *QuerySet { return engine.NewTreeSet(t) }
+
+// NewWordQuerySet preprocesses a word into a multi-query engine.
+func NewWordQuerySet(letters []Label) (*WordQuerySet, error) {
+	return engine.NewWordSet(letters)
+}
 
 // Batch update operations.
 const (

@@ -37,6 +37,71 @@ func TestQuickstart(t *testing.T) {
 	}
 }
 
+// TestQuerySetFacade exercises the multi-query flow through the public
+// API: two standing queries, one batched publication, late
+// registration, unregister, and the InvalidNode sentinel.
+func TestQuerySetFacade(t *testing.T) {
+	tr, err := enumtrees.ParseTree("(a (b) (c (b)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := []enumtrees.Label{"a", "b", "c"}
+	qs := enumtrees.NewQuerySet(tr)
+	qb, err := qs.Register(enumtrees.SelectLabel(alpha, "b", 0), enumtrees.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, err := qs.Register(enumtrees.SelectLabel(alpha, "c", 0), enumtrees.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, ids, err := qs.ApplyBatch([]enumtrees.Update{
+		{Op: enumtrees.OpInsertFirstChild, Node: tr.Root.ID, Label: "c"},
+		{Op: enumtrees.OpRelabel, Node: 1, Label: "a"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[0] == enumtrees.InvalidNode || ids[1] != enumtrees.InvalidNode {
+		t.Fatalf("batch ids = %v", ids)
+	}
+	if got := m.Query(qb).Count(); got != 1 {
+		t.Fatalf("b-query count = %d, want 1", got)
+	}
+	if got := m.Query(qc).Count(); got != 2 {
+		t.Fatalf("c-query count = %d, want 2", got)
+	}
+
+	// Late registration sees the edited document.
+	qa, err := qs.Register(enumtrees.SelectLabel(alpha, "a", 0), enumtrees.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qs.Snapshot().Query(qa).Count(); got != 2 {
+		t.Fatalf("late a-query count = %d, want 2", got)
+	}
+
+	// Unregister drops the query from the next publication on; the old
+	// snapshot still answers it.
+	if err := qs.Unregister(qc); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := qs.Relabel(tr.Root.ID, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Query(qc) != nil {
+		t.Fatal("unregistered query still published")
+	}
+	if m.Query(qc).Count() != 2 {
+		t.Fatal("old snapshot lost the unregistered query")
+	}
+	if got, want := len(m2.Queries()), 2; got != want {
+		t.Fatalf("standing queries = %d, want %d", got, want)
+	}
+}
+
 // TestMSOEndToEnd exercises the MSO facade.
 func TestMSOEndToEnd(t *testing.T) {
 	alpha := []enumtrees.Label{"dir", "file"}

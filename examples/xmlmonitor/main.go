@@ -1,10 +1,21 @@
-// Command xmlmonitor maintains an MSO query over a mutating XML-like
-// document: "report every section that contains a figure without a
-// caption". The query is written as an MSO formula (Corollary 8.3),
-// compiled once to a tree automaton, and kept up to date through edits
-// in logarithmic time — the scenario the paper's introduction motivates
-// for tree-shaped data. The bulk-grow phase uses the engine's batched
-// updates: 500 figure+caption pairs are published as one snapshot.
+// Command xmlmonitor maintains SEVERAL standing monitors over one
+// mutating XML-like document — the fan-out scenario the paper's
+// introduction motivates: one update stream, many subscribers. The
+// monitors share a single QuerySet engine, so the term maintenance of
+// every edit is paid once; each monitor only adds its own logarithmic
+// box repair. The session shows:
+//
+//   - an MSO monitor ("every figure without a caption", Corollary 8.3),
+//   - a path monitor ("figures directly under a section", compiled to a
+//     compact nondeterministic automaton),
+//   - a monitor REGISTERED LATE, halfway through the session, against
+//     the already-edited document (it answers as if it had been standing
+//     from the start),
+//   - unregistering a monitor while the others keep serving.
+//
+// The bulk-grow phase uses the engine's batched updates: 500
+// figure+caption pairs are published as one MultiSnapshot covering every
+// monitor.
 package main
 
 import (
@@ -19,7 +30,7 @@ import (
 
 var alpha = []enumtrees.Label{"doc", "sec", "par", "fig", "caption"}
 
-func report(w io.Writer, snap *enumtrees.Snapshot, t *enumtrees.Tree) {
+func reportUncaptioned(w io.Writer, snap *enumtrees.Snapshot, t *enumtrees.Tree) {
 	n := 0
 	for asg := range snap.Results() {
 		node := t.Node(asg[0].Node)
@@ -30,6 +41,10 @@ func report(w io.Writer, snap *enumtrees.Snapshot, t *enumtrees.Tree) {
 	if n == 0 {
 		fmt.Fprintln(w, "  all figures captioned ✓")
 	}
+}
+
+func reportCount(w io.Writer, name string, snap *enumtrees.Snapshot) {
+	fmt.Fprintf(w, "  [%s] %d match(es)\n", name, snap.Count())
 }
 
 func main() {
@@ -59,28 +74,42 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, err := enumtrees.NewEngine(t, q, enumtrees.Options{})
+
+	// One QuerySet serves every monitor; the term work of each edit below
+	// is shared by all of them.
+	qs := enumtrees.NewQuerySet(t)
+	uncap, err := qs.Register(q, enumtrees.Options{})
 	if err != nil {
 		return err
 	}
+	secFigs, err := qs.Register(
+		enumtrees.MustCompilePath("/doc/sec/fig", alpha, 0), enumtrees.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "standing monitors: %d (uncaptioned figures, /doc/sec/fig)\n", len(qs.Queries()))
 
+	m := qs.Snapshot()
 	fmt.Fprintln(w, "initial document:", t)
-	report(w, eng.Snapshot(), t)
+	reportUncaptioned(w, m.Query(uncap), t)
+	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 
 	// An editing session: captions appear and disappear, figures are
-	// added; after each edit the standing query re-answers instantly.
-	var uncaptioned enumtrees.NodeID = -1
+	// added; after each edit every standing monitor re-answers instantly
+	// from the same MultiSnapshot.
+	uncaptioned := enumtrees.InvalidNode
 	for _, n := range t.Nodes() {
 		if n.Label == "fig" && n.IsLeaf() {
 			uncaptioned = n.ID
 		}
 	}
 	fmt.Fprintln(w, "\nedit: caption the bare figure")
-	_, capSnap, err := eng.InsertFirstChild(uncaptioned, "caption")
+	_, m, err = qs.InsertFirstChild(uncaptioned, "caption")
 	if err != nil {
 		return err
 	}
-	report(w, capSnap, t)
+	reportUncaptioned(w, m.Query(uncap), t)
+	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 
 	fmt.Fprintln(w, "\nedit: grow the document with 500 random captioned figures (batched)")
 	rng := rand.New(rand.NewSource(42))
@@ -90,9 +119,9 @@ func run(w io.Writer) error {
 			secs = append(secs, n.ID)
 		}
 	}
-	// Figures go in as one batch (one snapshot publication for all 500);
-	// the captions, whose parents are only known after that batch, as a
-	// second one.
+	// Figures go in as one batch (one publication for all 500, across all
+	// monitors); the captions, whose parents are only known after that
+	// batch, as a second one.
 	figBatch := make([]enumtrees.Update, 500)
 	for i := range figBatch {
 		figBatch[i] = enumtrees.Update{
@@ -101,7 +130,7 @@ func run(w io.Writer) error {
 			Label: "fig",
 		}
 	}
-	_, figIDs, err := eng.ApplyBatch(figBatch)
+	_, figIDs, err := qs.ApplyBatch(figBatch)
 	if err != nil {
 		return err
 	}
@@ -109,27 +138,52 @@ func run(w io.Writer) error {
 	for i, fig := range figIDs {
 		capBatch[i] = enumtrees.Update{Op: enumtrees.OpInsertFirstChild, Node: fig, Label: "caption"}
 	}
-	snap, _, err := eng.ApplyBatch(capBatch)
+	m, _, err = qs.ApplyBatch(capBatch)
 	if err != nil {
 		return err
 	}
-	report(w, snap, t)
+	reportUncaptioned(w, m.Query(uncap), t)
+	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 	lastFig := figIDs[len(figIDs)-1]
 
-	fmt.Fprintln(w, "\nedit: delete one caption deep in the document")
-	var cap enumtrees.NodeID = -1
-	for c := t.Node(lastFig).FirstChild; c != nil; c = c.NextSib {
-		if c.Label == "caption" {
-			cap = c.ID
-		}
-	}
-	snap, err = eng.Delete(cap)
+	// A monitor subscribed mid-session: captions anywhere in the
+	// document. It is built against the CURRENT version — the 1000+
+	// nodes inserted above included — without disturbing the other
+	// monitors' structures.
+	fmt.Fprintln(w, "\nsubscribe late: caption monitor joins after the bulk growth")
+	caps, err := qs.Register(enumtrees.SelectLabel(alpha, "caption", 0), enumtrees.Options{})
 	if err != nil {
 		return err
 	}
-	report(w, snap, t)
+	m = qs.Snapshot()
+	reportCount(w, "captions", m.Query(caps))
 
-	st := eng.Snapshot().Stats()
+	fmt.Fprintln(w, "\nedit: delete one caption deep in the document")
+	capID := enumtrees.InvalidNode
+	for c := t.Node(lastFig).FirstChild; c != nil; c = c.NextSib {
+		if c.Label == "caption" {
+			capID = c.ID
+		}
+	}
+	m, err = qs.Delete(capID)
+	if err != nil {
+		return err
+	}
+	reportUncaptioned(w, m.Query(uncap), t)
+	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
+	reportCount(w, "captions", m.Query(caps))
+
+	// Unsubscribe the path monitor: unregistration itself publishes the
+	// shrunk set, and the remaining monitors keep serving.
+	fmt.Fprintln(w, "\nunsubscribe: /doc/sec/fig monitor leaves")
+	if err := qs.Unregister(secFigs); err != nil {
+		return err
+	}
+	m = qs.Snapshot()
+	fmt.Fprintf(w, "  monitors standing: %d (snapshot v%d)\n", m.Len(), m.Version())
+	reportUncaptioned(w, m.Query(uncap), t)
+
+	st := m.Query(uncap).Stats()
 	fmt.Fprintf(w, "\nfinal: %d nodes, %d boxes, width %d, %d boxes rebuilt over the session\n",
 		t.Size(), st.Boxes, st.CircuitWidth, st.BoxesRebuilt)
 	return nil

@@ -6,8 +6,8 @@ import (
 	"testing"
 )
 
-// TestXMLMonitorRuns smoke-tests the MSO monitoring session, including
-// the 500-figure batched growth.
+// TestXMLMonitorRuns smoke-tests the multi-monitor session: shared
+// QuerySet, 500-figure batched growth, late registration, unregister.
 func TestXMLMonitorRuns(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf); err != nil {
@@ -16,8 +16,14 @@ func TestXMLMonitorRuns(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"compiled MSO query",
+		"standing monitors: 2",
 		"all figures captioned ✓",
 		"uncaptioned figure in section node",
+		"subscribe late: caption monitor",
+		"[captions] 503 match(es)", // at registration, against the grown document
+		"[captions] 502 match(es)", // after the caption delete
+		"unsubscribe: /doc/sec/fig monitor leaves",
+		"monitors standing: 2",
 		"final: 1010 nodes",
 	} {
 		if !strings.Contains(out, want) {

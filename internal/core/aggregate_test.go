@@ -120,7 +120,7 @@ func TestAggregateCacheReuse(t *testing.T) {
 	}
 	c1 := e.DerivationCount()
 	// Relabel a b-leaf to a: count increases by one.
-	var target tree.NodeID = -1
+	target := tree.InvalidNode
 	for _, n := range e.Tree().Nodes() {
 		if n.Label == "b" {
 			target = n.ID

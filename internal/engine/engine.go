@@ -2,47 +2,71 @@
 // the concurrent serving layer over the paper's pipeline (Theorems 8.1
 // and 8.5).
 //
-// The engine splits the pipeline into a single-writer / many-reader
-// architecture built on publication by snapshot:
+// The engine is a QUERY-SET engine: one maintained forest algebra term
+// serves any number of standing queries over the same document. The
+// writer core splits into
 //
-//   - The WRITER side (Engine, specialized by TreeEngine and WordEngine)
-//     applies updates — single edits or batches — under a mutex. Each
-//     update flows through the forest layer's path-copying edits: fresh
-//     term nodes appear along the logarithmic hollowing trunk
-//     (Definition 7.2) while all untouched subtrees persist. The engine
-//     then rebuilds exactly the circuit boxes and index entries of the
-//     trunk (Lemma 7.3) as fresh, frozen (Box, BoxIndex) units and
-//     atomically publishes the new root as a Snapshot.
+//   - ONE shared source (forest.Forest or forest.Word): the document,
+//     its balanced term, the path-copying edits and the scapegoat
+//     rebalances. This work is independent of the number of queries —
+//     k standing queries pay for it once, not k times.
 //
-//   - The READER side (Snapshot) is lock-free: Engine.Snapshot is a
-//     single atomic pointer load, and everything reachable from a
-//     snapshot is immutable. Enumeration from a snapshot is therefore
-//     unaffected by any number of concurrent updates, restartable, and
-//     safe from any number of goroutines; later updates only make newer
-//     snapshots available, they never disturb an in-flight iteration.
+//   - N per-query PIPELINES, one per registered query: a circuit
+//     builder for the query's homogenized automaton, the attachment map
+//     from live term nodes to frozen (Box, BoxIndex) units, the
+//     enumeration mode, and — in each published snapshot — the γ set of
+//     accepting states at the root. Only the O(log|T|)·poly(|Q|) box
+//     and index repair along the hollowing trunk (Lemma 7.3) scales
+//     with the number of queries.
+//
+// Queries register and unregister at runtime: registration builds the
+// new pipeline's (box, index) tree against the current term version by
+// a bottom-up walk of the live term (forest.WalkTerm), without touching
+// other pipelines' attachments; unregistration drops exactly one
+// pipeline's attachments.
+//
+// Publication is an immutable MultiSnapshot — query ID → Snapshot —
+// installed through a single atomic.Pointer. Readers stay lock-free:
+// one atomic load yields a consistent version of every standing query,
+// and everything reachable from it is frozen. Per-query enumeration
+// (Snapshot.Results and friends) is unchanged from the single-query
+// engine.
+//
+// TreeEngine and WordEngine remain as thin single-query shims over
+// TreeSet and WordSet for callers that serve one query per document.
 //
 // Batched updates (ApplyBatch) amortize the publication work: all edits
 // of a batch run back-to-back on the forest, the dirtied trunk is
 // deduplicated by Drain, and boxes shared by several edits' trunks are
-// rebuilt once instead of once per edit — one publication per batch.
+// rebuilt once per pipeline instead of once per edit — one publication
+// per batch.
 package engine
 
 import (
+	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/circuit"
 	"repro/internal/enumerate"
 	"repro/internal/forest"
+	"repro/internal/tree"
 )
 
-// Options configure an engine.
+// Options configure a registered query.
 type Options struct {
 	// Mode selects the enumeration algorithm (default: ModeIndexed, the
 	// paper's algorithm). ModeNaive and ModeSimple are the baselines of
 	// experiments E1/E8.
 	Mode enumerate.Mode
 }
+
+// QueryID identifies a registered query within an Engine. IDs are
+// assigned by Register, never reused, and start at 1; the zero value is
+// never a valid query.
+type QueryID int
 
 // Source is the writer-side view of a maintained forest algebra term:
 // both forest.Forest (trees, Theorem 8.1) and forest.Word (words,
@@ -58,17 +82,19 @@ type Source interface {
 	// the last call (their attachments can be released) and resets the
 	// list.
 	DrainRetired() []*forest.Node
+	// WalkTerm visits every node of the live term bottom-up without
+	// consuming the dirty protocol (late query registration).
+	WalkTerm(func(*forest.Node))
 	// Rebalances returns the cumulative number of scapegoat rebuilds.
 	Rebalances() int
 }
 
-// Engine is the shared writer core: it owns the circuit builder, the
-// attachment of frozen (Box, BoxIndex) units to term nodes, and the
-// published snapshot. All mutation goes through Mutate, which serializes
-// writers; Snapshot is safe from any goroutine at any time.
-type Engine struct {
-	mu      sync.Mutex
-	src     Source
+// pipeline is the per-query half of the engine: everything that depends
+// on one registered query. The shared term work (path copies,
+// rebalances) lives in the Source; a pipeline only ever consumes the
+// drained trunk. The query's γ (accepting boxed set at the root) is
+// recomputed at each publication and lives in the published Snapshot.
+type pipeline struct {
 	builder *circuit.Builder
 	mode    enumerate.Mode
 
@@ -79,33 +105,125 @@ type Engine struct {
 	// published snapshots hold their own references and are unaffected.
 	attach map[*forest.Node]*enumerate.IndexedBox
 
-	snap atomic.Pointer[Snapshot]
-
-	version          uint64
-	boxesRebuilt     int
 	translatedStates int
+	boxesRebuilt     int // cumulative for this query, incl. registration
+
+	// gamma caches the accepting boxed set at the root, keyed by the
+	// root box it was computed for: publications that leave this
+	// pipeline's root untouched (register/unregister of OTHER queries)
+	// skip the poly(|Q|) RootAccepting recomputation.
+	gamma     bitset.Set
+	emptyOK   bool
+	gammaRoot *circuit.Box
 }
 
-// initEngine wires the shared fields and performs the initial build and
-// publication. Called by NewTree / NewWord with the freshly built source
-// (whose dirty list holds the whole term).
-func (e *Engine) initEngine(src Source, builder *circuit.Builder, translated int, opts Options) {
+// attachNode builds the frozen (box, index) unit for one term node whose
+// children (if any) are already attached, and records it.
+func (p *pipeline) attachNode(n *forest.Node) {
+	indexed := p.mode == enumerate.ModeIndexed
+	var ib *enumerate.IndexedBox
+	if n.IsLeaf() {
+		ib = enumerate.Wrap(p.builder.LeafBox(n.BinaryLabel(), n.TreeID), nil, nil, indexed)
+	} else {
+		l, r := p.attach[n.Left], p.attach[n.Right]
+		ib = enumerate.Wrap(p.builder.InnerBox(n.BinaryLabel(), tree.InvalidNode, l.Box, r.Box), l, r, indexed)
+	}
+	p.attach[n] = ib
+	p.boxesRebuilt++
+}
+
+// Engine is the shared writer core of a query set: it owns the source's
+// trunk drain, the per-query pipelines, and the published MultiSnapshot.
+// All mutation goes through Mutate / Register / Unregister, which
+// serialize writers; Snapshot is safe from any goroutine at any time.
+type Engine struct {
+	mu     sync.Mutex
+	src    Source
+	pipes  map[QueryID]*pipeline
+	order  []QueryID // registered IDs, ascending (publication order)
+	nextID QueryID
+
+	snap atomic.Pointer[MultiSnapshot]
+
+	version    uint64
+	pathCopies int // cumulative term nodes drained (shared across queries)
+	// boxesReleased accumulates the boxesRebuilt counters of unregistered
+	// pipelines so BoxesRebuilt stays cumulative and monotone.
+	boxesReleased int
+}
+
+// initEngine wires the shared fields around the freshly built source,
+// consumes the initial build's dirty list (there are no pipelines yet to
+// attach it to — late registration walks the live term instead), and
+// installs the empty version-0 MultiSnapshot so Snapshot never returns
+// nil. The first registration publishes version 1. Called by NewTreeSet
+// / NewWordSet.
+func (e *Engine) initEngine(src Source) {
 	e.src = src
-	e.builder = builder
-	e.mode = opts.Mode
-	e.translatedStates = translated
-	e.attach = map[*forest.Node]*enumerate.IndexedBox{}
+	e.pipes = map[QueryID]*pipeline{}
 	e.rebuildTrunk()
-	e.publish()
+	e.snap.Store(&MultiSnapshot{snaps: map[QueryID]*Snapshot{}})
 }
 
-// Mutate runs edit under the writer lock, rebuilds the boxes and index
-// entries of the dirtied trunk bottom-up (Lemma 7.3), and atomically
-// publishes the resulting snapshot. The returned snapshot reflects
-// whatever the edit managed to apply, also when it returns an error
-// (forest edits are atomic, so a failed single edit publishes an
-// unchanged structure).
-func (e *Engine) Mutate(edit func() error) (*Snapshot, error) {
+// register creates the pipeline for a prepared query builder, builds its
+// (box, index) tree against the current term by a bottom-up walk of the
+// live term — other pipelines' attachments are untouched — and publishes
+// a MultiSnapshot that includes the new query.
+func (e *Engine) register(builder *circuit.Builder, translated int, opts Options) QueryID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Flush any pending trunk first so the walk below sees exactly the
+	// live term and existing pipelines stay in sync (the dirty list is
+	// normally empty here: every mutation drains before publishing).
+	e.rebuildTrunk()
+	p := &pipeline{
+		builder:          builder,
+		mode:             opts.Mode,
+		attach:           map[*forest.Node]*enumerate.IndexedBox{},
+		translatedStates: translated,
+	}
+	e.src.WalkTerm(p.attachNode)
+	e.nextID++
+	id := e.nextID
+	e.pipes[id] = p
+	e.order = append(e.order, id) // nextID is increasing: order stays sorted
+	e.publish()
+	return id
+}
+
+// Unregister removes a standing query and publishes a MultiSnapshot
+// without it. Exactly this query's attachments are released (the boxes
+// stay alive only as long as already-published snapshots reference
+// them); the shared term and every other pipeline are untouched.
+func (e *Engine) Unregister(id QueryID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.pipes[id]
+	if !ok {
+		return fmt.Errorf("engine: query %d is not registered", id)
+	}
+	e.boxesReleased += p.boxesRebuilt
+	delete(e.pipes, id)
+	i := slices.Index(e.order, id)
+	e.order = slices.Delete(e.order, i, i+1)
+	e.publish()
+	return nil
+}
+
+// Queries returns the currently registered query IDs, ascending.
+func (e *Engine) Queries() []QueryID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return slices.Clone(e.order)
+}
+
+// Mutate runs edit under the writer lock, fans the dirtied trunk out to
+// every registered pipeline bottom-up (Lemma 7.3, once per query), and
+// atomically publishes the resulting MultiSnapshot. The returned
+// snapshot reflects whatever the edit managed to apply, also when it
+// returns an error (forest edits are atomic, so a failed single edit
+// publishes an unchanged structure).
+func (e *Engine) Mutate(edit func() error) (*MultiSnapshot, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	err := edit()
@@ -113,64 +231,114 @@ func (e *Engine) Mutate(edit func() error) (*Snapshot, error) {
 	return e.publish(), err
 }
 
-// Snapshot returns the currently published snapshot: one atomic load, no
-// locks. The result is immutable and remains fully usable — including
-// restartable enumeration — no matter how many updates are applied
-// afterwards.
-func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+// Snapshot returns the currently published MultiSnapshot: one atomic
+// load, no locks. The result is immutable — a consistent version of
+// every standing query — and remains fully usable no matter how many
+// updates, registrations or unregistrations follow.
+func (e *Engine) Snapshot() *MultiSnapshot { return e.snap.Load() }
 
-// BoxesRebuilt returns the cumulative number of circuit boxes built,
-// including the initial construction (the update-work counter of the
-// amortization experiments).
+// BoxesRebuilt returns the cumulative number of circuit boxes built
+// across all pipelines, including registration walks and pipelines
+// unregistered since (the counter is monotone; it is the per-query
+// update-work counter of the amortization experiments, summed).
 func (e *Engine) BoxesRebuilt() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.boxesRebuilt
+	total := e.boxesReleased
+	for _, p := range e.pipes {
+		total += p.boxesRebuilt
+	}
+	return total
 }
 
-// rebuildTrunk builds a fresh frozen (box, index) unit for every node of
-// the drained hollowing trunk, children before parents, sharing the
-// wrappers of all untouched subtrees (Lemma 7.3).
+// QueryBoxesRebuilt returns the cumulative box-construction count of one
+// registered query's pipeline; ok is false if the query is not
+// registered.
+func (e *Engine) QueryBoxesRebuilt(id QueryID) (count int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.pipes[id]
+	if !ok {
+		return 0, false
+	}
+	return p.boxesRebuilt, true
+}
+
+// PathCopies returns the cumulative number of fresh term nodes the
+// source handed to the engine: the initial build plus every path-copied
+// trunk node and scapegoat rebuild since. This is the SHARED term work —
+// it does not grow with the number of registered queries, which is the
+// measurable payoff of the query-set architecture (experiment C2).
+func (e *Engine) PathCopies() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pathCopies
+}
+
+// Rebalances returns the source's cumulative scapegoat rebuild count
+// (shared term work, like PathCopies).
+func (e *Engine) Rebalances() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.src.Rebalances()
+}
+
+// rebuildTrunk drains the hollowing trunk ONCE and fans every drained
+// node out to all registered pipelines: each builds a fresh frozen
+// (box, index) unit for the node, children before parents, sharing the
+// wrappers of all untouched subtrees (Lemma 7.3). Retired term nodes are
+// released from every pipeline's attachment map.
 func (e *Engine) rebuildTrunk() {
-	indexed := e.mode == enumerate.ModeIndexed
 	for _, n := range e.src.Drain() {
-		var ib *enumerate.IndexedBox
-		if n.IsLeaf() {
-			ib = enumerate.Wrap(e.builder.LeafBox(n.BinaryLabel(), n.TreeID), nil, nil, indexed)
-		} else {
-			l, r := e.attach[n.Left], e.attach[n.Right]
-			ib = enumerate.Wrap(e.builder.InnerBox(n.BinaryLabel(), -1, l.Box, r.Box), l, r, indexed)
+		e.pathCopies++
+		for _, id := range e.order {
+			e.pipes[id].attachNode(n)
 		}
-		e.attach[n] = ib
-		e.boxesRebuilt++
 	}
 	// Release the attachments of superseded trunk nodes right away:
-	// O(trunk) deletes, and the old boxes become garbage as soon as no
-	// snapshot references them. (Nodes created and dropped within the
-	// same batch were never attached; deleting them is a no-op.)
+	// O(trunk · queries) deletes, and the old boxes become garbage as
+	// soon as no snapshot references them. (Nodes created and dropped
+	// within the same batch were never attached; deleting them is a
+	// no-op.)
 	for _, n := range e.src.DrainRetired() {
-		delete(e.attach, n)
+		for _, p := range e.pipes {
+			delete(p.attach, n)
+		}
 	}
 }
 
-// publish assembles and atomically installs the snapshot for the current
-// term. O(poly |Q|): it touches only the root box.
-func (e *Engine) publish() *Snapshot {
-	root := e.attach[e.src.TermRoot()]
-	gamma, emptyOK := e.builder.RootAccepting(&circuit.Circuit{Root: root.Box})
+// publish assembles and atomically installs the MultiSnapshot for the
+// current term: one Snapshot per registered query, all at the same
+// version. O(queries · poly |Q|): per query it touches only the root
+// box.
+func (e *Engine) publish() *MultiSnapshot {
 	e.version++
-	s := &Snapshot{
-		root:             root,
-		gamma:            gamma,
-		emptyOK:          emptyOK,
-		mode:             e.mode,
-		version:          e.version,
-		termHeight:       e.src.TermRoot().Height,
-		boxesRebuilt:     e.boxesRebuilt,
-		rebalances:       e.src.Rebalances(),
-		translatedStates: e.translatedStates,
-		automatonStates:  e.builder.A.NumStates,
+	root := e.src.TermRoot()
+	m := &MultiSnapshot{
+		version: e.version,
+		ids:     slices.Clone(e.order),
+		snaps:   make(map[QueryID]*Snapshot, len(e.order)),
 	}
-	e.snap.Store(s)
-	return s
+	for _, id := range e.order {
+		p := e.pipes[id]
+		rootIB := p.attach[root]
+		if p.gammaRoot != rootIB.Box {
+			p.gamma, p.emptyOK = p.builder.RootAccepting(&circuit.Circuit{Root: rootIB.Box})
+			p.gammaRoot = rootIB.Box
+		}
+		m.snaps[id] = &Snapshot{
+			root:             rootIB,
+			gamma:            p.gamma,
+			emptyOK:          p.emptyOK,
+			mode:             p.mode,
+			version:          e.version,
+			termHeight:       root.Height,
+			boxesRebuilt:     p.boxesRebuilt,
+			rebalances:       e.src.Rebalances(),
+			translatedStates: p.translatedStates,
+			automatonStates:  p.builder.A.NumStates,
+		}
+	}
+	e.snap.Store(m)
+	return m
 }

@@ -219,8 +219,8 @@ func TestApplyBatchInsertIDsAndErrors(t *testing.T) {
 	if ids[0] < 0 {
 		t.Fatal("first insert should have returned a fresh ID")
 	}
-	if ids[1] != -1 {
-		t.Fatalf("unapplied position should stay -1, got %d", ids[1])
+	if ids[1] != tree.InvalidNode {
+		t.Fatalf("unapplied position should stay InvalidNode, got %d", ids[1])
 	}
 	// The first edit was applied and published despite the later error.
 	if got := resultKeys(snap.Results()); len(got) != 1 {
@@ -235,7 +235,7 @@ func TestApplyBatchInsertIDsAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ids2[0] < 0 || ids2[1] != -1 || ids2[2] != -1 {
+	if ids2[0] < 0 || ids2[1] != tree.InvalidNode || ids2[2] != tree.InvalidNode {
 		t.Fatalf("ids = %v: only inserts return fresh IDs, -1 elsewhere", ids2)
 	}
 	// The old b-child was relabeled away and deleted; only the batch's
@@ -375,6 +375,7 @@ func TestAttachTracksLiveTerm(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	attach := e.set.pipes[e.id].attach
 	live := 0
 	var rec func(n *forest.Node)
 	rec = func(n *forest.Node) {
@@ -382,15 +383,15 @@ func TestAttachTracksLiveTerm(t *testing.T) {
 			return
 		}
 		live++
-		if e.attach[n] == nil {
+		if attach[n] == nil {
 			t.Fatalf("live term node %v has no attachment", n.Op)
 		}
 		rec(n.Left)
 		rec(n.Right)
 	}
-	rec(e.f.TermRoot())
-	if len(e.attach) != live {
-		t.Fatalf("attach map has %d entries for %d live term nodes (leak)", len(e.attach), live)
+	rec(e.set.f.TermRoot())
+	if len(attach) != live {
+		t.Fatalf("attach map has %d entries for %d live term nodes (leak)", len(attach), live)
 	}
 	want := expectedB(e.Tree())
 	if got := resultKeys(e.Snapshot().Results()); !slices.Equal(got, want) {

@@ -1,0 +1,38 @@
+package engine
+
+import "slices"
+
+// MultiSnapshot is one published version of a whole query set: an
+// immutable map from registered query ID to that query's Snapshot, all
+// taken against the same term version. Like Snapshot, everything
+// reachable from a MultiSnapshot is frozen, so all methods are safe from
+// any number of goroutines and unaffected by later updates,
+// registrations or unregistrations.
+//
+// A MultiSnapshot is the unit of consistency across standing queries:
+// because the engine installs it through a single atomic pointer, a
+// reader that loads one sees every query answered on the SAME document
+// version — there is no window where query A reflects an edit and query
+// B does not.
+type MultiSnapshot struct {
+	version uint64
+	ids     []QueryID // ascending
+	snaps   map[QueryID]*Snapshot
+}
+
+// Version returns the publication sequence number (monotonically
+// increasing per engine; registrations and unregistrations publish too).
+// Version 0 is the empty snapshot of a set with no query registered yet;
+// the first registration publishes version 1.
+func (m *MultiSnapshot) Version() uint64 { return m.version }
+
+// Query returns the snapshot of one registered query, or nil if the
+// query was not registered when this version was published.
+func (m *MultiSnapshot) Query(id QueryID) *Snapshot { return m.snaps[id] }
+
+// Queries returns the IDs of the queries captured by this version,
+// ascending. The result is a fresh slice the caller may modify.
+func (m *MultiSnapshot) Queries() []QueryID { return slices.Clone(m.ids) }
+
+// Len returns the number of queries captured by this version.
+func (m *MultiSnapshot) Len() int { return len(m.ids) }

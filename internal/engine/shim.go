@@ -1,0 +1,41 @@
+package engine
+
+import "fmt"
+
+// shim is the shared half of the single-query engines (TreeEngine,
+// WordEngine): it pins one query ID and projects that query's slice out
+// of the owning Engine's MultiSnapshots.
+type shim struct {
+	eng *Engine
+	id  QueryID
+}
+
+// ID returns the engine's query ID within Set.
+func (s shim) ID() QueryID { return s.id }
+
+// project extracts this query's slice of a MultiSnapshot, failing fast
+// with a clear message if the query was unregistered out from under the
+// shim (instead of returning a nil snapshot that panics far away).
+func (s shim) project(m *MultiSnapshot) *Snapshot {
+	snap := m.Query(s.id)
+	if snap == nil {
+		panic(fmt.Sprintf("engine: query %d was unregistered from under its single-query shim", s.id))
+	}
+	return snap
+}
+
+// Snapshot returns this query's slice of the currently published
+// MultiSnapshot: still one atomic load, no locks.
+func (s shim) Snapshot() *Snapshot { return s.project(s.eng.Snapshot()) }
+
+// BoxesRebuilt returns the cumulative number of circuit boxes built for
+// this query, including the initial construction (the update-work
+// counter of the amortization experiments). Like every shim method it
+// fails fast if the query was unregistered out from under the shim.
+func (s shim) BoxesRebuilt() int {
+	n, ok := s.eng.QueryBoxesRebuilt(s.id)
+	if !ok {
+		panic(fmt.Sprintf("engine: query %d was unregistered from under its single-query shim", s.id))
+	}
+	return n
+}

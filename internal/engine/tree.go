@@ -9,111 +9,120 @@ import (
 	"repro/internal/tva"
 )
 
-// TreeEngine is the snapshot-isolated engine of Theorem 8.1: it
-// maintains the satisfying assignments of an unranked stepwise TVA on a
-// dynamic unranked tree. Edits (single or batched) go through the writer
-// API below; any number of goroutines read via Snapshot.
-type TreeEngine struct {
+// TreeSet is the multi-query engine of Theorem 8.1 over one dynamic
+// unranked tree: it maintains the satisfying assignments of any number
+// of standing stepwise-TVA queries, registered and unregistered at
+// runtime, under the edit operations of Definition 7.1. Edits (single or
+// batched) go through the writer API below and publish ONE MultiSnapshot
+// covering every standing query; any number of goroutines read via
+// Snapshot. The term/forest work of an edit is shared across all
+// queries — only the logarithmic box/index repair scales with the query
+// count.
+type TreeSet struct {
 	Engine
-	f     *forest.Forest
-	query *tva.Unranked
+	f *forest.Forest
 }
 
-// NewTree preprocesses the tree and the query: it translates the
-// stepwise TVA to the term alphabet, homogenizes it, encodes the tree as
-// a balanced term, builds the assignment circuit and its index, and
-// publishes the first snapshot. Preprocessing is linear in |T| (up to
-// the balancing's O(log) factor documented in DESIGN.md) and polynomial
-// in |Q|.
-func NewTree(t *tree.Unranked, query *tva.Unranked, opts Options) (*TreeEngine, error) {
+// NewTreeSet encodes the tree as a balanced term (linear in |T| up to
+// the balancing's O(log) factor documented in DESIGN.md) and publishes
+// an empty MultiSnapshot. Queries are added with Register.
+func NewTreeSet(t *tree.Unranked) *TreeSet {
+	s := &TreeSet{f: forest.New(t)}
+	s.initEngine(s.f)
+	return s
+}
+
+// Register adds a standing query: it translates the stepwise TVA to the
+// term alphabet, homogenizes it, builds the query's (box, index) tree
+// against the CURRENT term version — polynomial in |Q|, linear in |T|,
+// independent of the other registered queries — and publishes a
+// MultiSnapshot including the new query. A query registered after any
+// number of edits answers exactly as if it had been registered from the
+// start.
+func (s *TreeSet) Register(query *tva.Unranked, opts Options) (QueryID, error) {
 	ab, err := forest.Translate(query)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	translated := ab.NumStates
-	hb := ab.Homogenize()
-	builder, err := circuit.NewBuilder(hb)
+	builder, err := circuit.NewBuilder(ab.Homogenize())
 	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
+		return 0, fmt.Errorf("engine: %w", err)
 	}
-	e := &TreeEngine{f: forest.New(t), query: query}
-	e.initEngine(e.f, builder, translated, opts)
-	return e, nil
+	return s.register(builder, ab.NumStates, opts), nil
 }
 
 // Tree returns the underlying tree. It is owned by the writer: read it
 // only from the goroutine applying updates (concurrent readers should
 // work from snapshots, which are self-contained).
-func (e *TreeEngine) Tree() *tree.Unranked { return e.f.Tree }
+func (s *TreeSet) Tree() *tree.Unranked { return s.f.Tree }
 
-// Query returns the preprocessed query automaton.
-func (e *TreeEngine) Query() *tva.Unranked { return e.query }
-
-// Relabel implements relabel(n, l) with O(log|T|·poly(|Q|)) work and
-// publishes the resulting snapshot.
-func (e *TreeEngine) Relabel(id tree.NodeID, l tree.Label) (*Snapshot, error) {
-	return e.Mutate(func() error { return e.f.Relabel(id, l) })
+// Relabel implements relabel(n, l) with O(log|T|·poly(|Q|)·queries) work
+// and publishes the resulting MultiSnapshot.
+func (s *TreeSet) Relabel(id tree.NodeID, l tree.Label) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.f.Relabel(id, l) })
 }
 
 // InsertFirstChild implements insert(n, l), returning the new node's ID
-// and the resulting snapshot.
-func (e *TreeEngine) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+// and the resulting MultiSnapshot.
+func (s *TreeSet) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, *MultiSnapshot, error) {
 	var v tree.NodeID
-	s, err := e.Mutate(func() error {
+	m, err := s.Mutate(func() error {
 		var err error
-		v, err = e.f.InsertFirstChild(id, l)
+		v, err = s.f.InsertFirstChild(id, l)
 		return err
 	})
-	return v, s, err
+	return v, m, err
 }
 
 // InsertRightSibling implements insertR(n, l), returning the new node's
-// ID and the resulting snapshot.
-func (e *TreeEngine) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+// ID and the resulting MultiSnapshot.
+func (s *TreeSet) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, *MultiSnapshot, error) {
 	var v tree.NodeID
-	s, err := e.Mutate(func() error {
+	m, err := s.Mutate(func() error {
 		var err error
-		v, err = e.f.InsertRightSibling(id, l)
+		v, err = s.f.InsertRightSibling(id, l)
 		return err
 	})
-	return v, s, err
+	return v, m, err
 }
 
 // Delete implements delete(n) for leaves and publishes the resulting
-// snapshot.
-func (e *TreeEngine) Delete(id tree.NodeID) (*Snapshot, error) {
-	return e.Mutate(func() error { return e.f.Delete(id) })
+// MultiSnapshot.
+func (s *TreeSet) Delete(id tree.NodeID) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.f.Delete(id) })
 }
 
 // ApplyBatch applies the updates in order under one writer-lock hold and
-// publishes ONE snapshot for the whole batch. Box and index repair is
-// amortized across the batch: trunk nodes dirtied by several edits are
-// rebuilt once, not once per edit, so k clustered edits cost well below
-// k single publications.
+// publishes ONE MultiSnapshot for the whole batch. Box and index repair
+// is amortized across the batch per query: trunk nodes dirtied by
+// several edits are rebuilt once, not once per edit, so k clustered
+// edits cost well below k single publications — and the forest/term work
+// is paid once regardless of how many queries stand.
 //
 // The returned IDs give, per batch position, the node created by an
-// insert operation (-1 for relabels, deletes and unapplied positions;
-// node 0 is a valid ID, the root of parsed trees). On the first failing
-// update the batch stops; the edits already applied are still published
-// (each forest edit is atomic), and the error identifies the position.
-func (e *TreeEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error) {
+// insert operation (tree.InvalidNode for relabels, deletes and unapplied
+// positions; node 0 is a valid ID, the root of parsed trees). On the
+// first failing update the batch stops; the edits already applied are
+// still published (each forest edit is atomic), and the error identifies
+// the position.
+func (s *TreeSet) ApplyBatch(batch []Update) (*MultiSnapshot, []tree.NodeID, error) {
 	ids := make([]tree.NodeID, len(batch))
 	for i := range ids {
-		ids[i] = -1
+		ids[i] = tree.InvalidNode
 	}
-	s, err := e.Mutate(func() error {
+	m, err := s.Mutate(func() error {
 		for i, u := range batch {
 			var v tree.NodeID
 			var err error
 			switch u.Op {
 			case OpRelabel:
-				err = e.f.Relabel(u.Node, u.Label)
+				err = s.f.Relabel(u.Node, u.Label)
 			case OpInsertFirstChild:
-				v, err = e.f.InsertFirstChild(u.Node, u.Label)
+				v, err = s.f.InsertFirstChild(u.Node, u.Label)
 			case OpInsertRightSibling:
-				v, err = e.f.InsertRightSibling(u.Node, u.Label)
+				v, err = s.f.InsertRightSibling(u.Node, u.Label)
 			case OpDelete:
-				err = e.f.Delete(u.Node)
+				err = s.f.Delete(u.Node)
 			default:
 				err = fmt.Errorf("engine: update %v is not a tree operation", u.Op)
 			}
@@ -126,5 +135,77 @@ func (e *TreeEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error
 		}
 		return nil
 	})
-	return s, ids, err
+	return m, ids, err
+}
+
+// TreeEngine is the single-query shim over TreeSet (the Theorem 8.1
+// engine most callers want): one standing query, the same writer API,
+// and plain Snapshot results. It is a thin projection — the underlying
+// TreeSet is reachable via Set for callers that later add more standing
+// queries to the same document.
+type TreeEngine struct {
+	shim
+	set   *TreeSet
+	query *tva.Unranked
+}
+
+// NewTree preprocesses the tree and the query: it builds the shared term
+// once and registers the single standing query, publishing the first
+// snapshot. Preprocessing is linear in |T| (up to the balancing's O(log)
+// factor) and polynomial in |Q|.
+func NewTree(t *tree.Unranked, query *tva.Unranked, opts Options) (*TreeEngine, error) {
+	s := NewTreeSet(t)
+	id, err := s.Register(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TreeEngine{shim: shim{eng: &s.Engine, id: id}, set: s, query: query}, nil
+}
+
+// Set returns the underlying multi-query engine; further queries
+// registered on it share this engine's term and update stream. Do NOT
+// unregister this engine's own query (ID) through it: the shim has no
+// other query to project and fails fast (panics) on its next use.
+func (e *TreeEngine) Set() *TreeSet { return e.set }
+
+// Tree returns the underlying tree (writer-side view; see TreeSet.Tree).
+func (e *TreeEngine) Tree() *tree.Unranked { return e.set.Tree() }
+
+// Query returns the standing query automaton.
+func (e *TreeEngine) Query() *tva.Unranked { return e.query }
+
+// Relabel implements relabel(n, l) with O(log|T|·poly(|Q|)) work and
+// publishes the resulting snapshot.
+func (e *TreeEngine) Relabel(id tree.NodeID, l tree.Label) (*Snapshot, error) {
+	m, err := e.set.Relabel(id, l)
+	return e.project(m), err
+}
+
+// InsertFirstChild implements insert(n, l), returning the new node's ID
+// and the resulting snapshot.
+func (e *TreeEngine) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	v, m, err := e.set.InsertFirstChild(id, l)
+	return v, e.project(m), err
+}
+
+// InsertRightSibling implements insertR(n, l), returning the new node's
+// ID and the resulting snapshot.
+func (e *TreeEngine) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	v, m, err := e.set.InsertRightSibling(id, l)
+	return v, e.project(m), err
+}
+
+// Delete implements delete(n) for leaves and publishes the resulting
+// snapshot.
+func (e *TreeEngine) Delete(id tree.NodeID) (*Snapshot, error) {
+	m, err := e.set.Delete(id)
+	return e.project(m), err
+}
+
+// ApplyBatch applies the updates in order under one writer-lock hold and
+// publishes once for the whole batch (see TreeSet.ApplyBatch for the
+// amortization, InvalidNode-sentinel ID and error contracts).
+func (e *TreeEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error) {
+	m, ids, err := e.set.ApplyBatch(batch)
+	return e.project(m), ids, err
 }

@@ -9,111 +9,118 @@ import (
 	"repro/internal/tva"
 )
 
-// WordEngine is the snapshot-isolated engine of Theorem 8.5: it
-// maintains the satisfying assignments of a word variable automaton on a
-// dynamic word under letter insertion, deletion and replacement.
-type WordEngine struct {
+// WordSet is the multi-query engine of Theorem 8.5 over one dynamic
+// word: it maintains the satisfying assignments of any number of
+// standing word variable automata under letter insertion, deletion and
+// replacement, sharing the term work across queries exactly like
+// TreeSet.
+type WordSet struct {
 	Engine
 	w *forest.Word
 }
 
-// NewWord preprocesses the word and the WVA (Corollary 8.4 translation,
-// then the same pipeline as trees) and publishes the first snapshot.
-func NewWord(letters []tree.Label, query *tva.WVA, opts Options) (*WordEngine, error) {
-	ab, err := forest.TranslateWord(query)
-	if err != nil {
-		return nil, err
-	}
-	translated := ab.NumStates
-	hb := ab.Homogenize()
-	builder, err := circuit.NewBuilder(hb)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %w", err)
-	}
+// NewWordSet encodes the nonempty word as a balanced term and publishes
+// an empty MultiSnapshot. Queries are added with Register.
+func NewWordSet(letters []tree.Label) (*WordSet, error) {
 	w, err := forest.NewWord(letters)
 	if err != nil {
 		return nil, err
 	}
-	e := &WordEngine{w: w}
-	e.initEngine(w, builder, translated, opts)
-	return e, nil
+	s := &WordSet{w: w}
+	s.initEngine(w)
+	return s, nil
+}
+
+// Register adds a standing query (Corollary 8.4 translation, then the
+// same pipeline as trees) against the current word version.
+func (s *WordSet) Register(query *tva.WVA, opts Options) (QueryID, error) {
+	ab, err := forest.TranslateWord(query)
+	if err != nil {
+		return 0, err
+	}
+	builder, err := circuit.NewBuilder(ab.Homogenize())
+	if err != nil {
+		return 0, fmt.Errorf("engine: %w", err)
+	}
+	return s.register(builder, ab.NumStates, opts), nil
 }
 
 // Word returns the current word content as (letter IDs, labels).
 // Writer-side view: concurrent readers should work from snapshots.
-func (e *WordEngine) Word() ([]tree.NodeID, []tree.Label) { return e.w.Letters() }
+func (s *WordSet) Word() ([]tree.NodeID, []tree.Label) { return s.w.Letters() }
 
 // IDAt resolves a 0-based position to its stable letter ID in O(log n).
-func (e *WordEngine) IDAt(i int) (tree.NodeID, error) { return e.w.IDAt(i) }
+func (s *WordSet) IDAt(i int) (tree.NodeID, error) { return s.w.IDAt(i) }
 
 // Len returns the word length.
-func (e *WordEngine) Len() int { return e.w.Len() }
+func (s *WordSet) Len() int { return s.w.Len() }
 
 // Relabel replaces the letter with the given ID and publishes the
-// resulting snapshot.
-func (e *WordEngine) Relabel(id tree.NodeID, l tree.Label) (*Snapshot, error) {
-	return e.Mutate(func() error { return e.w.Relabel(id, l) })
+// resulting MultiSnapshot.
+func (s *WordSet) Relabel(id tree.NodeID, l tree.Label) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.w.Relabel(id, l) })
 }
 
 // InsertAfter inserts a letter after the given ID.
-func (e *WordEngine) InsertAfter(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+func (s *WordSet) InsertAfter(id tree.NodeID, l tree.Label) (tree.NodeID, *MultiSnapshot, error) {
 	var v tree.NodeID
-	s, err := e.Mutate(func() error {
+	m, err := s.Mutate(func() error {
 		var err error
-		v, err = e.w.InsertAfter(id, l)
+		v, err = s.w.InsertAfter(id, l)
 		return err
 	})
-	return v, s, err
+	return v, m, err
 }
 
-// InsertBefore inserts a letter before the given ID.
-func (e *WordEngine) InsertBefore(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+// InsertBefore inserts a letter before the given ID (needed to prepend
+// at position 0).
+func (s *WordSet) InsertBefore(id tree.NodeID, l tree.Label) (tree.NodeID, *MultiSnapshot, error) {
 	var v tree.NodeID
-	s, err := e.Mutate(func() error {
+	m, err := s.Mutate(func() error {
 		var err error
-		v, err = e.w.InsertBefore(id, l)
+		v, err = s.w.InsertBefore(id, l)
 		return err
 	})
-	return v, s, err
+	return v, m, err
 }
 
 // Delete removes a letter (the word must stay nonempty).
-func (e *WordEngine) Delete(id tree.NodeID) (*Snapshot, error) {
-	return e.Mutate(func() error { return e.w.Delete(id) })
+func (s *WordSet) Delete(id tree.NodeID) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.w.Delete(id) })
 }
 
 // MoveRange is the bulk word update sketched in the paper's conclusion:
 // it moves the k letters starting at position from so that they follow
 // position dest of the remaining word (dest = -1 prepends). Letter IDs
-// are preserved. The whole move publishes ONE snapshot: the O(k·log n)
-// box repair is amortized over a single Drain, the same batching as
-// ApplyBatch.
-func (e *WordEngine) MoveRange(from, k, dest int) (*Snapshot, error) {
-	return e.Mutate(func() error { return e.w.MoveRange(from, k, dest) })
+// are preserved. The whole move publishes ONE MultiSnapshot: the
+// O(k·log n) box repair is amortized over a single Drain, the same
+// batching as ApplyBatch.
+func (s *WordSet) MoveRange(from, k, dest int) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.w.MoveRange(from, k, dest) })
 }
 
 // ApplyBatch applies the letter updates in order under one writer-lock
-// hold and publishes ONE snapshot for the whole batch (see
-// TreeEngine.ApplyBatch for the amortization, -1-sentinel ID and error
-// contracts).
-func (e *WordEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error) {
+// hold and publishes ONE MultiSnapshot for the whole batch (see
+// TreeSet.ApplyBatch for the amortization, InvalidNode-sentinel ID and
+// error contracts).
+func (s *WordSet) ApplyBatch(batch []Update) (*MultiSnapshot, []tree.NodeID, error) {
 	ids := make([]tree.NodeID, len(batch))
 	for i := range ids {
-		ids[i] = -1
+		ids[i] = tree.InvalidNode
 	}
-	s, err := e.Mutate(func() error {
+	m, err := s.Mutate(func() error {
 		for i, u := range batch {
 			var v tree.NodeID
 			var err error
 			switch u.Op {
 			case OpRelabel:
-				err = e.w.Relabel(u.Node, u.Label)
+				err = s.w.Relabel(u.Node, u.Label)
 			case OpInsertAfter:
-				v, err = e.w.InsertAfter(u.Node, u.Label)
+				v, err = s.w.InsertAfter(u.Node, u.Label)
 			case OpInsertBefore:
-				v, err = e.w.InsertBefore(u.Node, u.Label)
+				v, err = s.w.InsertBefore(u.Node, u.Label)
 			case OpDelete:
-				err = e.w.Delete(u.Node)
+				err = s.w.Delete(u.Node)
 			default:
 				err = fmt.Errorf("engine: update %v is not a word operation", u.Op)
 			}
@@ -126,5 +133,80 @@ func (e *WordEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error
 		}
 		return nil
 	})
-	return s, ids, err
+	return m, ids, err
+}
+
+// WordEngine is the single-query shim over WordSet: one standing word
+// query, plain Snapshot results.
+type WordEngine struct {
+	shim
+	set *WordSet
+}
+
+// NewWord preprocesses the word and the WVA and publishes the first
+// snapshot.
+func NewWord(letters []tree.Label, query *tva.WVA, opts Options) (*WordEngine, error) {
+	s, err := NewWordSet(letters)
+	if err != nil {
+		return nil, err
+	}
+	id, err := s.Register(query, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &WordEngine{shim: shim{eng: &s.Engine, id: id}, set: s}, nil
+}
+
+// Set returns the underlying multi-query engine; further queries
+// registered on it share this engine's term and update stream. Do NOT
+// unregister this engine's own query (ID) through it: the shim has no
+// other query to project and fails fast (panics) on its next use.
+func (e *WordEngine) Set() *WordSet { return e.set }
+
+// Word returns the current word content as (letter IDs, labels).
+// Writer-side view: concurrent readers should work from snapshots.
+func (e *WordEngine) Word() ([]tree.NodeID, []tree.Label) { return e.set.Word() }
+
+// IDAt resolves a 0-based position to its stable letter ID in O(log n).
+func (e *WordEngine) IDAt(i int) (tree.NodeID, error) { return e.set.IDAt(i) }
+
+// Len returns the word length.
+func (e *WordEngine) Len() int { return e.set.Len() }
+
+// Relabel replaces the letter with the given ID and publishes the
+// resulting snapshot.
+func (e *WordEngine) Relabel(id tree.NodeID, l tree.Label) (*Snapshot, error) {
+	m, err := e.set.Relabel(id, l)
+	return e.project(m), err
+}
+
+// InsertAfter inserts a letter after the given ID.
+func (e *WordEngine) InsertAfter(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	v, m, err := e.set.InsertAfter(id, l)
+	return v, e.project(m), err
+}
+
+// InsertBefore inserts a letter before the given ID.
+func (e *WordEngine) InsertBefore(id tree.NodeID, l tree.Label) (tree.NodeID, *Snapshot, error) {
+	v, m, err := e.set.InsertBefore(id, l)
+	return v, e.project(m), err
+}
+
+// Delete removes a letter (the word must stay nonempty).
+func (e *WordEngine) Delete(id tree.NodeID) (*Snapshot, error) {
+	m, err := e.set.Delete(id)
+	return e.project(m), err
+}
+
+// MoveRange moves k letters (see WordSet.MoveRange), publishing once.
+func (e *WordEngine) MoveRange(from, k, dest int) (*Snapshot, error) {
+	m, err := e.set.MoveRange(from, k, dest)
+	return e.project(m), err
+}
+
+// ApplyBatch applies the letter updates under one lock hold, publishing
+// once (see WordSet.ApplyBatch).
+func (e *WordEngine) ApplyBatch(batch []Update) (*Snapshot, []tree.NodeID, error) {
+	m, ids, err := e.set.ApplyBatch(batch)
+	return e.project(m), ids, err
 }

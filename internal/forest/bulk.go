@@ -41,7 +41,7 @@ func (w *Word) MoveRange(from, k, dest int) error {
 	movedLabels := append([]tree.Label(nil), labels[from:from+k]...)
 	movedIDs := append([]tree.NodeID(nil), ids[from:from+k]...)
 	// Resolve the destination anchor in the word without the range.
-	anchor := tree.NodeID(-1)
+	anchor := tree.InvalidNode
 	if dest >= 0 {
 		rest := make([]tree.NodeID, 0, len(ids)-k)
 		rest = append(rest, ids[:from]...)
@@ -60,7 +60,7 @@ func (w *Word) MoveRange(from, k, dest int) error {
 	for i, l := range movedLabels {
 		var id tree.NodeID
 		var err error
-		if prev == -1 {
+		if prev == tree.InvalidNode {
 			first, ferr := w.IDAt(0)
 			if ferr != nil {
 				return ferr

@@ -97,6 +97,19 @@ type Node struct {
 // IsLeaf reports whether the term node is a leaf (aᵗ or a□).
 func (n *Node) IsLeaf() bool { return n.Op == LeafTree || n.Op == LeafCtx }
 
+// Walk visits every node of the subterm rooted at n bottom-up (children
+// before parents) — the same order the dirty protocol's Drain delivers,
+// so consumers that build per-node structure from children's structure
+// can use either interchangeably. Safe on a nil receiver.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	n.Left.Walk(fn)
+	n.Right.Walk(fn)
+	fn(n)
+}
+
 // IsContext reports whether the node has context type (it contains a
 // hole); otherwise it has forest type.
 func (n *Node) IsContext() bool {
@@ -127,7 +140,7 @@ func (n *Node) update() {
 		if n.Op == LeafCtx {
 			n.HoleNode = n.TreeID
 		} else {
-			n.HoleNode = -1
+			n.HoleNode = tree.InvalidNode
 		}
 		return
 	}
@@ -139,7 +152,7 @@ func (n *Node) update() {
 	case ConcatVH:
 		n.HoleNode = n.Left.HoleNode
 	default:
-		n.HoleNode = -1
+		n.HoleNode = tree.InvalidNode
 	}
 }
 
@@ -161,7 +174,7 @@ func (f *Forest) newInner(op Op, l, r *Node) *Node {
 }
 
 func (f *Forest) newLeafTree(tn *tree.UNode) *Node {
-	n := &Node{Op: LeafTree, Label: tn.Label, TreeID: tn.ID, Weight: 1, HoleNode: -1}
+	n := &Node{Op: LeafTree, Label: tn.Label, TreeID: tn.ID, Weight: 1, HoleNode: tree.InvalidNode}
 	f.leafOf[tn.ID] = n
 	f.record(n)
 	return n
@@ -229,7 +242,7 @@ func ValidateTerm(n *Node) error {
 		case ConcatVH:
 			wantHole = x.Left.HoleNode
 		default:
-			wantHole = -1
+			wantHole = tree.InvalidNode
 		}
 		if x.HoleNode != wantHole {
 			return fmt.Errorf("forest: stale hole at %v", x.Op)

@@ -50,7 +50,7 @@ func NewWord(letters []tree.Label) (*Word, error) {
 }
 
 func (w *Word) newLetter(l tree.Label) *Node {
-	n := &Node{Op: LeafTree, Label: l, TreeID: w.nextID, Weight: 1, HoleNode: -1}
+	n := &Node{Op: LeafTree, Label: l, TreeID: w.nextID, Weight: 1, HoleNode: tree.InvalidNode}
 	w.leafOf[n.TreeID] = n
 	w.nextID++
 	w.record(n)
@@ -97,6 +97,10 @@ func (w *Word) attached(n *Node) bool {
 
 // TermRoot returns the root of the term (dynamic-engine interface).
 func (w *Word) TermRoot() *Node { return w.Root }
+
+// WalkTerm visits every node of the live term bottom-up, mirroring
+// Forest.WalkTerm for the dynamic engine's late query registration.
+func (w *Word) WalkTerm(fn func(*Node)) { w.Root.Walk(fn) }
 
 // Rebalances returns the number of scapegoat rebuilds performed so far
 // (dynamic-engine interface).
@@ -224,7 +228,7 @@ func (w *Word) Relabel(id tree.NodeID, l tree.Label) error {
 		return fmt.Errorf("forest: letter %d does not exist", id)
 	}
 	p, wasLeft := slotOf(old)
-	leaf := &Node{Op: LeafTree, Label: l, TreeID: id, Weight: 1, HoleNode: -1}
+	leaf := &Node{Op: LeafTree, Label: l, TreeID: id, Weight: 1, HoleNode: tree.InvalidNode}
 	w.leafOf[id] = leaf
 	w.record(leaf)
 	w.retire(old)

@@ -91,6 +91,11 @@ func SubsetsOf(universe VarSet, f func(VarSet)) {
 // nodes.
 type NodeID int
 
+// InvalidNode is the sentinel NodeID meaning "no node": unapplied batch
+// positions, holes of forest-typed terms, not-yet-found search results.
+// Real IDs are never negative.
+const InvalidNode NodeID = -1
+
 // Singleton is a pair ⟨Z : n⟩ stating that variable Z is assigned node n
 // (Section 2). Assignments are sets of singletons.
 type Singleton struct {
