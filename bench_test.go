@@ -475,6 +475,74 @@ func BenchmarkApplyBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkDirectAccess mirrors experiment D1: Count and At(j) latency
+// on a large answer set, the engine's semiring/descent fast paths vs
+// the drain baseline. The direct variants must be flat in the answer
+// count (the drain variants are the linear comparison anchors).
+// cmd/benchtables -directaccess emits the same measurement as the
+// machine-readable BENCH_directaccess.json baseline.
+func BenchmarkDirectAccess(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	ut := mustTree(b, workload.ShapeRandom, 16000, rng)
+	q := tva.SelectLabel([]tree.Label{"a", "b", "c"}, "b", 0)
+	eng, err := engine.NewTree(ut, q, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if !snap.DirectAccess() {
+		b.Fatal("select query must be direct-access capable")
+	}
+	answers := 0
+	for range snap.Results() {
+		answers++
+	}
+	mid := answers / 2
+	b.Run("Count/direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if snap.Count() != answers {
+				b.Fatal("count diverged")
+			}
+		}
+	})
+	b.Run("Count/drain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := 0
+			for range snap.Results() {
+				c++
+			}
+			if c != answers {
+				b.Fatal("count diverged")
+			}
+		}
+	})
+	b.Run("At/direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := snap.At(mid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("At/drain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			j := 0
+			for range snap.Results() {
+				if j == mid {
+					break
+				}
+				j++
+			}
+		}
+	})
+	b.Run("Page/direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := snap.Page(mid, 16); len(got) != 16 {
+				b.Fatal("short page")
+			}
+		}
+	})
+}
+
 // BenchmarkMultiQueryBatch mirrors experiment C2: one batched update
 // stream fanned out to k standing queries, a shared QuerySet (term work
 // once, k box repairs) vs k independent engines (everything k times).

@@ -15,6 +15,10 @@
 //	                         # run the multi-query experiment (C2: shared
 //	                         # QuerySet vs k independent engines) and
 //	                         # write its JSON baseline
+//	benchtables -directaccess BENCH_directaccess.json
+//	                         # run the direct-access experiment (D1: Count
+//	                         # and At(j) latency vs answer-set size, engine
+//	                         # vs drain) and write its JSON baseline
 package main
 
 import (
@@ -43,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	only := fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E4,T2)")
 	concurrent := fs.String("concurrent", "", "run the concurrent-readers experiment and write its JSON baseline to this path")
 	multiquery := fs.String("multiquery", "", "run the multi-query experiment and write its JSON baseline to this path")
+	directaccess := fs.String("directaccess", "", "run the direct-access experiment and write its JSON baseline to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,9 +77,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "T1", "T2", "F1"}
 
 	start := time.Now()
-	// -concurrent / -multiquery alone skip the table sweep unless IDs
-	// were requested.
-	runTables := (*concurrent == "" && *multiquery == "") || len(want) > 0
+	// -concurrent / -multiquery / -directaccess alone skip the table
+	// sweep unless IDs were requested.
+	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "") || len(want) > 0
 	if runTables {
 		for _, id := range order {
 			if len(want) > 0 && !want[id] {
@@ -113,6 +118,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "[C2 done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *multiquery)
+	}
+	if *directaccess != "" {
+		t0 := time.Now()
+		base := experiments.DirectAccess(*quick)
+		fmt.Fprintln(stdout, base.Table().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*directaccess, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[D1 done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *directaccess)
 	}
 	fmt.Fprintf(stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
 	return nil

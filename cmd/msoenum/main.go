@@ -33,6 +33,15 @@
 // call: a single publication, with box and index repair amortized across
 // the batch (and the term work shared across all standing queries), and
 // one enumeration per query at the end.
+//
+// Direct access (no enumeration cost):
+//
+//	-count          print only the result count per query, read from the
+//	                maintained counting semiring in O(poly|Q|) when the
+//	                query is unambiguous (marked "direct")
+//	-page OFF:LIM   print results OFF..OFF+LIM-1 by count-guided descent
+//	                — "page 1000000:20" costs the same as "0:20" on
+//	                direct-access queries
 package main
 
 import (
@@ -78,8 +87,23 @@ func run(args []string, w io.Writer) error {
 	batchFlag := fs.Bool("batch", false, "apply the edit stream as one batched update")
 	maxPrint := fs.Int("max", 20, "maximum results to print per enumeration")
 	statsFlag := fs.Bool("stats", false, "print structure statistics")
+	countFlag := fs.Bool("count", false, "print only result counts (O(poly|Q|) for unambiguous queries)")
+	pageFlag := fs.String("page", "", "print results OFF:LIM by direct access instead of the first -max")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	view := printView{count: *countFlag, pageOff: -1, max: *maxPrint}
+	if *pageFlag != "" {
+		offStr, limStr, ok := strings.Cut(*pageFlag, ":")
+		off, errOff := strconv.Atoi(offStr)
+		lim, errLim := strconv.Atoi(limStr)
+		if !ok || errOff != nil || errLim != nil {
+			return fmt.Errorf("-page wants OFF:LIM, got %q", *pageFlag)
+		}
+		if off < 0 || lim <= 0 {
+			return fmt.Errorf("-page wants OFF >= 0 and LIM > 0")
+		}
+		view.pageOff, view.pageLim = off, lim
 	}
 
 	if *treeFlag == "" || len(queryFlags) == 0 {
@@ -104,7 +128,7 @@ func run(args []string, w io.Writer) error {
 		}
 		queries = append(queries, standing{spec: spec, id: id})
 	}
-	printAll(w, qs.Snapshot(), queries, *maxPrint)
+	printAll(w, qs.Snapshot(), queries, view)
 
 	if *editsFlag != "" {
 		var edits []string
@@ -132,7 +156,7 @@ func run(args []string, w io.Writer) error {
 				}
 			}
 			fmt.Fprintf(w, "\nafter batch of %d edits (snapshot v%d): %s\n", len(batch), m.Version(), t)
-			printAll(w, m, queries, *maxPrint)
+			printAll(w, m, queries, view)
 		} else {
 			for _, ed := range edits {
 				m, err := applyEdit(w, qs, ed)
@@ -140,7 +164,7 @@ func run(args []string, w io.Writer) error {
 					return fmt.Errorf("edit %q: %w", ed, err)
 				}
 				fmt.Fprintf(w, "\nafter %q: %s\n", ed, t)
-				printAll(w, m, queries, *maxPrint)
+				printAll(w, m, queries, view)
 			}
 		}
 	}
@@ -285,27 +309,52 @@ func applyEdit(w io.Writer, qs *enumtrees.QuerySet, ed string) (*enumtrees.Multi
 	}
 }
 
+// printView selects what printResults shows: the default prefix of the
+// enumeration, only the count (-count), or one direct-access page
+// (-page OFF:LIM).
+type printView struct {
+	count   bool
+	pageOff int
+	pageLim int
+	max     int
+}
+
 // printAll prints each standing query's results; with several queries
 // every block is prefixed by the query's spec.
-func printAll(w io.Writer, m *enumtrees.MultiSnapshot, queries []standing, max int) {
+func printAll(w io.Writer, m *enumtrees.MultiSnapshot, queries []standing, v printView) {
 	for _, q := range queries {
 		if len(queries) > 1 {
 			fmt.Fprintf(w, "[%s]\n", q.spec)
 		}
-		printResults(w, m.Query(q.id), max)
+		printResults(w, m.Query(q.id), v)
 	}
 }
 
-func printResults(w io.Writer, snap *enumtrees.Snapshot, max int) {
+func printResults(w io.Writer, snap *enumtrees.Snapshot, v printView) {
+	if v.count {
+		how := "drained"
+		if snap.DirectAccess() {
+			how = "direct"
+		}
+		fmt.Fprintf(w, "%d result(s) [%s]\n", snap.Count(), how)
+		return
+	}
+	if v.pageOff >= 0 {
+		for i, asg := range snap.Page(v.pageOff, v.pageLim) {
+			fmt.Fprintf(w, "  #%d %v\n", v.pageOff+i, asg)
+		}
+		fmt.Fprintf(w, "page %d:%d of %d result(s)\n", v.pageOff, v.pageLim, snap.Count())
+		return
+	}
 	n := 0
 	for asg := range snap.Results() {
-		if n < max {
+		if n < v.max {
 			fmt.Fprintf(w, "  %v\n", asg)
 		}
 		n++
 	}
-	if n > max {
-		fmt.Fprintf(w, "  … %d more\n", n-max)
+	if n > v.max {
+		fmt.Fprintf(w, "  … %d more\n", n-v.max)
 	}
 	fmt.Fprintf(w, "%d result(s)\n", n)
 }

@@ -90,3 +90,52 @@ func TestErrors(t *testing.T) {
 		t.Fatal("unknown query should fail")
 	}
 }
+
+// TestCountFlag checks -count prints per-query counts without results,
+// marked "direct" for unambiguous queries.
+func TestCountFlag(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (a (b)))", "-query", "select:b", "-count",
+		"-edits", "insert 0 b")
+	if !strings.Contains(out, "2 result(s) [direct]") || !strings.Contains(out, "3 result(s) [direct]") {
+		t.Fatalf("unexpected -count output:\n%s", out)
+	}
+	if strings.Contains(out, "⟨") {
+		t.Fatalf("-count must not print assignments:\n%s", out)
+	}
+}
+
+// TestPageFlag checks -page prints exactly the requested slice with
+// absolute ranks.
+func TestPageFlag(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (b) (b) (b))", "-query", "select:b", "-page", "1:2")
+	if !strings.Contains(out, "#1 ") || !strings.Contains(out, "#2 ") {
+		t.Fatalf("missing page ranks:\n%s", out)
+	}
+	if strings.Contains(out, "#0 ") || strings.Contains(out, "#3 ") {
+		t.Fatalf("page printed out-of-range ranks:\n%s", out)
+	}
+	if !strings.Contains(out, "page 1:2 of 4 result(s)") {
+		t.Fatalf("missing page footer:\n%s", out)
+	}
+}
+
+// TestPageFlagValidation rejects malformed -page specs.
+func TestPageFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tree", "(a (b))", "-query", "select:b", "-page", "oops"}, &buf); err == nil {
+		t.Fatal("malformed -page accepted")
+	}
+	if err := run([]string{"-tree", "(a (b))", "-query", "select:b", "-page", "-1:5"}, &buf); err == nil {
+		t.Fatal("negative -page offset accepted")
+	}
+}
+
+// TestPageFlagTrailingGarbage rejects specs that parse a valid prefix.
+func TestPageFlagTrailingGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	for _, bad := range []string{"10:20:30", "10:20x", "x10:20", "10"} {
+		if err := run([]string{"-tree", "(a (b))", "-query", "select:b", "-page", bad}, &buf); err == nil {
+			t.Fatalf("-page %q accepted", bad)
+		}
+	}
+}

@@ -50,6 +50,19 @@
 //	    {Op: enumtrees.OpInsertFirstChild, Node: 0, Label: "a"},
 //	})
 //
+// # Counting and stateless pagination
+//
+// Snapshots also answer aggregates and ranked access without
+// enumerating, via the counting semiring maintained alongside the
+// index (Section 4 multiset remark): Count is an O(poly|Q|) lookup,
+// and At/Page jump to a rank by count-guided descent — exact for
+// unambiguous automata (Snapshot.DirectAccess), with a transparent
+// enumeration fallback otherwise.
+//
+//	n := snap.Count()            // no enumeration
+//	page := snap.Page(1000, 20)  // answers 1000..1019, stateless
+//	mid, _ := snap.At(n / 2)
+//
 // # Many standing queries on one document
 //
 // A QuerySet serves any number of standing queries over the same

@@ -99,8 +99,20 @@ func (e *TreeEnumerator) Results() iter.Seq[tree.Assignment] {
 	return e.eng.Snapshot().Results()
 }
 
-// Count drains Results and returns the number of satisfying assignments.
+// Count returns the number of satisfying assignments: an O(poly|Q|)
+// semiring lookup for unambiguous queries (engine.Snapshot.Count), a
+// drain otherwise.
 func (e *TreeEnumerator) Count() int { return e.eng.Snapshot().Count() }
+
+// At returns the j-th element of Results without enumerating the first
+// j (count-guided descent; see engine.Snapshot.At).
+func (e *TreeEnumerator) At(j int) (tree.Assignment, error) { return e.eng.Snapshot().At(j) }
+
+// Page returns Results elements [offset, offset+limit) statelessly
+// (see engine.Snapshot.Page).
+func (e *TreeEnumerator) Page(offset, limit int) []tree.Assignment {
+	return e.eng.Snapshot().Page(offset, limit)
+}
 
 // NonEmpty reports whether at least one satisfying assignment exists; by
 // the delay bound it runs in time independent of |T| (indexed mode).

@@ -65,8 +65,19 @@ func (e *WordEnumerator) Results() iter.Seq[tree.Assignment] {
 	return e.eng.Snapshot().Results()
 }
 
-// Count drains Results and returns the number of results.
+// Count returns the number of results: an O(poly|Q|) semiring lookup
+// for unambiguous queries (engine.Snapshot.Count), a drain otherwise.
 func (e *WordEnumerator) Count() int { return e.eng.Snapshot().Count() }
+
+// At returns the j-th element of Results without enumerating the first
+// j (count-guided descent; see engine.Snapshot.At).
+func (e *WordEnumerator) At(j int) (tree.Assignment, error) { return e.eng.Snapshot().At(j) }
+
+// Page returns Results elements [offset, offset+limit) statelessly
+// (see engine.Snapshot.Page).
+func (e *WordEnumerator) Page(offset, limit int) []tree.Assignment {
+	return e.eng.Snapshot().Page(offset, limit)
+}
 
 // All materializes every result.
 func (e *WordEnumerator) All() []tree.Assignment { return e.eng.Snapshot().All() }

@@ -97,6 +97,28 @@ func (e *Evaluator[T]) Gamma(b *circuit.Box, gamma bitset.Set, emptyOK bool) T {
 	return v
 }
 
+// UnionsOf evaluates every ∪-gate of box b and returns the cached value
+// slice, indexed by local ∪-gate. The slice is owned by the evaluator's
+// cache and is written at most once per box identity, so callers may
+// publish it into frozen, concurrently read structures (the engine
+// stores it on enumerate.IndexedBox wrappers) as long as they never
+// modify it. Returns nil for boxes without ∪-gates.
+func (e *Evaluator[T]) UnionsOf(b *circuit.Box) []T {
+	for u := range b.Unions {
+		e.Union(b, u)
+	}
+	return e.cache[b]
+}
+
+// Forget drops the cache entry of one box. The engine calls it when a
+// box retires from the live attachment map, so the writer-side cache
+// tracks the live term the way the attachment maps do; values already
+// published into snapshots are immutable and unaffected.
+func (e *Evaluator[T]) Forget(b *circuit.Box) {
+	delete(e.cache, b)
+	delete(e.have, b)
+}
+
 // Prune drops cache entries for boxes no longer reachable from root,
 // bounding memory across long update sequences.
 func (e *Evaluator[T]) Prune(root *circuit.Box) {

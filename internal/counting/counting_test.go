@@ -221,3 +221,52 @@ func TestPrune(t *testing.T) {
 		t.Fatal("prune kept dead boxes")
 	}
 }
+
+// TestUnionsOfAndForget checks the engine-facing cache surface: UnionsOf
+// fills and returns the per-box slice, identical values to Union, and
+// Forget drops exactly the given box's entry without disturbing others.
+func TestUnionsOfAndForget(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		bd, c := buildRandom(rng, 2, 5)
+		if c == nil || c.Root == nil || c.Root.Left == nil {
+			continue
+		}
+		_ = bd
+		ev := NewEvaluator[*big.Int](Derivations{})
+		var boxes []*circuit.Box
+		c.Walk(func(b *circuit.Box) { boxes = append(boxes, b) })
+		for _, b := range boxes {
+			vs := ev.UnionsOf(b)
+			if len(vs) != len(b.Unions) {
+				t.Fatalf("UnionsOf returned %d values for %d gates", len(vs), len(b.Unions))
+			}
+			for u := range b.Unions {
+				if vs[u].Cmp(ev.Union(b, u)) != 0 {
+					t.Fatalf("UnionsOf[%d] != Union", u)
+				}
+			}
+		}
+		root := c.Root
+		want := ev.UnionsOf(root.Left)
+		ev.Forget(root)
+		if _, ok := ev.cache[root]; ok {
+			t.Fatal("Forget left the root entry")
+		}
+		got := ev.UnionsOf(root.Left)
+		for u := range got {
+			if got[u].Cmp(want[u]) != 0 {
+				t.Fatal("Forget disturbed a sibling entry")
+			}
+		}
+		// Recomputation after Forget must reproduce the same values.
+		fresh := NewEvaluator[*big.Int](Derivations{})
+		for u := range root.Unions {
+			if fresh.Union(root, u).Cmp(ev.Union(root, u)) != 0 {
+				t.Fatal("recomputation after Forget diverged")
+			}
+		}
+		return
+	}
+	t.Fatal("no usable circuit generated")
+}

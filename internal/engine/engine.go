@@ -44,12 +44,14 @@ package engine
 
 import (
 	"fmt"
+	"math/big"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/circuit"
+	"repro/internal/counting"
 	"repro/internal/enumerate"
 	"repro/internal/forest"
 	"repro/internal/tree"
@@ -105,15 +107,33 @@ type pipeline struct {
 	// published snapshots hold their own references and are unaffected.
 	attach map[*forest.Node]*enumerate.IndexedBox
 
+	// counts is the counting-semiring evaluator (Section 4 multiset
+	// remark): per-box derivation counts cached by box identity, so the
+	// hollowing-trunk rebuild invalidates exactly the trunk and count
+	// maintenance rides the same O(log|T|)·poly(|Q|) repair as the
+	// index. attachNode publishes each box's count slice into its frozen
+	// wrapper (IndexedBox.Counts) for the lock-free readers; the
+	// evaluator cache itself is writer-owned and tracks the live term
+	// (Forget on retirement).
+	counts *counting.Evaluator[*big.Int]
+
+	// unambiguous records the registration-time tva.Unambiguous check:
+	// when set, derivation counts equal answer counts and snapshots take
+	// the O(poly|Q|) Count / At fast paths.
+	unambiguous bool
+
 	translatedStates int
 	boxesRebuilt     int // cumulative for this query, incl. registration
 
 	// gamma caches the accepting boxed set at the root, keyed by the
 	// root box it was computed for: publications that leave this
 	// pipeline's root untouched (register/unregister of OTHER queries)
-	// skip the poly(|Q|) RootAccepting recomputation.
+	// skip the poly(|Q|) RootAccepting recomputation. count is the total
+	// derivation count at that root (the Snapshot.Derivations value),
+	// cached under the same key.
 	gamma     bitset.Set
 	emptyOK   bool
+	count     *big.Int
 	gammaRoot *circuit.Box
 }
 
@@ -128,6 +148,7 @@ func (p *pipeline) attachNode(n *forest.Node) {
 		l, r := p.attach[n.Left], p.attach[n.Right]
 		ib = enumerate.Wrap(p.builder.InnerBox(n.BinaryLabel(), tree.InvalidNode, l.Box, r.Box), l, r, indexed)
 	}
+	ib.Counts = p.counts.UnionsOf(ib.Box)
 	p.attach[n] = ib
 	p.boxesRebuilt++
 }
@@ -180,7 +201,14 @@ func (e *Engine) register(builder *circuit.Builder, translated int, opts Options
 		builder:          builder,
 		mode:             opts.Mode,
 		attach:           map[*forest.Node]*enumerate.IndexedBox{},
+		counts:           counting.NewEvaluator[*big.Int](counting.Derivations{}),
 		translatedStates: translated,
+	}
+	// The unambiguity verdict only gates the ModeIndexed fast paths
+	// (ModeSimple is always direct, ModeNaive never): don't pay the
+	// product construction for baseline modes.
+	if opts.Mode == enumerate.ModeIndexed {
+		p.unambiguous = builder.A.Unambiguous()
 	}
 	e.src.WalkTerm(p.attachNode)
 	e.nextID++
@@ -302,7 +330,10 @@ func (e *Engine) rebuildTrunk() {
 	// no-op.)
 	for _, n := range e.src.DrainRetired() {
 		for _, p := range e.pipes {
-			delete(p.attach, n)
+			if ib, ok := p.attach[n]; ok {
+				p.counts.Forget(ib.Box)
+				delete(p.attach, n)
+			}
 		}
 	}
 }
@@ -324,12 +355,15 @@ func (e *Engine) publish() *MultiSnapshot {
 		rootIB := p.attach[root]
 		if p.gammaRoot != rootIB.Box {
 			p.gamma, p.emptyOK = p.builder.RootAccepting(&circuit.Circuit{Root: rootIB.Box})
+			p.count = p.counts.Gamma(rootIB.Box, p.gamma, p.emptyOK)
 			p.gammaRoot = rootIB.Box
 		}
 		m.snaps[id] = &Snapshot{
 			root:             rootIB,
 			gamma:            p.gamma,
 			emptyOK:          p.emptyOK,
+			count:            p.count,
+			unambiguous:      p.unambiguous,
 			mode:             p.mode,
 			version:          e.version,
 			termHeight:       root.Height,

@@ -1,7 +1,11 @@
 package engine
 
 import (
+	"errors"
+	"fmt"
 	"iter"
+	"math"
+	"math/big"
 	"sync"
 
 	"repro/internal/bitset"
@@ -38,6 +42,13 @@ type Snapshot struct {
 	emptyOK bool
 	mode    enumerate.Mode
 
+	// count is the total derivation count at the root (Section 4
+	// multiset remark), folded by the pipeline's counting evaluator at
+	// publication; unambiguous records the registration-time
+	// tva.Unambiguous verdict that makes it an exact answer count.
+	count       *big.Int
+	unambiguous bool
+
 	version          uint64
 	termHeight       int
 	boxesRebuilt     int
@@ -47,6 +58,9 @@ type Snapshot struct {
 
 	statsOnce sync.Once
 	stats     Stats
+
+	drainOnce  sync.Once
+	drainCount int
 }
 
 // Version returns the publication sequence number of the snapshot
@@ -68,13 +82,150 @@ func (s *Snapshot) Ropes() iter.Seq[*enumerate.Rope] {
 	return enumerate.Ropes(s.root, s.gamma, s.emptyOK, s.mode)
 }
 
-// Count drains Results and returns the number of satisfying assignments.
+// Count returns the number of elements Results enumerates. When the
+// snapshot supports direct access (see DirectAccess) this is an
+// O(poly(|Q|)) read of the maintained derivation count — no enumeration
+// happens, regardless of the answer-set size; otherwise it falls back
+// to draining Results once (cached per snapshot). Counts above MaxInt
+// saturate; CountBig is exact.
 func (s *Snapshot) Count() int {
-	n := 0
-	for range s.Results() {
-		n++
+	if s.DirectAccess() {
+		if !s.count.IsInt64() {
+			return math.MaxInt
+		}
+		c := s.count.Int64()
+		if c > math.MaxInt {
+			return math.MaxInt
+		}
+		return int(c)
 	}
-	return n
+	return s.drain()
+}
+
+// CountBig is Count without the int saturation.
+func (s *Snapshot) CountBig() *big.Int {
+	if s.DirectAccess() {
+		return new(big.Int).Set(s.count)
+	}
+	return big.NewInt(int64(s.drain()))
+}
+
+// drain counts by enumeration, once per snapshot.
+func (s *Snapshot) drain() int {
+	s.drainOnce.Do(func() {
+		for range s.Results() {
+			s.drainCount++
+		}
+	})
+	return s.drainCount
+}
+
+// Derivations returns the number of circuit derivations of the query on
+// this version: each satisfying assignment counted once per automaton
+// run witnessing it (the paper's Section 4 multiset semantics, with
+// empty-completion runs collapsed by homogenization). It is maintained
+// under updates by the pipeline's counting evaluator and read here in
+// O(1). For unambiguous automata — reported by DirectAccess — it equals
+// the number of satisfying assignments.
+func (s *Snapshot) Derivations() *big.Int {
+	if s.count == nil {
+		return big.NewInt(0) // zero-value snapshots of tests
+	}
+	return new(big.Int).Set(s.count)
+}
+
+// DirectAccess reports whether Count, At and Page take the fast paths
+// whose cost is independent of the answer-set size: true when the
+// maintained derivation counts are exact ranks for Results' order —
+// the query automaton passed the registration-time unambiguity check
+// (tva.Unambiguous) in the indexed mode, or the mode is ModeSimple,
+// whose enumeration has exactly one element per derivation by
+// construction. When false, the same methods stay correct but fall
+// back to (partial) enumeration.
+func (s *Snapshot) DirectAccess() bool {
+	if s.count == nil {
+		return false
+	}
+	return s.mode == enumerate.ModeSimple ||
+		(s.mode == enumerate.ModeIndexed && s.unambiguous)
+}
+
+// At returns the j-th element (0-based) of Results, in Results' order,
+// without enumerating the first j: on direct-access snapshots it
+// descends the frozen (box, index, counts) tree in O(log|T|·poly(|Q|))
+// — stateless, so "answers 10⁶ to 10⁶+20" costs the same as "answers 0
+// to 20" and any number of goroutines may page concurrently. On
+// snapshots without direct access (ambiguous automaton, ModeNaive) it
+// falls back to enumerating j+1 elements. Returns an error iff j is out
+// of range.
+func (s *Snapshot) At(j int) (tree.Assignment, error) {
+	if j < 0 {
+		return nil, fmt.Errorf("engine: rank %d out of range", j)
+	}
+	if s.DirectAccess() {
+		rope, err := enumerate.At(s.root, s.gamma, s.emptyOK, s.mode, big.NewInt(int64(j)))
+		switch {
+		case err == nil:
+			if rope == nil {
+				return tree.Assignment{}, nil
+			}
+			return rope.Materialize(), nil
+		case errors.Is(err, enumerate.ErrRankRange):
+			return nil, fmt.Errorf("engine: rank %d out of range (count %s)", j, s.count)
+		}
+		// ErrAmbiguous / ErrNoDirectAccess: defensive fall-through to the
+		// enumeration path, which is always correct.
+	}
+	i := 0
+	for a := range s.Results() {
+		if i == j {
+			return a, nil
+		}
+		i++
+	}
+	return nil, fmt.Errorf("engine: rank %d out of range (count %d)", j, i)
+}
+
+// Page returns Results elements [offset, offset+limit) in Results'
+// order — the stateless pagination primitive: no cursor, no per-client
+// enumeration state, and under updates each page is simply served from
+// whichever immutable snapshot the caller holds. Short (or empty) pages
+// mean the range ran past the end. On direct-access snapshots each page
+// costs O(limit·log|T|·poly(|Q|)) independent of offset; otherwise one
+// enumeration of offset+limit elements.
+func (s *Snapshot) Page(offset, limit int) []tree.Assignment {
+	if offset < 0 || limit <= 0 {
+		return nil
+	}
+	if s.DirectAccess() {
+		// Clamp the preallocation to what the snapshot can actually
+		// serve: limit is caller-supplied and may be huge.
+		prealloc := limit
+		if remaining := s.Count() - offset; remaining < prealloc {
+			prealloc = max(remaining, 0)
+		}
+		out := make([]tree.Assignment, 0, prealloc)
+		for i := 0; i < limit; i++ {
+			a, err := s.At(offset + i)
+			if err != nil {
+				break
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	var out []tree.Assignment
+	i := 0
+	for a := range s.Results() {
+		if i >= offset {
+			out = append(out, a)
+			if len(out) == limit {
+				break
+			}
+		}
+		i++
+	}
+	return out
 }
 
 // NonEmpty reports whether at least one satisfying assignment exists; by

@@ -2,10 +2,19 @@ package enumerate
 
 import (
 	"iter"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/tree"
 )
+
+// EnumStarts counts how many enumerations have been started (one
+// increment per iteration of a Ropes/Assignments sequence, not per
+// result). It is a test instrumentation hook: regression tests assert
+// that the algebraic fast paths (Snapshot.Count, Snapshot.At) perform
+// no enumeration work by observing this counter. Production code never
+// reads it.
+var EnumStarts atomic.Int64
 
 // Mode selects the enumeration strategy.
 type Mode int
@@ -143,6 +152,7 @@ func gateProv(r bitset.Matrix, outs []int32) bitset.Set {
 // independent enumerations from the same wrapper concurrently.
 func Ropes(b *IndexedBox, gamma bitset.Set, emptyOK bool, mode Mode) iter.Seq[*Rope] {
 	return func(yield func(*Rope) bool) {
+		EnumStarts.Add(1)
 		if emptyOK {
 			if !yield(nil) {
 				return

@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"math/big"
 	"sort"
 
 	"repro/internal/bitset"
@@ -27,6 +28,15 @@ type IndexedBox struct {
 	// Index is nil when the wrapper was built without the Definition 6.1
 	// index (ModeNaive / ModeSimple pipelines).
 	Index *BoxIndex
+	// Counts, when counting is enabled, holds the number of circuit
+	// derivations of each local ∪-gate — the Section 4 multiset count of
+	// (run, valuation) pairs, computed by counting.Derivations — indexed
+	// by local ∪-gate. It is the per-box state of the direct-access
+	// descent (direct.go). Like everything else reachable from the
+	// wrapper it is frozen: the engine fills it before the wrapper is
+	// shared and nothing may mutate it (or the big.Ints inside) after.
+	// Nil when counting is disabled or the box has no ∪-gates.
+	Counts []*big.Int
 }
 
 // IsLeaf reports whether the wrapped box is a leaf of the tree of boxes.

@@ -1,0 +1,115 @@
+package tva
+
+import "repro/internal/tree"
+
+// ambiguityBudget caps the work Unambiguous may spend (pair-transition
+// visits across fixpoint passes), and ambiguityPairCap caps the n×n
+// pair tables it allocates (two []bool of that size, so ~8 MB at the
+// cap). Beyond either, the check gives up and reports false —
+// "possibly ambiguous" — which is always sound for callers gating
+// exact-count fast paths on the result.
+const (
+	ambiguityBudget  = 1 << 26
+	ambiguityPairCap = 1 << 22
+)
+
+// Unambiguous reports whether the automaton admits at most one
+// accepting run per (tree, valuation). When the automaton is
+// homogenized the check is restricted to valuations with at least one
+// nonempty annotation: every run on such an input ends in a 1-state,
+// and the multiplicity of the empty assignment is carried separately by
+// the circuit construction (the emptyOK flag of RootAccepting), so
+// 0-state ambiguity never affects derivation counts.
+//
+// Unambiguity is what makes the counting semiring exact: the circuit of
+// Lemma 3.7 has one derivation per (run, valuation) pair, so for an
+// unambiguous automaton the derivation count of package counting equals
+// the number of satisfying assignments, and rank-indexed direct access
+// over derivation counts agrees with the duplicate-free enumeration.
+//
+// The check is the standard product construction, polynomial in |A|:
+// track the pairs of states reachable by two runs on the same (tree,
+// valuation), with a bit recording whether the two runs differ anywhere
+// in the subtree (root included); the automaton is ambiguous iff a
+// distinct pair of final (1-)states is reachable. False negatives occur
+// only when the product exceeds ambiguityBudget, never false positives.
+func (a *Binary) Unambiguous() bool {
+	n := a.NumStates
+	if n == 0 {
+		return true
+	}
+	if n > ambiguityPairCap/n {
+		return false
+	}
+	reach := make([]bool, n*n) // pair (p,q) reachable on some (tree, valuation)
+	dist := make([]bool, n*n)  // ... by two runs that differ somewhere
+
+	// Leaf pairs: two initial rules firing on the same (label, annotation).
+	type leafKey struct {
+		l tree.Label
+		s tree.VarSet
+	}
+	byInit := map[leafKey][]State{}
+	for _, r := range a.Init {
+		k := leafKey{r.Label, r.Set}
+		byInit[k] = append(byInit[k], r.State)
+	}
+	for _, qs := range byInit {
+		for _, p := range qs {
+			for _, q := range qs {
+				reach[int(p)*n+int(q)] = true
+				if p != q {
+					dist[int(p)*n+int(q)] = true
+				}
+			}
+		}
+	}
+
+	byLabel := a.DeltaByLabel()
+	work := n * n
+	for changed := true; changed; {
+		changed = false
+		for _, ts := range byLabel {
+			for _, t1 := range ts {
+				for _, t2 := range ts {
+					work++
+					if work > ambiguityBudget {
+						return false
+					}
+					lp := int(t1.Left)*n + int(t2.Left)
+					rp := int(t1.Right)*n + int(t2.Right)
+					if !reach[lp] || !reach[rp] {
+						continue
+					}
+					op := int(t1.Out)*n + int(t2.Out)
+					if !reach[op] {
+						reach[op] = true
+						changed = true
+					}
+					if !dist[op] && (dist[lp] || dist[rp] || t1.Out != t2.Out) {
+						dist[op] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	relevant := func(q State) bool {
+		return !a.Homogenized || a.OneStates.Has(int(q))
+	}
+	for _, f1 := range a.Final {
+		if !relevant(f1) {
+			continue
+		}
+		for _, f2 := range a.Final {
+			if !relevant(f2) {
+				continue
+			}
+			if dist[int(f1)*n+int(f2)] {
+				return false
+			}
+		}
+	}
+	return true
+}

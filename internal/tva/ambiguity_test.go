@@ -1,0 +1,107 @@
+package tva
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+var ambAlpha = []tree.Label{"a", "b"}
+
+// TestUnambiguousDeterministic: a bottom-up deterministic automaton is
+// unambiguous by construction, before and after homogenization.
+func TestUnambiguousDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for seed := 0; seed < 20; seed++ {
+		a := RandomBinary(rng, 3, ambAlpha, tree.VarSet(1), 0.3)
+		d := Determinize(a).Trim()
+		if !d.Unambiguous() {
+			t.Fatalf("seed %d: determinized automaton reported ambiguous", seed)
+		}
+		if !d.Homogenize().Unambiguous() {
+			t.Fatalf("seed %d: homogenized determinized automaton reported ambiguous", seed)
+		}
+	}
+}
+
+// TestAmbiguousDuplicatedRun: duplicating an accepting state makes two
+// runs accept every input that one did.
+func TestAmbiguousDuplicatedRun(t *testing.T) {
+	// States 0 and 1 are interchangeable accepting copies reached from
+	// the same annotated leaf.
+	a := &Binary{
+		NumStates: 2,
+		Alphabet:  ambAlpha,
+		Vars:      tree.VarSet(1),
+		Init: []InitRule{
+			{Label: "a", Set: tree.VarSet(1), State: 0},
+			{Label: "a", Set: tree.VarSet(1), State: 1},
+		},
+		Final: []State{0, 1},
+	}
+	if a.Unambiguous() {
+		t.Fatal("duplicated accepting run reported unambiguous")
+	}
+	// Homogenization preserves the ambiguity (both copies are 1-states).
+	if a.Homogenize().Unambiguous() {
+		t.Fatal("homogenized duplicate reported unambiguous")
+	}
+}
+
+// TestUnambiguousIgnoresZeroStateAmbiguity: after homogenization only
+// 1-state ambiguity matters — several runs may accept the empty
+// valuation without affecting nonempty derivation counts.
+func TestUnambiguousIgnoresZeroStateAmbiguity(t *testing.T) {
+	// Two distinct accepting runs exist for the EMPTY annotation only;
+	// the single nonempty-annotation run is unique.
+	a := &Binary{
+		NumStates: 3,
+		Alphabet:  ambAlpha,
+		Vars:      tree.VarSet(1),
+		Init: []InitRule{
+			{Label: "a", Set: 0, State: 0},
+			{Label: "a", Set: 0, State: 1},
+			{Label: "a", Set: tree.VarSet(1), State: 2},
+		},
+		Final: []State{0, 1, 2},
+	}
+	if a.Unambiguous() {
+		t.Fatal("raw automaton is ambiguous (two empty-valuation runs)")
+	}
+	h := a.Homogenize()
+	if !h.Unambiguous() {
+		t.Fatal("homogenized check must ignore 0-state ambiguity")
+	}
+}
+
+// TestAmbiguousNondeterministicGuess: the classic ambiguous shape — a
+// final state reachable by two different interior guesses for the same
+// annotated tree.
+func TestAmbiguousNondeterministicGuess(t *testing.T) {
+	// Leaf states 0 (annotated) and 1 (plain); inner node may route the
+	// pair through two different intermediate states 2 or 3, both
+	// leading to final 4 one level up.
+	a := &Binary{
+		NumStates: 5,
+		Alphabet:  ambAlpha,
+		Vars:      tree.VarSet(1),
+		Init: []InitRule{
+			{Label: "a", Set: tree.VarSet(1), State: 0},
+			{Label: "a", Set: 0, State: 1},
+		},
+		Delta: []Triple{
+			{Label: "b", Left: 0, Right: 1, Out: 2},
+			{Label: "b", Left: 0, Right: 1, Out: 3},
+			{Label: "b", Left: 2, Right: 1, Out: 4},
+			{Label: "b", Left: 3, Right: 1, Out: 4},
+		},
+		Final: []State{4},
+	}
+	if a.Unambiguous() {
+		t.Fatal("two-guess automaton reported unambiguous")
+	}
+	if a.Homogenize().Unambiguous() {
+		t.Fatal("homogenized two-guess automaton reported unambiguous")
+	}
+}
