@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/enumerate"
+	"repro/internal/experiments"
 	"repro/internal/forest"
 	"repro/internal/markedanc"
 	"repro/internal/spanner"
@@ -607,6 +608,40 @@ func BenchmarkMultiQueryBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelPipelines mirrors experiment C3: per-edit publish
+// latency of a QuerySet with k=16 standing queries when the per-query
+// trunk repair is fanned out across workers ∈ {1, 4, 8}
+// (engine.SetWorkers; workers=1 is the deterministic sequential path).
+// On w cores the parallel variants should approach serial/w; on a
+// single core they time-share and mainly pin that the pool adds no
+// meaningful overhead. cmd/benchtables -parallel emits the same
+// measurement as the machine-readable BENCH_parallel.json baseline.
+func BenchmarkParallelPipelines(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	ut := mustTree(b, workload.ShapeRandom, 16000, rng)
+	_, queries := experiments.ParallelQueries() // the C3 pool of 16
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("k=16/workers=%d", workers), func(b *testing.B) {
+			qs := engine.NewTreeSet(ut.Clone())
+			qs.SetWorkers(workers)
+			for _, q := range queries {
+				if _, err := qs.Register(q, engine.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nodes := qs.Tree().Nodes()
+			wrng := rand.New(rand.NewSource(42))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := nodes[wrng.Intn(len(nodes))]
+				if _, err := qs.Relabel(n.ID, workload.Word(1, wrng)[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFacadeQuickstart keeps the README flow honest under -bench.

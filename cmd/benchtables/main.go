@@ -19,6 +19,11 @@
 //	                         # run the direct-access experiment (D1: Count
 //	                         # and At(j) latency vs answer-set size, engine
 //	                         # vs drain) and write its JSON baseline
+//	benchtables -parallel BENCH_parallel.json
+//	                         # run the parallel-write-path experiment (C3:
+//	                         # per-edit publish latency vs standing queries
+//	                         # for workers ∈ {1,4,8}) and write its JSON
+//	                         # baseline
 package main
 
 import (
@@ -48,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	concurrent := fs.String("concurrent", "", "run the concurrent-readers experiment and write its JSON baseline to this path")
 	multiquery := fs.String("multiquery", "", "run the multi-query experiment and write its JSON baseline to this path")
 	directaccess := fs.String("directaccess", "", "run the direct-access experiment and write its JSON baseline to this path")
+	parallel := fs.String("parallel", "", "run the parallel-write-path experiment and write its JSON baseline to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,9 +83,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "T1", "T2", "F1"}
 
 	start := time.Now()
-	// -concurrent / -multiquery / -directaccess alone skip the table
-	// sweep unless IDs were requested.
-	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "") || len(want) > 0
+	// -concurrent / -multiquery / -directaccess / -parallel alone skip
+	// the table sweep unless IDs were requested.
+	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "") || len(want) > 0
 	if runTables {
 		for _, id := range order {
 			if len(want) > 0 && !want[id] {
@@ -132,6 +138,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "[D1 done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *directaccess)
+	}
+	if *parallel != "" {
+		t0 := time.Now()
+		base := experiments.Parallel(*quick)
+		fmt.Fprintln(stdout, base.Table().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*parallel, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[C3 done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *parallel)
 	}
 	fmt.Fprintf(stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
 	return nil

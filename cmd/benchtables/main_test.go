@@ -62,3 +62,47 @@ func TestConcurrentBaseline(t *testing.T) {
 		t.Fatalf("missing C1 table:\n%s", stdout.String())
 	}
 }
+
+// TestParallelBaseline smoke-tests the BENCH_parallel.json emitter (C3):
+// the file must decode with the full (queries × workers) sweep, positive
+// latencies, and speedup normalized to 1 on the serial rows.
+func TestParallelBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-parallel", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base experiments.ParallelBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("invalid JSON baseline: %v", err)
+	}
+	if len(base.Points) != 9 {
+		t.Fatalf("baseline has %d points, want 9 (k in {1,4,16} x workers in {1,4,8})", len(base.Points))
+	}
+	if base.CPUs <= 0 || base.GoMaxProcs <= 0 || len(base.QuerySpecs) != 16 {
+		t.Fatalf("environment/query metadata missing: %+v", base)
+	}
+	i := 0
+	for _, k := range []int{1, 4, 16} {
+		for _, w := range []int{1, 4, 8} {
+			p := base.Points[i]
+			i++
+			if p.Queries != k || p.Workers != w {
+				t.Fatalf("point %d is (k=%d, w=%d), want (k=%d, w=%d)", i-1, p.Queries, p.Workers, k, w)
+			}
+			if p.MicrosPerEdit <= 0 || p.Speedup <= 0 {
+				t.Fatalf("point %d: no latency measured: %+v", i-1, p)
+			}
+			if w == 1 && p.Speedup != 1 {
+				t.Fatalf("point %d: serial speedup = %v, want 1", i-1, p.Speedup)
+			}
+		}
+	}
+	if !strings.Contains(stdout.String(), "Parallel write path") {
+		t.Fatalf("missing C3 table:\n%s", stdout.String())
+	}
+}

@@ -77,6 +77,14 @@
 //	m, _, _ := qs.ApplyBatch(batch)   // one publication for all queries
 //	for asg := range m.Query(q1).Results() { use(asg) }
 //	for asg := range m.Query(q2).Results() { use(asg) }
+//
+// With many standing queries the per-query repair of each edit fans out
+// across a bounded worker pool (the parallel write path; default
+// GOMAXPROCS, see Options.Workers / QuerySet.SetWorkers), and queries
+// register without stalling the edit stream: the new query's structure
+// is built off the writer's critical section against a pinned term
+// version. QuerySet.Stats returns the immutable work counters (shared
+// term work vs per-query repair) of the latest publication.
 package enumtrees
 
 import (
@@ -221,6 +229,11 @@ type (
 	QueryID = engine.QueryID
 	// MultiSnapshot is one published version of every standing query.
 	MultiSnapshot = engine.MultiSnapshot
+	// EngineStats is one immutable reading of an engine's cumulative
+	// work counters (QuerySet.Stats / WordQuerySet.Stats): shared term
+	// work vs per-query repair, safe to read concurrently with the
+	// parallel write path.
+	EngineStats = engine.EngineStats
 )
 
 // InvalidNode is the sentinel NodeID meaning "no node" (unapplied batch

@@ -18,6 +18,15 @@ import (
 // The builder exposes the two per-node steps (LeafBox, InnerBox) so that
 // the update machinery of Section 7 can rebuild exactly the boxes touched
 // by a tree hollowing.
+//
+// CONCURRENCY: after NewBuilder returns, a Builder is read-only — the
+// rule indexes are built once and LeafBox/InnerBox/RootAccepting only
+// read them while allocating fresh boxes — but the dynamic engine does
+// not rely on that: its parallel write path gives every per-query
+// pipeline its own Builder and confines it to one worker goroutine per
+// publication, the same discipline as the pipeline's counting.Evaluator
+// (which IS stateful). Keep any future memoization inside that
+// assumption or the engine's -race stress tests will trip.
 type Builder struct {
 	A       *tva.Binary
 	initBy  map[tree.Label][]tva.InitRule

@@ -39,6 +39,14 @@ type Semiring[T any] interface {
 // Evaluator computes per-∪-gate semiring values with caching keyed by
 // box identity. Boxes rebuilt by updates get fresh identities, so cached
 // values of untouched subtrees stay valid across updates.
+//
+// CONCURRENCY: an Evaluator is NOT safe for concurrent use — every
+// method mutates the cache maps. The dynamic engine's parallel write
+// path therefore confines each Evaluator to one per-query pipeline,
+// touched by exactly one worker goroutine per publication; only the
+// immutable value slices it hands out via UnionsOf are shared with
+// lock-free readers (see that method's contract). The engine's -race
+// churn stress tests enforce this confinement.
 type Evaluator[T any] struct {
 	S     Semiring[T]
 	cache map[*circuit.Box][]T

@@ -13,38 +13,65 @@
 //
 //   - N per-query PIPELINES, one per registered query: a circuit
 //     builder for the query's homogenized automaton, the attachment map
-//     from live term nodes to frozen (Box, BoxIndex) units, the
-//     enumeration mode, and — in each published snapshot — the γ set of
-//     accepting states at the root. Only the O(log|T|)·poly(|Q|) box
-//     and index repair along the hollowing trunk (Lemma 7.3) scales
-//     with the number of queries.
+//     from live term nodes to frozen (Box, BoxIndex) units, the counting
+//     evaluator, the enumeration mode, and — in each published snapshot
+//     — the γ set of accepting states at the root. Only the
+//     O(log|T|)·poly(|Q|) box and index repair along the hollowing trunk
+//     (Lemma 7.3) scales with the number of queries.
 //
-// Queries register and unregister at runtime: registration builds the
-// new pipeline's (box, index) tree against the current term version by
-// a bottom-up walk of the live term (forest.WalkTerm), without touching
-// other pipelines' attachments; unregistration drops exactly one
-// pipeline's attachments.
+// PARALLEL WRITE PATH. Each batch drains the source's trunk ONCE into an
+// immutable forest.TrunkDelta; per-query repair then runs through
+// pipeline.applyDelta, a self-contained replay with no shared mutable
+// state, fanned out across a bounded worker pool (default GOMAXPROCS,
+// see Options.Workers / SetWorkers). Pipelines share only immutable
+// structure — the delta's frozen term nodes and the boxes of untouched
+// subtrees — so per-edit publish latency stays flat in the number of
+// subscribers on enough cores: O(log|T|) shared term work plus
+// O(log|T|·poly(|Q|)·k/workers) repair. A single standing query (or
+// Workers=1) takes a deterministic sequential path with no goroutines,
+// so single-query latency does not regress.
+//
+// Queries register and unregister at runtime. Registration is
+// LOCK-LIGHT: the writer lock is held only to pin the current term
+// version (and on splice-in); the new pipeline's (box, index, counts)
+// tree is built against the pinned term OFF the critical section, while
+// edits keep streaming. Deltas published in between are recorded and
+// replayed onto the new pipeline before it is spliced in, so the late
+// query answers exactly as if registered under a full lock — without
+// stalling the edit stream for every other subscriber while a large
+// query preprocesses. Unregistration drops exactly one pipeline's
+// attachments.
 //
 // Publication is an immutable MultiSnapshot — query ID → Snapshot —
 // installed through a single atomic.Pointer. Readers stay lock-free:
 // one atomic load yields a consistent version of every standing query,
-// and everything reachable from it is frozen. Per-query enumeration
-// (Snapshot.Results and friends) is unchanged from the single-query
-// engine.
+// and everything reachable from it is frozen. Cumulative work counters
+// are published the same way (Engine.Stats): an immutable EngineStats
+// value per publication, readable concurrently with the parallel
+// writer.
+//
+// GOROUTINE CONFINEMENT. A pipeline — its circuit.Builder, its attach
+// map, its counting.Evaluator, its γ cache — is touched by at most one
+// goroutine at a time: exactly one pool worker per publication (the
+// workers partition the pipeline slice), or the registering goroutine
+// before splice-in. Nothing in a pipeline is safe for concurrent use and
+// nothing needs to be; the -race churn stress tests
+// (TestParallelRegisterChurnStress and friends) enforce the discipline.
 //
 // TreeEngine and WordEngine remain as thin single-query shims over
 // TreeSet and WordSet for callers that serve one query per document.
 //
 // Batched updates (ApplyBatch) amortize the publication work: all edits
 // of a batch run back-to-back on the forest, the dirtied trunk is
-// deduplicated by Drain, and boxes shared by several edits' trunks are
-// rebuilt once per pipeline instead of once per edit — one publication
-// per batch.
+// deduplicated into one TrunkDelta, and boxes shared by several edits'
+// trunks are rebuilt once per pipeline instead of once per edit — one
+// publication per batch.
 package engine
 
 import (
 	"fmt"
 	"math/big"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -57,12 +84,23 @@ import (
 	"repro/internal/tree"
 )
 
-// Options configure a registered query.
+// Options configure a registered query (Mode) and, for convenience, the
+// engine it registers into (Workers).
 type Options struct {
 	// Mode selects the enumeration algorithm (default: ModeIndexed, the
 	// paper's algorithm). ModeNaive and ModeSimple are the baselines of
 	// experiments E1/E8.
 	Mode enumerate.Mode
+
+	// Workers bounds the engine's worker pool for the parallel write
+	// path: how many goroutines fan one trunk delta out across the
+	// standing queries' pipelines. It is an ENGINE-wide setting carried
+	// on the per-query Options for convenience — a positive value at
+	// Register adopts it for the whole engine, exactly like
+	// Engine.SetWorkers. Zero keeps the current setting (default:
+	// runtime.GOMAXPROCS(0)); 1 forces the deterministic sequential
+	// path. The pool never exceeds the number of registered queries.
+	Workers int
 }
 
 // QueryID identifies a registered query within an Engine. IDs are
@@ -77,34 +115,35 @@ type QueryID int
 type Source interface {
 	// TermRoot returns the current term root.
 	TermRoot() *forest.Node
-	// Drain returns the term nodes needing circuit-box (re)construction,
-	// children before parents, and resets the dirty list.
-	Drain() []*forest.Node
-	// DrainRetired returns the term nodes dropped from the term since
-	// the last call (their attachments can be released) and resets the
-	// list.
-	DrainRetired() []*forest.Node
-	// WalkTerm visits every node of the live term bottom-up without
-	// consuming the dirty protocol (late query registration).
-	WalkTerm(func(*forest.Node))
+	// DrainDelta returns the batch's hollowing information — fresh trunk
+	// nodes (children before parents), retired nodes, resulting root —
+	// as one immutable, replayable TrunkDelta, and resets the dirty
+	// protocol. Many consumers may replay the returned delta
+	// concurrently; the source never mutates nodes reachable from it.
+	// (Late registration needs no extra protocol: it pins TermRoot and
+	// walks the frozen term directly.)
+	DrainDelta() forest.TrunkDelta
 	// Rebalances returns the cumulative number of scapegoat rebuilds.
 	Rebalances() int
 }
 
 // pipeline is the per-query half of the engine: everything that depends
 // on one registered query. The shared term work (path copies,
-// rebalances) lives in the Source; a pipeline only ever consumes the
-// drained trunk. The query's γ (accepting boxed set at the root) is
-// recomputed at each publication and lives in the published Snapshot.
+// rebalances) lives in the Source; a pipeline only ever consumes
+// immutable trunk deltas. A pipeline is GOROUTINE-CONFINED: it is
+// mutated by exactly one goroutine at a time (one pool worker per
+// publication, or the registering goroutine before splice-in) and none
+// of its state — builder, attach map, counting evaluator, γ cache — is
+// safe for concurrent use.
 type pipeline struct {
 	builder *circuit.Builder
 	mode    enumerate.Mode
 
 	// attach maps live term nodes to their frozen wrapper. Entries of
-	// term nodes retired by path copying are released eagerly after
-	// every rebuild (DrainRetired), so the map — and with it the set of
-	// superseded boxes the writer keeps alive — tracks the live term;
-	// published snapshots hold their own references and are unaffected.
+	// term nodes retired by path copying are released eagerly by every
+	// delta replay, so the map — and with it the set of superseded boxes
+	// the writer keeps alive — tracks the live term; published snapshots
+	// hold their own references and are unaffected.
 	attach map[*forest.Node]*enumerate.IndexedBox
 
 	// counts is the counting-semiring evaluator (Section 4 multiset
@@ -113,7 +152,7 @@ type pipeline struct {
 	// maintenance rides the same O(log|T|)·poly(|Q|) repair as the
 	// index. attachNode publishes each box's count slice into its frozen
 	// wrapper (IndexedBox.Counts) for the lock-free readers; the
-	// evaluator cache itself is writer-owned and tracks the live term
+	// evaluator cache itself is pipeline-owned and tracks the live term
 	// (Forget on retirement).
 	counts *counting.Evaluator[*big.Int]
 
@@ -153,50 +192,143 @@ func (p *pipeline) attachNode(n *forest.Node) {
 	p.boxesRebuilt++
 }
 
-// Engine is the shared writer core of a query set: it owns the source's
-// trunk drain, the per-query pipelines, and the published MultiSnapshot.
-// All mutation goes through Mutate / Register / Unregister, which
-// serialize writers; Snapshot is safe from any goroutine at any time.
-type Engine struct {
-	mu     sync.Mutex
-	src    Source
-	pipes  map[QueryID]*pipeline
-	order  []QueryID // registered IDs, ascending (publication order)
-	nextID QueryID
+// replay brings the pipeline's attachments from the previous term
+// version to the delta's: a fresh frozen (box, index, counts) unit per
+// trunk node, children before parents, sharing the wrappers of all
+// untouched subtrees (Lemma 7.3), then the retirement cleanup — Forget
+// the counting cache entry and drop the attachment of every node the
+// batch removed from the term (paid here, on the replaying goroutine,
+// not by the writer). Nodes never attached are a no-op.
+func (p *pipeline) replay(delta forest.TrunkDelta) {
+	for _, n := range delta.Fresh {
+		p.attachNode(n)
+	}
+	for _, n := range delta.Retired {
+		if ib, ok := p.attach[n]; ok {
+			p.counts.Forget(ib.Box)
+			delete(p.attach, n)
+		}
+	}
+}
 
-	snap atomic.Pointer[MultiSnapshot]
+// pubInfo carries the shared per-publication values every pipeline's
+// snapshot records; it is read-only for the workers.
+type pubInfo struct {
+	version    uint64
+	termHeight int
+	pathCopies int
+	rebalances int
+}
+
+// applyDelta is the self-contained per-query unit of the parallel write
+// path: replay the immutable trunk delta (box/index/count repair plus
+// retirement cleanup), recompute γ and the root derivation count if this
+// pipeline's root box changed, and assemble the query's published
+// Snapshot. It touches no state outside the pipeline, so the engine may
+// run any number of applyDelta calls — one per pipeline — concurrently
+// against the same delta.
+func (p *pipeline) applyDelta(delta forest.TrunkDelta, pub pubInfo) *Snapshot {
+	p.replay(delta)
+	rootIB := p.attach[delta.Root]
+	if p.gammaRoot != rootIB.Box {
+		p.gamma, p.emptyOK = p.builder.RootAccepting(&circuit.Circuit{Root: rootIB.Box})
+		p.count = p.counts.Gamma(rootIB.Box, p.gamma, p.emptyOK)
+		p.gammaRoot = rootIB.Box
+	}
+	return &Snapshot{
+		root:             rootIB,
+		gamma:            p.gamma,
+		emptyOK:          p.emptyOK,
+		count:            p.count,
+		unambiguous:      p.unambiguous,
+		mode:             p.mode,
+		version:          pub.version,
+		termHeight:       pub.termHeight,
+		boxesRebuilt:     p.boxesRebuilt,
+		pathCopies:       pub.pathCopies,
+		rebalances:       pub.rebalances,
+		translatedStates: p.translatedStates,
+		automatonStates:  p.builder.A.NumStates,
+	}
+}
+
+// Engine is the shared writer core of a query set: it owns the source's
+// trunk drain, the per-query pipelines, the worker pool bound, and the
+// published MultiSnapshot. All mutation goes through Mutate / Register /
+// Unregister, which serialize writers; Snapshot and Stats are safe from
+// any goroutine at any time.
+type Engine struct {
+	mu      sync.Mutex
+	src     Source
+	pipes   map[QueryID]*pipeline
+	order   []QueryID // registered IDs, ascending (publication order)
+	nextID  QueryID
+	workers int
+
+	// regPins holds the absolute delta-log start index of every
+	// in-flight lock-light registration; while any is pinned, deltaLog
+	// records every published TrunkDelta so the registering goroutines
+	// can replay what they missed before splicing their pipelines in.
+	// logBase is the absolute index of deltaLog[0]; whenever a pin
+	// drops, the prefix no remaining pin needs is trimmed, so the log is
+	// bounded by the deltas published during the longest STILL-RUNNING
+	// registration (not by overlapping chains of them).
+	regPins  []int
+	logBase  int
+	deltaLog []forest.TrunkDelta
+
+	snap  atomic.Pointer[MultiSnapshot]
+	stats atomic.Pointer[EngineStats]
 
 	version    uint64
 	pathCopies int // cumulative term nodes drained (shared across queries)
 	// boxesReleased accumulates the boxesRebuilt counters of unregistered
-	// pipelines so BoxesRebuilt stays cumulative and monotone.
+	// pipelines so EngineStats.BoxesRebuilt stays cumulative and monotone.
 	boxesReleased int
 }
 
 // initEngine wires the shared fields around the freshly built source,
-// consumes the initial build's dirty list (there are no pipelines yet to
-// attach it to — late registration walks the live term instead), and
+// consumes the initial build's delta (there are no pipelines yet to
+// replay it — late registration walks the live term instead), and
 // installs the empty version-0 MultiSnapshot so Snapshot never returns
 // nil. The first registration publishes version 1. Called by NewTreeSet
 // / NewWordSet.
 func (e *Engine) initEngine(src Source) {
 	e.src = src
 	e.pipes = map[QueryID]*pipeline{}
-	e.rebuildTrunk()
+	e.workers = runtime.GOMAXPROCS(0)
+	delta := src.DrainDelta()
+	e.pathCopies += len(delta.Fresh)
 	e.snap.Store(&MultiSnapshot{snaps: map[QueryID]*Snapshot{}})
+	e.publishStats()
+}
+
+// SetWorkers bounds the worker pool of the parallel write path: at most
+// n goroutines fan each trunk delta out across the standing queries'
+// pipelines. n <= 0 resets to the default, runtime.GOMAXPROCS(0); n == 1
+// forces the deterministic sequential path. The bound applies from the
+// next publication on.
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.setWorkersLocked(n)
+}
+
+func (e *Engine) setWorkersLocked(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
 }
 
 // register creates the pipeline for a prepared query builder, builds its
-// (box, index) tree against the current term by a bottom-up walk of the
-// live term — other pipelines' attachments are untouched — and publishes
-// a MultiSnapshot that includes the new query.
+// (box, index, counts) tree against the pinned current term OFF the
+// writer's critical section, replays whatever deltas were published
+// meanwhile, and splices the finished pipeline in under a short lock
+// hold, publishing a MultiSnapshot that includes the new query. Edits
+// (and other registrations) stream concurrently with the O(|T|) build —
+// registering a large query no longer stalls the update stream.
 func (e *Engine) register(builder *circuit.Builder, translated int, opts Options) QueryID {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	// Flush any pending trunk first so the walk below sees exactly the
-	// live term and existing pipelines stay in sync (the dirty list is
-	// normally empty here: every mutation drains before publishing).
-	e.rebuildTrunk()
 	p := &pipeline{
 		builder:          builder,
 		mode:             opts.Mode,
@@ -206,16 +338,46 @@ func (e *Engine) register(builder *circuit.Builder, translated int, opts Options
 	}
 	// The unambiguity verdict only gates the ModeIndexed fast paths
 	// (ModeSimple is always direct, ModeNaive never): don't pay the
-	// product construction for baseline modes.
+	// product construction for baseline modes. Off-lock: the builder is
+	// confined to this goroutine until splice-in.
 	if opts.Mode == enumerate.ModeIndexed {
 		p.unambiguous = builder.A.Unambiguous()
 	}
-	e.src.WalkTerm(p.attachNode)
+
+	// Short lock hold #1: pin the current term version and start
+	// recording deltas. Any trunk left undrained by a non-Mutate path is
+	// absorbed first so the pinned walk sees exactly the live term
+	// (normally a no-op: every mutation drains before publishing).
+	e.mu.Lock()
+	if opts.Workers > 0 {
+		e.setWorkersLocked(opts.Workers)
+	}
+	e.absorbPending()
+	root := e.src.TermRoot()
+	pin := e.logBase + len(e.deltaLog)
+	e.regPins = append(e.regPins, pin)
+	e.mu.Unlock()
+
+	// Off the critical section: the O(|T|) bottom-up build against the
+	// pinned term. Path copying never mutates published nodes, so the
+	// walk reads only frozen structure even while edits stream.
+	root.Walk(p.attachNode)
+
+	// Short lock hold #2: catch up on the deltas published since the
+	// pin (their fresh nodes' children are either pinned — attached by
+	// the walk — or fresh in an earlier delta, so replay order is
+	// children-first throughout), then splice the pipeline in.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, d := range e.deltaLog[pin-e.logBase:] {
+		p.replay(d)
+	}
+	e.unpin(pin)
 	e.nextID++
 	id := e.nextID
 	e.pipes[id] = p
 	e.order = append(e.order, id) // nextID is increasing: order stays sorted
-	e.publish()
+	e.applyAndPublish()
 	return id
 }
 
@@ -234,7 +396,7 @@ func (e *Engine) Unregister(id QueryID) error {
 	delete(e.pipes, id)
 	i := slices.Index(e.order, id)
 	e.order = slices.Delete(e.order, i, i+1)
-	e.publish()
+	e.applyAndPublish()
 	return nil
 }
 
@@ -245,18 +407,17 @@ func (e *Engine) Queries() []QueryID {
 	return slices.Clone(e.order)
 }
 
-// Mutate runs edit under the writer lock, fans the dirtied trunk out to
-// every registered pipeline bottom-up (Lemma 7.3, once per query), and
-// atomically publishes the resulting MultiSnapshot. The returned
-// snapshot reflects whatever the edit managed to apply, also when it
-// returns an error (forest edits are atomic, so a failed single edit
-// publishes an unchanged structure).
+// Mutate runs edit under the writer lock, drains the dirtied trunk into
+// one immutable delta, fans it out to every registered pipeline — in
+// parallel across the worker pool for k > 1 — and atomically publishes
+// the resulting MultiSnapshot. The returned snapshot reflects whatever
+// the edit managed to apply, also when it returns an error (forest edits
+// are atomic, so a failed single edit publishes an unchanged structure).
 func (e *Engine) Mutate(edit func() error) (*MultiSnapshot, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	err := edit()
-	e.rebuildTrunk()
-	return e.publish(), err
+	return e.applyAndPublish(), err
 }
 
 // Snapshot returns the currently published MultiSnapshot: one atomic
@@ -265,114 +426,112 @@ func (e *Engine) Mutate(edit func() error) (*MultiSnapshot, error) {
 // updates, registrations or unregistrations follow.
 func (e *Engine) Snapshot() *MultiSnapshot { return e.snap.Load() }
 
-// BoxesRebuilt returns the cumulative number of circuit boxes built
-// across all pipelines, including registration walks and pipelines
-// unregistered since (the counter is monotone; it is the per-query
-// update-work counter of the amortization experiments, summed).
-func (e *Engine) BoxesRebuilt() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	total := e.boxesReleased
-	for _, p := range e.pipes {
-		total += p.boxesRebuilt
+// unpin drops one registration's pin and trims the delta-log prefix no
+// remaining pin needs, releasing the references that kept retired term
+// nodes (and their boxes) alive. Callers hold e.mu and have already
+// replayed the log from their pin.
+func (e *Engine) unpin(pin int) {
+	i := slices.Index(e.regPins, pin)
+	e.regPins = slices.Delete(e.regPins, i, i+1)
+	if len(e.regPins) == 0 {
+		e.logBase += len(e.deltaLog)
+		e.deltaLog = nil
+		return
 	}
-	return total
-}
-
-// QueryBoxesRebuilt returns the cumulative box-construction count of one
-// registered query's pipeline; ok is false if the query is not
-// registered.
-func (e *Engine) QueryBoxesRebuilt(id QueryID) (count int, ok bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	p, ok := e.pipes[id]
-	if !ok {
-		return 0, false
-	}
-	return p.boxesRebuilt, true
-}
-
-// PathCopies returns the cumulative number of fresh term nodes the
-// source handed to the engine: the initial build plus every path-copied
-// trunk node and scapegoat rebuild since. This is the SHARED term work —
-// it does not grow with the number of registered queries, which is the
-// measurable payoff of the query-set architecture (experiment C2).
-func (e *Engine) PathCopies() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.pathCopies
-}
-
-// Rebalances returns the source's cumulative scapegoat rebuild count
-// (shared term work, like PathCopies).
-func (e *Engine) Rebalances() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.src.Rebalances()
-}
-
-// rebuildTrunk drains the hollowing trunk ONCE and fans every drained
-// node out to all registered pipelines: each builds a fresh frozen
-// (box, index) unit for the node, children before parents, sharing the
-// wrappers of all untouched subtrees (Lemma 7.3). Retired term nodes are
-// released from every pipeline's attachment map.
-func (e *Engine) rebuildTrunk() {
-	for _, n := range e.src.Drain() {
-		e.pathCopies++
-		for _, id := range e.order {
-			e.pipes[id].attachNode(n)
-		}
-	}
-	// Release the attachments of superseded trunk nodes right away:
-	// O(trunk · queries) deletes, and the old boxes become garbage as
-	// soon as no snapshot references them. (Nodes created and dropped
-	// within the same batch were never attached; deleting them is a
-	// no-op.)
-	for _, n := range e.src.DrainRetired() {
-		for _, p := range e.pipes {
-			if ib, ok := p.attach[n]; ok {
-				p.counts.Forget(ib.Box)
-				delete(p.attach, n)
-			}
-		}
+	if drop := slices.Min(e.regPins) - e.logBase; drop > 0 {
+		// slices.Delete shifts in place and zeroes the tail, so the
+		// dropped deltas' nodes become collectable.
+		e.deltaLog = slices.Delete(e.deltaLog, 0, drop)
+		e.logBase += drop
 	}
 }
 
-// publish assembles and atomically installs the MultiSnapshot for the
-// current term: one Snapshot per registered query, all at the same
-// version. O(queries · poly |Q|): per query it touches only the root
-// box.
-func (e *Engine) publish() *MultiSnapshot {
-	e.version++
-	root := e.src.TermRoot()
-	m := &MultiSnapshot{
-		version: e.version,
-		ids:     slices.Clone(e.order),
-		snaps:   make(map[QueryID]*Snapshot, len(e.order)),
+// absorbPending drains any trunk left by a non-publication path into the
+// standing pipelines without publishing (defensive; the dirty protocol
+// is normally empty outside applyAndPublish). Callers hold e.mu.
+func (e *Engine) absorbPending() {
+	delta := e.src.DrainDelta()
+	if delta.Empty() {
+		return
+	}
+	e.pathCopies += len(delta.Fresh)
+	if len(e.regPins) > 0 {
+		e.deltaLog = append(e.deltaLog, delta)
 	}
 	for _, id := range e.order {
-		p := e.pipes[id]
-		rootIB := p.attach[root]
-		if p.gammaRoot != rootIB.Box {
-			p.gamma, p.emptyOK = p.builder.RootAccepting(&circuit.Circuit{Root: rootIB.Box})
-			p.count = p.counts.Gamma(rootIB.Box, p.gamma, p.emptyOK)
-			p.gammaRoot = rootIB.Box
+		e.pipes[id].replay(delta)
+	}
+}
+
+// applyAndPublish is the write path's back half: drain the trunk ONCE
+// into an immutable TrunkDelta, fan pipeline.applyDelta out across the
+// worker pool (sequentially for a single query or Workers=1), assemble
+// and atomically install the MultiSnapshot, and publish the stats
+// reading. Callers hold e.mu. O(log|T|·poly(|Q|)·k/workers) plus the
+// O(queries) assembly.
+func (e *Engine) applyAndPublish() *MultiSnapshot {
+	delta := e.src.DrainDelta()
+	e.pathCopies += len(delta.Fresh)
+	if len(e.regPins) > 0 && !delta.Empty() {
+		e.deltaLog = append(e.deltaLog, delta)
+	}
+	e.version++
+	pub := pubInfo{
+		version:    e.version,
+		termHeight: delta.Root.Height,
+		pathCopies: e.pathCopies,
+		rebalances: e.src.Rebalances(),
+	}
+
+	ids := slices.Clone(e.order)
+	pipes := make([]*pipeline, len(ids))
+	for i, id := range ids {
+		pipes[i] = e.pipes[id]
+	}
+	snaps := make([]*Snapshot, len(pipes))
+	if w := min(e.workers, len(pipes)); w <= 1 || delta.Empty() {
+		// Deterministic sequential path: k <= 1, Workers == 1, or an
+		// empty delta (register/unregister publications — replay is a
+		// no-op and γ is cached, so per-pipeline work is O(1) and
+		// spawning workers would cost more than it saves). No
+		// goroutines, no pool overhead — single-query latency is
+		// identical to the pre-parallel engine.
+		for i, p := range pipes {
+			snaps[i] = p.applyDelta(delta, pub)
 		}
-		m.snaps[id] = &Snapshot{
-			root:             rootIB,
-			gamma:            p.gamma,
-			emptyOK:          p.emptyOK,
-			count:            p.count,
-			unambiguous:      p.unambiguous,
-			mode:             p.mode,
-			version:          e.version,
-			termHeight:       root.Height,
-			boxesRebuilt:     p.boxesRebuilt,
-			rebalances:       e.src.Rebalances(),
-			translatedStates: p.translatedStates,
-			automatonStates:  p.builder.A.NumStates,
+	} else {
+		// Bounded pool: w workers claim pipeline indices from a shared
+		// counter. Each pipeline is touched by exactly one worker
+		// (goroutine confinement), all workers replay the same immutable
+		// delta, and wg.Wait orders every worker write before the
+		// publication below.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for range w {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(pipes) {
+						return
+					}
+					snaps[i] = pipes[i].applyDelta(delta, pub)
+				}
+			}()
 		}
+		wg.Wait()
+	}
+
+	m := &MultiSnapshot{
+		version: e.version,
+		ids:     ids,
+		snaps:   make(map[QueryID]*Snapshot, len(ids)),
+	}
+	for i, id := range ids {
+		m.snaps[id] = snaps[i]
 	}
 	e.snap.Store(m)
+	e.publishStats()
 	return m
 }

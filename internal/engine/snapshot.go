@@ -26,7 +26,8 @@ type Stats struct {
 	TimesGates       int
 	VarGates         int
 	TermHeight       int
-	BoxesRebuilt     int // cumulative, across all updates
+	BoxesRebuilt     int // cumulative for this query, across all updates
+	PathCopies       int // cumulative shared term work (see EngineStats)
 	Rebalances       int // scapegoat rebuilds in the term
 }
 
@@ -52,6 +53,7 @@ type Snapshot struct {
 	version          uint64
 	termHeight       int
 	boxesRebuilt     int
+	pathCopies       int
 	rebalances       int
 	translatedStates int
 	automatonStates  int
@@ -272,6 +274,7 @@ func (s *Snapshot) Stats() Stats {
 			VarGates:         v,
 			TermHeight:       s.termHeight,
 			BoxesRebuilt:     s.boxesRebuilt,
+			PathCopies:       s.pathCopies,
 			Rebalances:       s.rebalances,
 		}
 	})

@@ -1,0 +1,106 @@
+package engine
+
+import "maps"
+
+// EngineStats is one immutable reading of the engine's cumulative work
+// counters, taken at a publication. Engine.Stats returns the latest
+// reading with a single atomic load, so it is safe to call concurrently
+// with the parallel write path: the writer assembles a fresh EngineStats
+// after the worker pool has finished each publication (the pool's
+// WaitGroup orders every per-pipeline counter write before the stats
+// store) and installs it through an atomic pointer, exactly like the
+// MultiSnapshot.
+//
+// The shared-vs-per-query split is the cost model of the query-set
+// architecture: PathCopies and Rebalances are the term work an edit pays
+// ONCE regardless of the number of standing queries, while BoxesRebuilt
+// is the per-query repair that fans out across the worker pool.
+type EngineStats struct {
+	// Version is the publication sequence number this reading was taken
+	// at (MultiSnapshot.Version of the same publication).
+	Version uint64
+	// Queries is the number of standing queries at the publication.
+	Queries int
+	// Workers is the engine's worker-pool bound (Options.Workers /
+	// SetWorkers; the pool additionally never exceeds Queries).
+	Workers int
+	// PathCopies is the cumulative number of fresh term nodes the source
+	// handed to the engine: the initial build plus every path-copied
+	// trunk node and scapegoat rebuild since. Shared term work — flat in
+	// the number of registered queries (experiment C2).
+	PathCopies int
+	// Rebalances is the source's cumulative scapegoat rebuild count
+	// (shared term work, like PathCopies).
+	Rebalances int
+	// BoxesRebuilt is the cumulative number of circuit boxes built
+	// across all pipelines, including registration walks and pipelines
+	// unregistered since (monotone; the per-query update-work counter of
+	// the amortization experiments, summed).
+	BoxesRebuilt int
+	// QueryBoxesRebuilt maps each standing query to its pipeline's
+	// cumulative box-construction count.
+	QueryBoxesRebuilt map[QueryID]int
+}
+
+// Stats returns the engine's latest published work counters: one atomic
+// load plus a map clone, no locks, safe from any goroutine at any time
+// (in particular concurrently with the parallel writer). The returned
+// value is the caller's own copy.
+func (e *Engine) Stats() EngineStats {
+	st := *e.stats.Load()
+	st.QueryBoxesRebuilt = maps.Clone(st.QueryBoxesRebuilt)
+	return st
+}
+
+// publishStats assembles and installs the EngineStats reading for the
+// current publication. Callers hold e.mu, after any worker pool of the
+// publication has been waited for.
+func (e *Engine) publishStats() {
+	st := &EngineStats{
+		Version:           e.version,
+		Queries:           len(e.order),
+		Workers:           e.workers,
+		PathCopies:        e.pathCopies,
+		Rebalances:        e.src.Rebalances(),
+		BoxesRebuilt:      e.boxesReleased,
+		QueryBoxesRebuilt: make(map[QueryID]int, len(e.pipes)),
+	}
+	for id, p := range e.pipes {
+		st.BoxesRebuilt += p.boxesRebuilt
+		st.QueryBoxesRebuilt[id] = p.boxesRebuilt
+	}
+	e.stats.Store(st)
+}
+
+// BoxesRebuilt returns the cumulative number of circuit boxes built
+// across all pipelines.
+//
+// Deprecated: read Stats().BoxesRebuilt; this wrapper remains so
+// existing callers compile.
+func (e *Engine) BoxesRebuilt() int { return e.stats.Load().BoxesRebuilt }
+
+// QueryBoxesRebuilt returns the cumulative box-construction count of one
+// registered query's pipeline; ok is false if the query is not
+// registered.
+//
+// Deprecated: read Stats().QueryBoxesRebuilt; this wrapper remains so
+// existing callers compile.
+func (e *Engine) QueryBoxesRebuilt(id QueryID) (count int, ok bool) {
+	count, ok = e.stats.Load().QueryBoxesRebuilt[id]
+	return count, ok
+}
+
+// PathCopies returns the cumulative number of fresh term nodes the
+// source handed to the engine (shared term work; see
+// EngineStats.PathCopies).
+//
+// Deprecated: read Stats().PathCopies; this wrapper remains so existing
+// callers compile.
+func (e *Engine) PathCopies() int { return e.stats.Load().PathCopies }
+
+// Rebalances returns the source's cumulative scapegoat rebuild count as
+// of the latest publication.
+//
+// Deprecated: read Stats().Rebalances; this wrapper remains so existing
+// callers compile.
+func (e *Engine) Rebalances() int { return e.stats.Load().Rebalances }

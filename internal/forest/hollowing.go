@@ -38,3 +38,37 @@ func HollowingFromTrunk(trunk []*Node) Hollowing {
 // TrunkSize returns |T′′| up to the □-leaves: the number of rebuilt
 // nodes, which bounds the circuit/index repair work of Lemma 7.3.
 func (h Hollowing) TrunkSize() int { return len(h.Trunk) }
+
+// TrunkDelta is one batch's hollowing information in immutable,
+// REPLAYABLE form: the freshly built trunk nodes (children before
+// parents, deduplicated), the nodes the batch dropped from the term, and
+// the resulting term root. Unlike the consume-once Drain/DrainRetired
+// protocol it is a plain value — once produced it never changes, every
+// node reachable from it is frozen (path copying never mutates published
+// nodes), and any number of consumers may replay it concurrently or
+// after the fact. The dynamic engine relies on both properties: the
+// parallel write path replays one delta from many per-query workers at
+// once, and lock-light registration replays the deltas that were
+// published while a new query's attachment tree was being built off the
+// writer's critical section.
+type TrunkDelta struct {
+	// Fresh lists the term nodes needing per-consumer (re)construction,
+	// children before parents.
+	Fresh []*Node
+	// Retired lists the term nodes dropped from the term by this batch:
+	// consumers release their attachments. Unknown nodes (never attached,
+	// or created and dropped within one batch) are a no-op.
+	Retired []*Node
+	// Root is the term root after the batch.
+	Root *Node
+}
+
+// Empty reports whether the delta carries no trunk work (the batch
+// changed nothing, or the delta was already drained).
+func (d TrunkDelta) Empty() bool { return len(d.Fresh) == 0 && len(d.Retired) == 0 }
+
+// DrainDelta drains the dirty protocol ONCE into an immutable TrunkDelta
+// (Drain + DrainRetired + the current root) and resets both lists.
+func (f *Forest) DrainDelta() TrunkDelta {
+	return TrunkDelta{Fresh: f.Drain(), Retired: f.DrainRetired(), Root: f.Root}
+}

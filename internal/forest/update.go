@@ -252,13 +252,6 @@ func (f *Forest) retypeHolePath(c *Node, w tree.NodeID) *Node {
 // interface, shared with Word).
 func (f *Forest) TermRoot() *Node { return f.Root }
 
-// WalkTerm visits every node of the LIVE term bottom-up (children before
-// parents), without touching the dirty protocol: unlike Drain it is
-// repeatable and consumes nothing. The dynamic engine uses it to build a
-// freshly registered query's (box, index) tree against the current term
-// version while other queries' attachments stay untouched.
-func (f *Forest) WalkTerm(fn func(*Node)) { f.Root.Walk(fn) }
-
 // Rebalances returns the number of scapegoat rebuilds performed so far
 // (dynamic-engine interface, shared with Word).
 func (f *Forest) Rebalances() int { return f.Rebuilds }

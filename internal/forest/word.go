@@ -61,6 +61,12 @@ func (w *Word) record(n *Node) { w.created = append(w.created, n) }
 
 func (w *Word) retire(n *Node) { w.retired = append(w.retired, n) }
 
+// DrainDelta mirrors Forest.DrainDelta: one immutable, replayable
+// TrunkDelta per batch for the dynamic engine.
+func (w *Word) DrainDelta() TrunkDelta {
+	return TrunkDelta{Fresh: w.Drain(), Retired: w.DrainRetired(), Root: w.Root}
+}
+
 // DrainRetired mirrors Forest.DrainRetired for the dynamic engine.
 func (w *Word) DrainRetired() []*Node {
 	out := w.retired
@@ -97,10 +103,6 @@ func (w *Word) attached(n *Node) bool {
 
 // TermRoot returns the root of the term (dynamic-engine interface).
 func (w *Word) TermRoot() *Node { return w.Root }
-
-// WalkTerm visits every node of the live term bottom-up, mirroring
-// Forest.WalkTerm for the dynamic engine's late query registration.
-func (w *Word) WalkTerm(fn func(*Node)) { w.Root.Walk(fn) }
 
 // Rebalances returns the number of scapegoat rebuilds performed so far
 // (dynamic-engine interface).
