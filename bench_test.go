@@ -644,6 +644,59 @@ func BenchmarkParallelPipelines(b *testing.B) {
 	}
 }
 
+// BenchmarkBoxRepair mirrors experiment B1: per-update trunk repair cost
+// (ns/op and allocs/op) on an E4-style single-relabel stream. "pruned"
+// is the default engine (precompiled transition programs + builder
+// scratch arena + signature-pruned reuse), "fullrebuild" disables the
+// reuse fast path, and "neutral" relabels only nodes and labels the
+// query does not distinguish, so pruning reuses the entire trunk on
+// every edit. cmd/benchtables -build emits the same measurement as the
+// machine-readable BENCH_build.json baseline (with the pre-PR reference
+// embedded); the acceptance comparison is pruned vs that baseline.
+func BenchmarkBoxRepair(b *testing.B) {
+	rng := rand.New(rand.NewSource(51))
+	ut := mustTree(b, workload.ShapeRandom, 16000, rng)
+	q := tva.SelectLabel([]tree.Label{"a", "b", "c"}, "b", 0)
+	for _, cfg := range []struct {
+		name   string
+		labels []tree.Label
+		opts   engine.Options
+	}{
+		{"pruned", []tree.Label{"a", "b", "c"}, engine.Options{}},
+		{"fullrebuild", []tree.Label{"a", "b", "c"}, engine.Options{FullRebuild: true}},
+		{"neutral", []tree.Label{"a", "c"}, engine.Options{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng, err := engine.NewTree(ut.Clone(), q, cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ids []tree.NodeID
+			for _, n := range eng.Tree().Nodes() {
+				if cfg.name == "neutral" && n.Label == "b" {
+					continue
+				}
+				ids = append(ids, n.ID)
+			}
+			wrng := rand.New(rand.NewSource(52))
+			// Warm the repair path (and settle the neutral stream onto its
+			// label pool) before timing.
+			for i := 0; i < 64; i++ {
+				if _, err := eng.Relabel(ids[wrng.Intn(len(ids))], cfg.labels[wrng.Intn(len(cfg.labels))]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Relabel(ids[wrng.Intn(len(ids))], cfg.labels[wrng.Intn(len(cfg.labels))]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFacadeQuickstart keeps the README flow honest under -bench.
 func BenchmarkFacadeQuickstart(b *testing.B) {
 	tr, err := enumtrees.ParseTree("(a (b) (a (b)))")

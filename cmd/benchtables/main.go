@@ -24,14 +24,28 @@
 //	                         # per-edit publish latency vs standing queries
 //	                         # for workers ∈ {1,4,8}) and write its JSON
 //	                         # baseline
+//	benchtables -build BENCH_build.json
+//	                         # run the box-construction experiment (B1:
+//	                         # build throughput plus per-update repair ns
+//	                         # and allocs, pruned vs full rebuild) and
+//	                         # write its JSON baseline; add
+//	                         # -buildref OLD.json to embed a previous
+//	                         # run's numbers as the comparison reference
+//	benchtables -cpuprofile cpu.pprof -memprofile mem.pprof ...
+//	                         # write pprof profiles covering whatever
+//	                         # experiments the other flags select, so perf
+//	                         # changes can attach profile evidence
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,7 +59,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "run reduced input sizes")
@@ -54,8 +68,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 	multiquery := fs.String("multiquery", "", "run the multi-query experiment and write its JSON baseline to this path")
 	directaccess := fs.String("directaccess", "", "run the direct-access experiment and write its JSON baseline to this path")
 	parallel := fs.String("parallel", "", "run the parallel-write-path experiment and write its JSON baseline to this path")
+	build := fs.String("build", "", "run the box-construction experiment and write its JSON baseline to this path")
+	buildref := fs.String("buildref", "", "embed a previous -build baseline (its \"current\" run) as the pre-PR reference of this -build run")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the selected experiments to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The memprofile defer is registered FIRST so that (LIFO) the CPU
+	// profile is stopped before the heap snapshot's forced GC runs —
+	// otherwise the GC and profile write would be sampled into the CPU
+	// profile this flag exists to keep honest.
+	if *memprofile != "" {
+		defer func() {
+			// Propagate a failed profile write through the named return:
+			// the flag exists to produce evidence, so a missing artifact
+			// must fail the run, not just print a note.
+			f, ferr := os.Create(*memprofile)
+			if ferr != nil {
+				err = errors.Join(err, fmt.Errorf("memprofile: %w", ferr))
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				err = errors.Join(err, fmt.Errorf("memprofile: %w", werr))
+			}
+		}()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	want := map[string]bool{}
@@ -83,9 +134,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "T1", "T2", "F1"}
 
 	start := time.Now()
-	// -concurrent / -multiquery / -directaccess / -parallel alone skip
-	// the table sweep unless IDs were requested.
-	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "") || len(want) > 0
+	// Baseline flags alone skip the table sweep unless IDs were
+	// requested.
+	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *build == "") || len(want) > 0
 	if runTables {
 		for _, id := range order {
 			if len(want) > 0 && !want[id] {
@@ -152,6 +203,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "[C3 done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *parallel)
+	}
+	if *build != "" {
+		t0 := time.Now()
+		base := experiments.Build(*quick)
+		if *buildref != "" {
+			data, err := os.ReadFile(*buildref)
+			if err != nil {
+				return err
+			}
+			var ref experiments.BuildBaseline
+			if err := json.Unmarshal(data, &ref); err != nil {
+				return fmt.Errorf("parsing -buildref %s: %w", *buildref, err)
+			}
+			base.PrePR = &ref.Current
+		}
+		fmt.Fprintln(stdout, base.Table().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*build, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[B1 done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *build)
 	}
 	fmt.Fprintf(stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -106,3 +106,71 @@ func TestParallelBaseline(t *testing.T) {
 		t.Fatalf("missing C3 table:\n%s", stdout.String())
 	}
 }
+
+// TestBuildBaseline smoke-tests the B1 emitter end to end: the first run
+// writes a baseline, the second embeds it via -buildref and writes pprof
+// profiles.
+func TestBuildBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_build.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-quick", "-build", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base experiments.BuildBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("invalid JSON baseline: %v", err)
+	}
+	if base.PrePR != nil {
+		t.Fatal("first run must not carry a pre-PR reference")
+	}
+	if base.Current.Boxes <= 0 || base.Current.BoxesPerSec <= 0 {
+		t.Fatalf("no build throughput measured: %+v", base.Current)
+	}
+	if len(base.Current.Repairs) != 4 {
+		t.Fatalf("baseline has %d repair rows, want 4", len(base.Current.Repairs))
+	}
+	for i, p := range base.Current.Repairs {
+		if p.NanosPerEdit <= 0 {
+			t.Fatalf("repair row %d: no latency measured: %+v", i, p)
+		}
+		if p.FullRebuild && p.ReusedPerEdit != 0 {
+			t.Fatalf("repair row %d: FullRebuild engine reused boxes: %+v", i, p)
+		}
+		if !p.FullRebuild && p.Workload == "relabel-neutral" && p.ReusedPerEdit == 0 {
+			t.Fatalf("repair row %d: neutral stream never reused a box: %+v", i, p)
+		}
+	}
+
+	ref := filepath.Join(dir, "BENCH_build2.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stdout.Reset()
+	stderr.Reset()
+	if err := run([]string{"-quick", "-build", ref, "-buildref", path, "-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr); err != nil {
+		t.Fatalf("%v\nstderr: %s", err, stderr.String())
+	}
+	data, err = os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withRef experiments.BuildBaseline
+	if err := json.Unmarshal(data, &withRef); err != nil {
+		t.Fatalf("invalid JSON baseline: %v", err)
+	}
+	if withRef.PrePR == nil || withRef.PrePR.Boxes != base.Current.Boxes {
+		t.Fatalf("-buildref did not embed the reference run: %+v", withRef.PrePR)
+	}
+	if !strings.Contains(stdout.String(), "speedup") {
+		t.Fatalf("reference run table missing the speedup row:\n%s", stdout.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

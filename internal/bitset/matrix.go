@@ -30,6 +30,67 @@ func Identity(n int) Matrix {
 	return m
 }
 
+// Words returns the number of backing words a rows×cols matrix needs,
+// for callers that lay several matrices out on one allocation (MatrixOn).
+func Words(rows, cols int) int { return rows * ((cols + 63) / 64) }
+
+// MatrixOn returns a rows×cols matrix laid out on the given backing
+// words, which must have exactly Words(rows, cols) entries and be
+// all-zero (freshly allocated, or cleared by the caller when reusing
+// scratch — the helper does NOT clear, so carving many matrices from
+// one fresh allocation pays the runtime's zeroing once, not per
+// matrix). Together with Words this lets hot paths carve many small
+// matrices out of one allocation; the resulting matrices behave exactly
+// like NewMatrix results.
+func MatrixOn(bits []uint64, rows, cols int) Matrix {
+	stride := (cols + 63) / 64
+	if len(bits) != rows*stride {
+		panic(fmt.Sprintf("bitset: MatrixOn backing has %d words, want %d", len(bits), rows*stride))
+	}
+	return Matrix{Rows: rows, Cols: cols, stride: stride, bits: bits}
+}
+
+// NewMatrixPair returns two all-false matrices carved from one backing
+// allocation — the box builder's wire-matrix pair (WLeft, WRight).
+func NewMatrixPair(rows1, cols1, rows2, cols2 int) (Matrix, Matrix) {
+	n1 := Words(rows1, cols1)
+	bits := make([]uint64, n1+Words(rows2, cols2))
+	return MatrixOn(bits[:n1:n1], rows1, cols1), MatrixOn(bits[n1:], rows2, cols2)
+}
+
+// IdentityOn is Identity on a caller-provided backing (see MatrixOn).
+func IdentityOn(bits []uint64, n int) Matrix {
+	m := MatrixOn(bits, n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i)
+	}
+	return m
+}
+
+// ComposeInto is Compose OR-accumulating into a caller-provided
+// destination matrix, which must be a.Rows×b.Cols and ALL-FALSE on
+// entry (typically carved with MatrixOn from a fresh allocation; the
+// helper does not clear it — see MatrixOn). It returns dst.
+func ComposeInto(dst, a, b Matrix) Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("bitset: ComposeInto dimension mismatch %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("bitset: ComposeInto destination is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := dst.bits[i*dst.stride : (i+1)*dst.stride]
+		a.Row(i).ForEach(func(j int) bool {
+			src := b.bits[j*b.stride : (j+1)*b.stride]
+			for w := range src {
+				row[w] |= src[w]
+			}
+			return true
+		})
+	}
+	return dst
+}
+
 // Set makes (i, j) true.
 func (m Matrix) Set(i, j int) { m.bits[i*m.stride+j>>6] |= 1 << uint(j&63) }
 

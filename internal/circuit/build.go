@@ -2,7 +2,7 @@ package circuit
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bitset"
 	"repro/internal/tree"
@@ -19,23 +19,35 @@ import (
 // the update machinery of Section 7 can rebuild exactly the boxes touched
 // by a tree hollowing.
 //
-// CONCURRENCY: after NewBuilder returns, a Builder is read-only — the
-// rule indexes are built once and LeafBox/InnerBox/RootAccepting only
-// read them while allocating fresh boxes — but the dynamic engine does
-// not rely on that: its parallel write path gives every per-query
-// pipeline its own Builder and confines it to one worker goroutine per
-// publication, the same discipline as the pipeline's counting.Evaluator
-// (which IS stateful). Keep any future memoization inside that
-// assumption or the engine's -race stress tests will trip.
+// The hot path is allocation-light by construction: the automaton's
+// rules are flattened once into a shared, immutable Program (leaf-box
+// templates plus dense per-label transition rules — see program.go), and
+// all per-box working state lives in a reusable scratch arena, so
+// LeafBox allocates only the box and its var gates and InnerBox only the
+// box's own immutable arrays. Every box also carries a structural
+// signature (Box.Sig) that the dynamic engine's signature-pruned repair
+// compares.
+//
+// CONCURRENCY: a Builder is NOT safe for concurrent use — LeafBox and
+// InnerBox share the scratch arena. The dynamic engine's parallel write
+// path already gives every per-query pipeline its own Builder and
+// confines it to one worker goroutine per publication, the same
+// discipline as the pipeline's counting.Evaluator; keep any new caller
+// inside that assumption or the engine's -race stress tests will trip.
+// The Program behind the builder is immutable and safely shared across
+// builders and goroutines.
 type Builder struct {
-	A       *tva.Binary
-	initBy  map[tree.Label][]tva.InitRule
-	deltaBy map[tree.Label][]tva.Triple
+	A    *tva.Binary
+	prog *Program
+	s    scratch
 }
 
 // NewBuilder validates that the automaton is homogenized (Lemma 2.1) and
 // that its OneStates metadata matches the semantic 0/1-state
-// classification, then returns a Builder for it.
+// classification, then returns a Builder for it. The flattened rule
+// tables come from the process-wide program cache, so builders over
+// content-equal automata (every pipeline of a QuerySet registering the
+// same query) share one compiled Program.
 func NewBuilder(a *tva.Binary) (*Builder, error) {
 	if !a.Homogenized {
 		return nil, fmt.Errorf("circuit: automaton is not homogenized; call Homogenize first")
@@ -49,68 +61,105 @@ func NewBuilder(a *tva.Binary) (*Builder, error) {
 			return nil, fmt.Errorf("circuit: OneStates metadata wrong for state %d", q)
 		}
 	}
-	return &Builder{
-		A:       a,
-		initBy:  a.InitByLabel(),
-		deltaBy: a.DeltaByLabel(),
-	}, nil
+	return &Builder{A: a, prog: programFor(a)}, nil
+}
+
+// scratch is the builder's reusable working state: dense epoch-stamped
+// tables replacing the per-box maps of the old construction, and
+// per-state accumulation buffers whose capacity persists across boxes.
+// Resetting is O(1): bumping the epoch invalidates every stamp at once
+// (the arrays are rewritten lazily as slots are touched).
+type scratch struct {
+	epoch uint32
+
+	// pairEpoch/pairVal: dense (left ∪-gate, right ∪-gate) → ×-gate
+	// index table, the replacement for the timesIdx map.
+	pairEpoch []uint32
+	pairVal   []int32
+
+	// stateEpoch marks which 1-states have live accumulators this box.
+	stateEpoch []uint32
+	// luEpoch/ruEpoch deduplicate (state, child ∪-gate) alias wires.
+	luEpoch []uint32
+	ruEpoch []uint32
+
+	// Per-state input accumulators, reused across boxes.
+	accTimes [][]int32
+	accLU    [][]int32
+	accRU    [][]int32
+
+	// timesBuf accumulates the box's ×-gates before the exact-size copy.
+	timesBuf []TimesGate
+	// degree counts ×-gate fan-outs when building the reverse wires.
+	degree []int32
+}
+
+// begin starts a new box: bumps the epoch and sizes the dense tables for
+// nq automaton states and (L, R) child ∪-gate counts.
+func (s *scratch) begin(nq, l, r int) {
+	s.epoch++
+	if s.epoch == 0 {
+		// uint32 wrap: stale stamps could collide with the fresh epoch.
+		// Zero everything once per 2³² boxes and restart at 1. The FULL
+		// capacity must be cleared — the slices are re-sliced per box, so
+		// stale stamps survive in the [len:cap) tail otherwise.
+		clear(s.pairEpoch[:cap(s.pairEpoch)])
+		clear(s.stateEpoch[:cap(s.stateEpoch)])
+		clear(s.luEpoch[:cap(s.luEpoch)])
+		clear(s.ruEpoch[:cap(s.ruEpoch)])
+		s.epoch = 1
+	}
+	s.pairEpoch = growU32(s.pairEpoch, l*r)
+	s.pairVal = growI32(s.pairVal, l*r)
+	s.stateEpoch = growU32(s.stateEpoch, nq)
+	s.luEpoch = growU32(s.luEpoch, nq*l)
+	s.ruEpoch = growU32(s.ruEpoch, nq*r)
+	if len(s.accTimes) < nq {
+		s.accTimes = append(s.accTimes, make([][]int32, nq-len(s.accTimes))...)
+		s.accLU = append(s.accLU, make([][]int32, nq-len(s.accLU))...)
+		s.accRU = append(s.accRU, make([][]int32, nq-len(s.accRU))...)
+	}
+	s.timesBuf = s.timesBuf[:0]
+}
+
+// growU32 returns a slice of length at least n; a freshly grown tail
+// reads as unstamped (zero never equals a live epoch).
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // LeafBox builds the box B_n for a leaf node n with the given label,
-// following the leaf case of Lemma 3.7.
+// following the leaf case of Lemma 3.7. The gate structure comes from
+// the program's precompiled leaf template — shared, immutable slices —
+// so the call allocates only the box and its node-stamped var gates.
 func (bd *Builder) LeafBox(label tree.Label, node tree.NodeID) *Box {
-	nq := bd.A.NumStates
-	b := &Box{Node: node, Label: label, GammaKind: make([]GammaKind, nq), GammaIdx: make([]int32, nq)}
-	for i := range b.GammaIdx {
-		b.GammaIdx[i] = -1
+	lt := bd.prog.leafFor(label)
+	b := &Box{
+		Node:      node,
+		Label:     label,
+		GammaKind: lt.gammaKind,
+		GammaIdx:  lt.gammaIdx,
+		Unions:    lt.unions,
+		VarOut:    lt.varOut,
+		Sig:       lt.sig,
 	}
-	varIdx := map[tree.VarSet]int32{}
-	// Collect the nonempty-annotation rules per state.
-	ruleSets := make([][]tree.VarSet, nq)
-	emptyRule := make([]bool, nq)
-	for _, r := range bd.initBy[label] {
-		if r.Set.Empty() {
-			emptyRule[r.State] = true
-		} else {
-			ruleSets[r.State] = append(ruleSets[r.State], r.Set)
+	if len(lt.varSets) > 0 {
+		vars := make([]VarGate, len(lt.varSets))
+		for i, set := range lt.varSets {
+			vars[i] = VarGate{Set: set, Node: node}
 		}
+		b.Vars = vars
 	}
-	for q := 0; q < nq; q++ {
-		if !bd.A.OneStates.Has(q) {
-			// 0-state: ⊤ iff the empty annotation reaches q here.
-			if emptyRule[q] {
-				b.GammaKind[q] = GammaTop
-			} else {
-				b.GammaKind[q] = GammaBottom
-			}
-			continue
-		}
-		sets := ruleSets[q]
-		if len(sets) == 0 {
-			b.GammaKind[q] = GammaBottom
-			continue
-		}
-		u := UnionGate{}
-		seen := map[tree.VarSet]bool{}
-		for _, y := range sets {
-			if seen[y] {
-				continue
-			}
-			seen[y] = true
-			vi, ok := varIdx[y]
-			if !ok {
-				vi = int32(len(b.Vars))
-				varIdx[y] = vi
-				b.Vars = append(b.Vars, VarGate{Set: y, Node: node})
-			}
-			u.Vars = append(u.Vars, vi)
-		}
-		sort.Slice(u.Vars, func(i, j int) bool { return u.Vars[i] < u.Vars[j] })
-		b.GammaKind[q] = GammaUnion
-		b.GammaIdx[q] = int32(len(b.Unions))
-		b.Unions = append(b.Unions, u)
-	}
-	b.rebuildReverse()
 	return b
 }
 
@@ -121,33 +170,52 @@ func (bd *Builder) LeafBox(label tree.Label, node tree.NodeID) *Box {
 // one side is ⊤. The children are only read, never modified: a box built
 // over already-published children leaves them shareable.
 func (bd *Builder) InnerBox(label tree.Label, node tree.NodeID, left, right *Box) *Box {
-	nq := bd.A.NumStates
-	b := &Box{Label: label, Node: node, Left: left, Right: right, GammaKind: make([]GammaKind, nq), GammaIdx: make([]int32, nq)}
+	nq := bd.prog.numStates
+	b := &Box{Label: label, Node: node, Left: left, Right: right,
+		GammaKind: make([]GammaKind, nq), GammaIdx: make([]int32, nq)}
 	for i := range b.GammaIdx {
 		b.GammaIdx[i] = -1
 	}
-	timesIdx := map[[2]int32]int32{}
-	type unionAcc struct {
-		times, lu, ru map[int32]bool
+	if ip := bd.prog.inner[label]; ip != nil {
+		bd.innerGates(b, ip, left, right)
+	} else {
+		b.WLeft = bitset.NewMatrix(len(left.Unions), 0)
+		b.WRight = bitset.NewMatrix(len(right.Unions), 0)
 	}
-	accs := make([]*unionAcc, nq)
-	for _, t := range bd.deltaBy[label] {
-		q := int(t.Out)
-		g1k, g2k := left.GammaKind[t.Left], right.GammaKind[t.Right]
+	b.Sig = computeSig(b)
+	return b
+}
+
+// innerGates runs the label's transition program over the children's γ
+// vectors, accumulating each 1-state's ∪-gate inputs in the scratch
+// arena, then freezes the box's ×-gates, ∪-gates, wire matrices and
+// reverse wires into exact-size immutable arrays.
+func (bd *Builder) innerGates(b *Box, ip *innerProgram, left, right *Box) {
+	s := &bd.s
+	nq := bd.prog.numStates
+	l, r := len(left.Unions), len(right.Unions)
+	s.begin(nq, l, r)
+
+	// 0-states: γ is ⊤ iff both children are ⊤ for some transition.
+	for _, t := range ip.zero {
+		if left.GammaKind[t.left] == GammaTop && right.GammaKind[t.right] == GammaTop {
+			b.GammaKind[t.out] = GammaTop
+		}
+	}
+
+	// 1-states: accumulate ×-gates and alias wires per output state.
+	nInputs := 0
+	for _, t := range ip.one {
+		g1k, g2k := left.GammaKind[t.left], right.GammaKind[t.right]
 		if g1k == GammaBottom || g2k == GammaBottom {
 			continue
 		}
-		if !bd.A.OneStates.Has(q) {
-			// 0-state: ⊤ iff both children are ⊤ for some transition.
-			if g1k == GammaTop && g2k == GammaTop {
-				b.GammaKind[q] = GammaTop
-			}
-			continue
-		}
-		acc := accs[q]
-		if acc == nil {
-			acc = &unionAcc{times: map[int32]bool{}, lu: map[int32]bool{}, ru: map[int32]bool{}}
-			accs[q] = acc
+		q := t.out
+		if s.stateEpoch[q] != s.epoch {
+			s.stateEpoch[q] = s.epoch
+			s.accTimes[q] = s.accTimes[q][:0]
+			s.accLU[q] = s.accLU[q][:0]
+			s.accRU[q] = s.accRU[q][:0]
 		}
 		switch {
 		case g1k == GammaTop && g2k == GammaTop:
@@ -156,43 +224,130 @@ func (bd *Builder) InnerBox(label tree.Label, node tree.NodeID, left, right *Box
 			// this out.
 			panic(fmt.Sprintf("circuit: 1-state %d produced by two ⊤ children (automaton not homogenized)", q))
 		case g1k == GammaTop:
-			acc.ru[right.GammaIdx[t.Right]] = true
-		case g2k == GammaTop:
-			acc.lu[left.GammaIdx[t.Left]] = true
-		default:
-			pair := [2]int32{left.GammaIdx[t.Left], right.GammaIdx[t.Right]}
-			ti, ok := timesIdx[pair]
-			if !ok {
-				ti = int32(len(b.Times))
-				timesIdx[pair] = ti
-				b.Times = append(b.Times, TimesGate{Left: pair[0], Right: pair[1]})
+			gi := right.GammaIdx[t.right]
+			if slot := int(q)*r + int(gi); s.ruEpoch[slot] != s.epoch {
+				s.ruEpoch[slot] = s.epoch
+				s.accRU[q] = append(s.accRU[q], gi)
+				nInputs++
 			}
-			acc.times[ti] = true
+		case g2k == GammaTop:
+			gi := left.GammaIdx[t.left]
+			if slot := int(q)*l + int(gi); s.luEpoch[slot] != s.epoch {
+				s.luEpoch[slot] = s.epoch
+				s.accLU[q] = append(s.accLU[q], gi)
+				nInputs++
+			}
+		default:
+			li, ri := left.GammaIdx[t.left], right.GammaIdx[t.right]
+			slot := int(li)*r + int(ri)
+			if s.pairEpoch[slot] != s.epoch {
+				s.pairEpoch[slot] = s.epoch
+				s.pairVal[slot] = int32(len(s.timesBuf))
+				s.timesBuf = append(s.timesBuf, TimesGate{Left: li, Right: ri})
+			}
+			// No per-state dedup needed: GammaIdx is injective on ∪-states
+			// within each child and the program is duplicate-free, so
+			// distinct rules into q contribute distinct pairs.
+			s.accTimes[q] = append(s.accTimes[q], s.pairVal[slot])
+			nInputs++
 		}
 	}
+
+	// Freeze: exact-size arrays, gates in the canonical order of the old
+	// map-based construction (∪-gates by ascending state, input lists
+	// sorted ascending, ×-gates in first-use order).
+	nU := 0
+	timesRefs := 0
 	for q := 0; q < nq; q++ {
-		acc := accs[q]
-		if acc == nil {
-			continue // stays GammaBottom or was set to GammaTop above
+		if s.stateEpoch[q] == s.epoch {
+			nU++
+			timesRefs += len(s.accTimes[q])
 		}
-		u := UnionGate{
-			Times:       sortedKeys(acc.times),
-			LeftUnions:  sortedKeys(acc.lu),
-			RightUnions: sortedKeys(acc.ru),
-		}
-		b.GammaKind[q] = GammaUnion
-		b.GammaIdx[q] = int32(len(b.Unions))
-		b.Unions = append(b.Unions, u)
 	}
-	b.rebuildWires()
-	b.rebuildReverse()
-	return b
+	if len(s.timesBuf) > 0 {
+		b.Times = make([]TimesGate, len(s.timesBuf))
+		copy(b.Times, s.timesBuf)
+	}
+	if nU > 0 {
+		b.Unions = make([]UnionGate, nU)
+		// One backing array for every ∪-gate input list AND the ×-gate
+		// reverse wires.
+		flat := make([]int32, nInputs+timesRefs)
+		off := 0
+		take := func(src []int32) []int32 {
+			if len(src) == 0 {
+				return nil
+			}
+			dst := flat[off : off+len(src) : off+len(src)]
+			copy(dst, src)
+			off += len(src)
+			return dst
+		}
+		ui := int32(0)
+		for q := 0; q < nq; q++ {
+			if s.stateEpoch[q] != s.epoch {
+				continue
+			}
+			slices.Sort(s.accTimes[q])
+			slices.Sort(s.accLU[q])
+			slices.Sort(s.accRU[q])
+			u := &b.Unions[ui]
+			u.Times = take(s.accTimes[q])
+			u.LeftUnions = take(s.accLU[q])
+			u.RightUnions = take(s.accRU[q])
+			b.GammaKind[q] = GammaUnion
+			b.GammaIdx[q] = ui
+			ui++
+		}
+		bd.buildTimesOut(b, flat[off:])
+	}
+	b.WLeft, b.WRight = bitset.NewMatrixPair(l, len(b.Unions), r, len(b.Unions))
+	for ui := range b.Unions {
+		u := &b.Unions[ui]
+		for _, cl := range u.LeftUnions {
+			b.WLeft.Set(int(cl), ui)
+		}
+		for _, cr := range u.RightUnions {
+			b.WRight.Set(int(cr), ui)
+		}
+	}
+}
+
+// buildTimesOut fills the ×→∪ reverse wires into the provided backing
+// space (the tail of the box's flat input array).
+func (bd *Builder) buildTimesOut(b *Box, flat []int32) {
+	if len(b.Times) == 0 {
+		return
+	}
+	s := &bd.s
+	s.degree = growI32(s.degree, len(b.Times))
+	for i := range s.degree[:len(b.Times)] {
+		s.degree[i] = 0
+	}
+	for ui := range b.Unions {
+		for _, t := range b.Unions[ui].Times {
+			s.degree[t]++
+		}
+	}
+	b.TimesOut = make([][]int32, len(b.Times))
+	off := 0
+	for t := range b.TimesOut {
+		d := int(s.degree[t])
+		b.TimesOut[t] = flat[off : off : off+d]
+		off += d
+	}
+	for ui := range b.Unions {
+		for _, t := range b.Unions[ui].Times {
+			b.TimesOut[t] = append(b.TimesOut[t], int32(ui))
+		}
+	}
 }
 
 // rebuildWires recomputes the WLeft/WRight matrices from the ∪-gate input
 // lists. Only the direct ∪→∪ alias wires enter these relations: the
 // ∪-reachability of Section 5 follows paths of ∪-gates exclusively, and
-// ×-gates are endpoints (elements of ↓), not conduits.
+// ×-gates are endpoints (elements of ↓), not conduits. The builder fills
+// wires inline; this method serves hand-assembled boxes in tests.
 func (b *Box) rebuildWires() {
 	if b.IsLeaf() {
 		return
@@ -209,7 +364,9 @@ func (b *Box) rebuildWires() {
 	}
 }
 
-// rebuildReverse recomputes the VarOut/TimesOut reverse wire lists.
+// rebuildReverse recomputes the VarOut/TimesOut reverse wire lists (the
+// builder fills them inline; this method serves hand-assembled boxes in
+// tests).
 func (b *Box) rebuildReverse() {
 	b.VarOut = make([][]int32, len(b.Vars))
 	b.TimesOut = make([][]int32, len(b.Times))
@@ -221,15 +378,6 @@ func (b *Box) rebuildReverse() {
 			b.TimesOut[t] = append(b.TimesOut[t], int32(ui))
 		}
 	}
-}
-
-func sortedKeys(m map[int32]bool) []int32 {
-	out := make([]int32, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // Build constructs the assignment circuit of the automaton on the whole

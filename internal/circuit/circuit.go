@@ -70,6 +70,10 @@ type UnionGate struct {
 // any number of concurrent readers and engine snapshots can share. For
 // the same reason boxes carry no parent pointers: a parent link would
 // have to be rewritten when a new parent is built over a shared child.
+// Immutability also lets boxes SHARE slices: every leaf box of one label
+// aliases its builder's precompiled template arrays (γ vectors, ∪-gates,
+// reverse wires), so none of a Box's slices may ever be written after
+// construction.
 type Box struct {
 	Left  *Box
 	Right *Box
@@ -77,8 +81,11 @@ type Box struct {
 	// Node is the input-tree node this box was built for; leaf boxes use
 	// it to label their var gates.
 	Node tree.NodeID
-	// Label is the input-tree label the box was built from (kept so that
-	// updates can rebuild boxes).
+	// Label is the input-tree label the box was built from (kept for
+	// inspection and debugging). Under signature-pruned repair a reused
+	// box may carry the label of an EARLIER, gate-equivalent build — the
+	// automaton does not distinguish the two labels, so every gate, wire
+	// and γ entry is identical; only this field can lag.
 	Label tree.Label
 
 	Vars   []VarGate
@@ -103,6 +110,14 @@ type Box struct {
 	// provenance of ↓-gates in Algorithm 2.
 	VarOut   [][]int32
 	TimesOut [][]int32
+
+	// Sig is the structural signature of the box's local gates (γ
+	// vectors, var sets, ×-gates, ∪-gate wiring — NOT the label, node or
+	// children; see computeSig). Boxes with equal signatures over
+	// pointer-identical children are interchangeable, which is what the
+	// dynamic engine's signature-pruned repair exploits. Zero for
+	// hand-assembled boxes that bypassed the Builder.
+	Sig uint64
 }
 
 // NumUnions returns the number of ∪-gates in the box (its contribution to

@@ -1,0 +1,479 @@
+package circuit
+
+import (
+	"slices"
+	"sort"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// This file implements the precompiled transition programs behind the
+// builder hot path. A Program flattens one homogenized automaton's
+// ι/δ relations — once — into the exact shape the per-box construction
+// consumes:
+//
+//   - per leaf label, a complete leaf-box TEMPLATE: the γ vectors, the
+//     var-gate sets, the ∪-gates and the reverse wires of the box are
+//     label-determined (only VarGate.Node varies), so LeafBox degenerates
+//     to stamping a node ID onto immutable shared slices;
+//   - per inner label, the transition triples as dense int32 rules,
+//     deduplicated and split into 0-state and 1-state outputs, so
+//     InnerBox runs two tight loops with no map lookups and no
+//     per-transition OneStates test.
+//
+// Programs are immutable and shared: a process-wide cache keyed by the
+// automaton's CONTENT (not pointer identity) hands the same *Program to
+// every Builder over an equal automaton, so the many pipelines of a
+// QuerySet engine — which each translate and homogenize their query
+// afresh — compile the rule tables once instead of once per
+// registration.
+
+// Program is the precompiled transition program of one homogenized
+// binary TVA. It is immutable after compileProgram returns; any number
+// of Builders (on any goroutines) may share one.
+type Program struct {
+	numStates int
+	oneStates bitset.Set
+	leaf      map[tree.Label]*leafTemplate
+	inner     map[tree.Label]*innerProgram
+	// emptyLeaf serves labels with no initial rules: every state ⊥.
+	emptyLeaf *leafTemplate
+
+	// The canonical rule sequences the program was compiled from, kept
+	// for the content-equality check of the cache (gate order follows
+	// rule order, so order is part of the identity).
+	init  []tva.InitRule
+	delta []tva.Triple
+	fp    uint64
+}
+
+// leafTemplate is the label-determined part of a leaf box. All slices
+// are shared verbatim by every box instantiated from the template (boxes
+// are immutable, so sharing is safe); only Vars is rebuilt per box, to
+// stamp the node ID into the var gates.
+type leafTemplate struct {
+	gammaKind []GammaKind
+	gammaIdx  []int32
+	varSets   []tree.VarSet // var-gate sets, in local gate order
+	unions    []UnionGate
+	varOut    [][]int32
+	sig       uint64
+}
+
+// innerRule is one δ triple in dense form.
+type innerRule struct{ left, right, out int32 }
+
+// innerProgram is the per-label transition program of inner boxes.
+type innerProgram struct {
+	one  []innerRule // triples into 1-states: build ∪-gate inputs
+	zero []innerRule // triples into 0-states: γ is ⊤ iff both children ⊤
+}
+
+// leafFor returns the template for a leaf label.
+func (p *Program) leafFor(label tree.Label) *leafTemplate {
+	if lt, ok := p.leaf[label]; ok {
+		return lt
+	}
+	return p.emptyLeaf
+}
+
+// canonicalRules returns the automaton's rule sequences with exact
+// duplicates dropped, preserving first-occurrence order (the old
+// map-based construction deduplicated implicitly; the flat loops rely on
+// the program being duplicate-free, and gate order follows rule order).
+func canonicalRules(a *tva.Binary) (init []tva.InitRule, delta []tva.Triple) {
+	initSeen := map[tva.InitRule]bool{}
+	for _, r := range a.Init {
+		if initSeen[r] {
+			continue
+		}
+		initSeen[r] = true
+		init = append(init, r)
+	}
+	deltaSeen := map[tva.Triple]bool{}
+	for _, t := range a.Delta {
+		if deltaSeen[t] {
+			continue
+		}
+		deltaSeen[t] = true
+		delta = append(delta, t)
+	}
+	return init, delta
+}
+
+// compileProgram flattens the automaton's canonical rules. The automaton
+// must be homogenized (NewBuilder validates before compiling).
+func compileProgram(a *tva.Binary, init []tva.InitRule, delta []tva.Triple, fp uint64) *Program {
+	p := &Program{
+		numStates: a.NumStates,
+		oneStates: a.OneStates.Clone(),
+		leaf:      map[tree.Label]*leafTemplate{},
+		inner:     map[tree.Label]*innerProgram{},
+		init:      init,
+		delta:     delta,
+		fp:        fp,
+	}
+	for _, lt := range groupInitLabels(p.init) {
+		p.leaf[lt.label] = compileLeafTemplate(a, lt.rules)
+	}
+	p.emptyLeaf = compileLeafTemplate(a, nil)
+	for _, t := range p.delta {
+		ip := p.inner[t.Label]
+		if ip == nil {
+			ip = &innerProgram{}
+			p.inner[t.Label] = ip
+		}
+		r := innerRule{left: int32(t.Left), right: int32(t.Right), out: int32(t.Out)}
+		if a.OneStates.Has(int(t.Out)) {
+			ip.one = append(ip.one, r)
+		} else {
+			ip.zero = append(ip.zero, r)
+		}
+	}
+	return p
+}
+
+// labelRules groups initial rules per label, preserving rule order.
+type labelRules struct {
+	label tree.Label
+	rules []tva.InitRule
+}
+
+func groupInitLabels(init []tva.InitRule) []labelRules {
+	idx := map[tree.Label]int{}
+	var out []labelRules
+	for _, r := range init {
+		i, ok := idx[r.Label]
+		if !ok {
+			i = len(out)
+			idx[r.Label] = i
+			out = append(out, labelRules{label: r.Label})
+		}
+		out[i].rules = append(out[i].rules, r)
+	}
+	return out
+}
+
+// compileLeafTemplate builds the leaf-box template from one label's
+// initial rules, following the leaf case of Lemma 3.7 exactly as the
+// old per-box construction did (same gate order: var gates in first-use
+// order, ∪-gate inputs sorted ascending, ∪-gates in state order).
+func compileLeafTemplate(a *tva.Binary, rules []tva.InitRule) *leafTemplate {
+	nq := a.NumStates
+	lt := &leafTemplate{
+		gammaKind: make([]GammaKind, nq),
+		gammaIdx:  make([]int32, nq),
+	}
+	for i := range lt.gammaIdx {
+		lt.gammaIdx[i] = -1
+	}
+	varIdx := map[tree.VarSet]int32{}
+	ruleSets := make([][]tree.VarSet, nq)
+	emptyRule := make([]bool, nq)
+	for _, r := range rules {
+		if r.Set.Empty() {
+			emptyRule[r.State] = true
+		} else {
+			ruleSets[r.State] = append(ruleSets[r.State], r.Set)
+		}
+	}
+	for q := 0; q < nq; q++ {
+		if !a.OneStates.Has(q) {
+			// 0-state: ⊤ iff the empty annotation reaches q here.
+			if emptyRule[q] {
+				lt.gammaKind[q] = GammaTop
+			} else {
+				lt.gammaKind[q] = GammaBottom
+			}
+			continue
+		}
+		sets := ruleSets[q]
+		if len(sets) == 0 {
+			lt.gammaKind[q] = GammaBottom
+			continue
+		}
+		u := UnionGate{}
+		seen := map[tree.VarSet]bool{}
+		for _, y := range sets {
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			vi, ok := varIdx[y]
+			if !ok {
+				vi = int32(len(lt.varSets))
+				varIdx[y] = vi
+				lt.varSets = append(lt.varSets, y)
+			}
+			u.Vars = append(u.Vars, vi)
+		}
+		sort.Slice(u.Vars, func(i, j int) bool { return u.Vars[i] < u.Vars[j] })
+		lt.gammaKind[q] = GammaUnion
+		lt.gammaIdx[q] = int32(len(lt.unions))
+		lt.unions = append(lt.unions, u)
+	}
+	lt.varOut = make([][]int32, len(lt.varSets))
+	for ui, u := range lt.unions {
+		for _, v := range u.Vars {
+			lt.varOut[v] = append(lt.varOut[v], int32(ui))
+		}
+	}
+	lt.sig = leafSig(lt)
+	return lt
+}
+
+// ---- structural signatures ----
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type sigHash uint64
+
+func (h *sigHash) mix(x uint64) {
+	v := uint64(*h) ^ x
+	*h = sigHash(v * fnvPrime)
+}
+
+// computeSig hashes the gate structure of a box: the γ vectors, the
+// var-gate sets, the ×-gates and the ∪-gate input lists. The node ID,
+// the label and the child pointers are deliberately EXCLUDED — the
+// signature captures exactly "would this box behave identically over the
+// same children", which is what signature-pruned repair compares (two
+// labels the automaton does not distinguish yield the same signature).
+func computeSig(b *Box) uint64 {
+	h := sigHash(fnvOffset)
+	h.mix(uint64(len(b.GammaKind)))
+	for q, k := range b.GammaKind {
+		if k != GammaBottom {
+			h.mix(uint64(q)<<8 | uint64(k))
+			h.mix(uint64(uint32(b.GammaIdx[q])))
+		}
+	}
+	h.mix(uint64(len(b.Vars)))
+	for _, v := range b.Vars {
+		h.mix(uint64(v.Set))
+	}
+	h.mix(uint64(len(b.Times)))
+	for _, t := range b.Times {
+		h.mix(uint64(uint32(t.Left))<<32 | uint64(uint32(t.Right)))
+	}
+	h.mix(uint64(len(b.Unions)))
+	for i := range b.Unions {
+		u := &b.Unions[i]
+		for _, lst := range [][]int32{u.Vars, u.Times, u.LeftUnions, u.RightUnions} {
+			h.mix(uint64(len(lst)))
+			for _, x := range lst {
+				h.mix(uint64(uint32(x)))
+			}
+		}
+	}
+	return uint64(h)
+}
+
+// leafSig computes the template's signature without instantiating a box.
+func leafSig(lt *leafTemplate) uint64 {
+	b := &Box{
+		GammaKind: lt.gammaKind,
+		GammaIdx:  lt.gammaIdx,
+		Unions:    lt.unions,
+		Vars:      make([]VarGate, len(lt.varSets)),
+	}
+	for i, s := range lt.varSets {
+		b.Vars[i] = VarGate{Set: s}
+	}
+	return computeSig(b)
+}
+
+// ShapeEqual reports whether two boxes have identical local gate
+// structure: same γ vectors, var-gate sets, ×-gates and ∪-gate wiring.
+// Node IDs, labels and child pointers are not compared (see computeSig).
+// It is the exact relation Sig approximates. The engine's runtime reuse
+// tests are LeafReusable (leaves: template signature + structural
+// verify) and pointer-equal children + unchanged label (inner boxes);
+// both imply ShapeEqual, which is what the pruned-vs-full differential
+// suite checks box for box over whole published circuits.
+func ShapeEqual(a, b *Box) bool {
+	if len(a.GammaKind) != len(b.GammaKind) || len(a.Vars) != len(b.Vars) ||
+		len(a.Times) != len(b.Times) || len(a.Unions) != len(b.Unions) {
+		return false
+	}
+	for q := range a.GammaKind {
+		if a.GammaKind[q] != b.GammaKind[q] || a.GammaIdx[q] != b.GammaIdx[q] {
+			return false
+		}
+	}
+	for i := range a.Vars {
+		if a.Vars[i].Set != b.Vars[i].Set {
+			return false
+		}
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			return false
+		}
+	}
+	for i := range a.Unions {
+		ua, ub := &a.Unions[i], &b.Unions[i]
+		if !slices.Equal(ua.Vars, ub.Vars) || !slices.Equal(ua.Times, ub.Times) ||
+			!slices.Equal(ua.LeftUnions, ub.LeftUnions) || !slices.Equal(ua.RightUnions, ub.RightUnions) {
+			return false
+		}
+	}
+	return true
+}
+
+// LeafReusable reports whether an existing box can serve as the leaf box
+// for (label, node): exactly when LeafBox(label, node) would build a box
+// with identical gates. The dynamic engine's signature-pruned repair
+// uses this to keep the old (box, index, counts) unit across a relabel
+// that does not change the leaf's γ shape — the common case for labels
+// the query does not distinguish — without building anything.
+func (bd *Builder) LeafReusable(b *Box, label tree.Label, node tree.NodeID) bool {
+	if b == nil || !b.IsLeaf() || b.Node != node {
+		return false
+	}
+	lt := bd.prog.leafFor(label)
+	if b.Sig != lt.sig {
+		return false
+	}
+	// Fast path: the box was instantiated from this very template (its γ
+	// slices are the template's).
+	if len(b.GammaKind) > 0 && len(lt.gammaKind) > 0 && &b.GammaKind[0] == &lt.gammaKind[0] {
+		return true
+	}
+	// Signature collision or a box from another builder generation:
+	// verify structurally.
+	if len(b.Vars) != len(lt.varSets) || len(b.Unions) != len(lt.unions) || len(b.Times) != 0 {
+		return false
+	}
+	for q := range b.GammaKind {
+		if b.GammaKind[q] != lt.gammaKind[q] || b.GammaIdx[q] != lt.gammaIdx[q] {
+			return false
+		}
+	}
+	for i := range b.Vars {
+		if b.Vars[i].Set != lt.varSets[i] || b.Vars[i].Node != node {
+			return false
+		}
+	}
+	for i := range b.Unions {
+		ua, ub := &b.Unions[i], &lt.unions[i]
+		if !slices.Equal(ua.Vars, ub.Vars) || len(ua.Times) != 0 ||
+			len(ua.LeftUnions) != 0 || len(ua.RightUnions) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- program cache ----
+
+// programCache shares compiled programs across Builders by automaton
+// CONTENT: two automata with identical (states, 1-states, ι, δ)
+// sequences map to the same *Program even when they are distinct
+// objects, which is what lets every pipeline of a QuerySet engine (each
+// registration translates and homogenizes afresh) skip recompilation.
+// Capped; automata beyond the cap still compile, they just aren't
+// retained.
+var programCache struct {
+	mu    sync.Mutex
+	m     map[uint64][]*Program
+	count int
+}
+
+const programCacheCap = 256
+
+func fingerprint(numStates int, one bitset.Set, init []tva.InitRule, delta []tva.Triple) uint64 {
+	h := sigHash(fnvOffset)
+	h.mix(uint64(numStates))
+	one.ForEach(func(q int) bool {
+		h.mix(uint64(q) | 1<<32)
+		return true
+	})
+	h.mix(uint64(len(init)))
+	for _, r := range init {
+		mixString(&h, string(r.Label))
+		h.mix(uint64(r.Set))
+		h.mix(uint64(r.State))
+	}
+	h.mix(uint64(len(delta)))
+	for _, t := range delta {
+		mixString(&h, string(t.Label))
+		h.mix(uint64(t.Left)<<42 | uint64(t.Right)<<21 | uint64(t.Out))
+	}
+	return uint64(h)
+}
+
+func mixString(h *sigHash, s string) {
+	h.mix(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.mix(uint64(s[i]))
+	}
+}
+
+// equalProgram reports whether the cached program was compiled from the
+// same rule content the candidate program was.
+func equalProgram(a, b *Program) bool {
+	if a.numStates != b.numStates || !a.oneStates.Equal(b.oneStates) ||
+		len(a.init) != len(b.init) || len(a.delta) != len(b.delta) {
+		return false
+	}
+	for i := range a.init {
+		if a.init[i] != b.init[i] {
+			return false
+		}
+	}
+	for i := range a.delta {
+		if a.delta[i] != b.delta[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// programFor returns the shared program for the automaton, compiling and
+// caching it on first sight of this rule content.
+func programFor(a *tva.Binary) *Program {
+	init, delta := canonicalRules(a)
+	fp := fingerprint(a.NumStates, a.OneStates, init, delta)
+	probe := &Program{numStates: a.NumStates, oneStates: a.OneStates, init: init, delta: delta}
+
+	programCache.mu.Lock()
+	if programCache.m == nil {
+		programCache.m = map[uint64][]*Program{}
+	}
+	for _, cached := range programCache.m[fp] {
+		if equalProgram(cached, probe) {
+			programCache.mu.Unlock()
+			return cached
+		}
+	}
+	programCache.mu.Unlock()
+
+	// Compile off the lock (template building is the expensive part);
+	// re-check before inserting so concurrent compilers converge on one
+	// shared program.
+	p := compileProgram(a, init, delta, fp)
+	programCache.mu.Lock()
+	defer programCache.mu.Unlock()
+	for _, cached := range programCache.m[fp] {
+		if equalProgram(cached, p) {
+			return cached
+		}
+	}
+	if programCache.count < programCacheCap {
+		programCache.m[fp] = append(programCache.m[fp], p)
+		programCache.count++
+	}
+	return p
+}
+
+// Program returns the builder's shared transition program; two builders
+// over content-equal automata report the same *Program (the cache above).
+// Exposed for the sharing tests and for cache-aware diagnostics.
+func (bd *Builder) Program() *Program { return bd.prog }

@@ -36,6 +36,18 @@ type Semiring[T any] interface {
 	Var(g circuit.VarGate) T // value of a var gate's single assignment
 }
 
+// Accumulator is an optional Semiring extension for allocation-light
+// folding on the hot path: AddTo and MulAddTo may MUTATE acc (which the
+// evaluator guarantees was produced by Zero/AddTo/MulAddTo within the
+// same per-gate fold and is not yet shared), instead of allocating a
+// fresh value per step like Add/Mul. The returned value replaces acc.
+// Values handed out of the evaluator are still frozen — only the
+// in-flight accumulator is ever mutated.
+type Accumulator[T any] interface {
+	AddTo(acc, x T) T       // acc + x
+	MulAddTo(acc, a, b T) T // acc + a·b
+}
+
 // Evaluator computes per-∪-gate semiring values with caching keyed by
 // box identity. Boxes rebuilt by updates get fresh identities, so cached
 // values of untouched subtrees stay valid across updates.
@@ -49,45 +61,74 @@ type Semiring[T any] interface {
 // churn stress tests enforce this confinement.
 type Evaluator[T any] struct {
 	S     Semiring[T]
-	cache map[*circuit.Box][]T
-	have  map[*circuit.Box][]bool
+	cache map[*circuit.Box]boxValues[T]
+	// acc is e.S when it also implements the in-place Accumulator
+	// extension (resolved once at construction, off the hot path).
+	acc Accumulator[T]
+}
+
+// boxValues is one box's cache entry. have guards partially computed
+// slices during recursive evaluation.
+type boxValues[T any] struct {
+	vals []T
+	have []bool
 }
 
 // NewEvaluator returns an evaluator for the semiring.
 func NewEvaluator[T any](s Semiring[T]) *Evaluator[T] {
-	return &Evaluator[T]{
+	e := &Evaluator[T]{
 		S:     s,
-		cache: map[*circuit.Box][]T{},
-		have:  map[*circuit.Box][]bool{},
+		cache: map[*circuit.Box]boxValues[T]{},
 	}
+	e.acc, _ = s.(Accumulator[T])
+	return e
 }
 
 // Union returns the value of ∪-gate u of box b.
 func (e *Evaluator[T]) Union(b *circuit.Box, u int) T {
-	if vs, ok := e.cache[b]; ok && e.have[b][u] {
-		return vs[u]
+	bv, ok := e.cache[b]
+	if ok && bv.have[u] {
+		return bv.vals[u]
 	}
-	if _, ok := e.cache[b]; !ok {
-		e.cache[b] = make([]T, len(b.Unions))
-		e.have[b] = make([]bool, len(b.Unions))
+	if !ok {
+		bv = boxValues[T]{vals: make([]T, len(b.Unions)), have: make([]bool, len(b.Unions))}
+		e.cache[b] = bv
 	}
 	g := &b.Unions[u]
 	v := e.S.Zero()
-	for _, vi := range g.Vars {
-		v = e.S.Add(v, e.S.Var(b.Vars[vi]))
+	if e.acc != nil {
+		for _, vi := range g.Vars {
+			v = e.acc.AddTo(v, e.S.Var(b.Vars[vi]))
+		}
+		for _, ti := range g.Times {
+			tg := b.Times[ti]
+			v = e.acc.MulAddTo(v, e.Union(b.Left, int(tg.Left)), e.Union(b.Right, int(tg.Right)))
+		}
+		for _, l := range g.LeftUnions {
+			v = e.acc.AddTo(v, e.Union(b.Left, int(l)))
+		}
+		for _, r := range g.RightUnions {
+			v = e.acc.AddTo(v, e.Union(b.Right, int(r)))
+		}
+	} else {
+		for _, vi := range g.Vars {
+			v = e.S.Add(v, e.S.Var(b.Vars[vi]))
+		}
+		for _, ti := range g.Times {
+			tg := b.Times[ti]
+			v = e.S.Add(v, e.S.Mul(e.Union(b.Left, int(tg.Left)), e.Union(b.Right, int(tg.Right))))
+		}
+		for _, l := range g.LeftUnions {
+			v = e.S.Add(v, e.Union(b.Left, int(l)))
+		}
+		for _, r := range g.RightUnions {
+			v = e.S.Add(v, e.Union(b.Right, int(r)))
+		}
 	}
-	for _, ti := range g.Times {
-		tg := b.Times[ti]
-		v = e.S.Add(v, e.S.Mul(e.Union(b.Left, int(tg.Left)), e.Union(b.Right, int(tg.Right))))
-	}
-	for _, l := range g.LeftUnions {
-		v = e.S.Add(v, e.Union(b.Left, int(l)))
-	}
-	for _, r := range g.RightUnions {
-		v = e.S.Add(v, e.Union(b.Right, int(r)))
-	}
-	e.cache[b][u] = v
-	e.have[b][u] = true
+	// Recursive calls insert entries for other boxes only; bv's slices
+	// alias b's cached entry, so writing through bv is writing the cache.
+	bv.vals[u] = v
+	bv.have[u] = true
 	return v
 }
 
@@ -95,11 +136,15 @@ func (e *Evaluator[T]) Union(b *circuit.Box, u int) T {
 // assignment flag (the output of circuit.Builder.RootAccepting).
 func (e *Evaluator[T]) Gamma(b *circuit.Box, gamma bitset.Set, emptyOK bool) T {
 	v := e.S.Zero()
+	add := e.S.Add
+	if e.acc != nil {
+		add = e.acc.AddTo
+	}
 	if emptyOK {
-		v = e.S.Add(v, e.S.One())
+		v = add(v, e.S.One())
 	}
 	gamma.ForEach(func(u int) bool {
-		v = e.S.Add(v, e.Union(b, u))
+		v = add(v, e.Union(b, u))
 		return true
 	})
 	return v
@@ -115,7 +160,7 @@ func (e *Evaluator[T]) UnionsOf(b *circuit.Box) []T {
 	for u := range b.Unions {
 		e.Union(b, u)
 	}
-	return e.cache[b]
+	return e.cache[b].vals
 }
 
 // Forget drops the cache entry of one box. The engine calls it when a
@@ -124,7 +169,6 @@ func (e *Evaluator[T]) UnionsOf(b *circuit.Box) []T {
 // published into snapshots are immutable and unaffected.
 func (e *Evaluator[T]) Forget(b *circuit.Box) {
 	delete(e.cache, b)
-	delete(e.have, b)
 }
 
 // Prune drops cache entries for boxes no longer reachable from root,
@@ -144,7 +188,6 @@ func (e *Evaluator[T]) Prune(root *circuit.Box) {
 	for b := range e.cache {
 		if !live[b] {
 			delete(e.cache, b)
-			delete(e.have, b)
 		}
 	}
 }
@@ -167,6 +210,15 @@ func (Derivations) Mul(a, b *big.Int) *big.Int { return new(big.Int).Mul(a, b) }
 
 // Var returns 1: each var gate captures one assignment once.
 func (Derivations) Var(circuit.VarGate) *big.Int { return big.NewInt(1) }
+
+// AddTo implements the Accumulator extension: acc += x in place.
+func (Derivations) AddTo(acc, x *big.Int) *big.Int { return acc.Add(acc, x) }
+
+// MulAddTo implements the Accumulator extension: acc += a·b with one
+// temporary instead of two fresh values.
+func (Derivations) MulAddTo(acc, a, b *big.Int) *big.Int {
+	return acc.Add(acc, new(big.Int).Mul(a, b))
+}
 
 // sizeInf is the +∞ (resp. -∞) marker for the tropical semirings.
 const sizeInf = int64(1) << 60

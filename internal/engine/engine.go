@@ -17,7 +17,13 @@
 //     evaluator, the enumeration mode, and — in each published snapshot
 //     — the γ set of accepting states at the root. Only the
 //     O(log|T|)·poly(|Q|) box and index repair along the hollowing trunk
-//     (Lemma 7.3) scales with the number of queries.
+//     (Lemma 7.3) scales with the number of queries — and
+//     SIGNATURE-PRUNED REPAIR (pipeline.tryReuse, DESIGN.md §7) cuts
+//     even that: a trunk box whose rebuild would reproduce the
+//     superseded box gate for gate (γ-neutral relabels, path copies
+//     over reused children) keeps its old frozen (box, index, counts)
+//     unit at O(1), so a relabel the query does not distinguish repairs
+//     the whole trunk without building a single box.
 //
 // PARALLEL WRITE PATH. Each batch drains the source's trunk ONCE into an
 // immutable forest.TrunkDelta; per-query repair then runs through
@@ -101,6 +107,14 @@ type Options struct {
 	// runtime.GOMAXPROCS(0)); 1 forces the deterministic sequential
 	// path. The pool never exceeds the number of registered queries.
 	Workers int
+
+	// FullRebuild disables signature-pruned box reuse for this query:
+	// every trunk node's box is rebuilt even when the rebuild would be
+	// structurally identical to the superseded one. The answers are the
+	// same either way — this is the diagnostic/testing knob behind the
+	// pruned-vs-full-rebuild differential suite and the B1 experiment's
+	// comparison rows, not something production callers want.
+	FullRebuild bool
 }
 
 // QueryID identifies a registered query within an Engine. IDs are
@@ -138,6 +152,9 @@ type Source interface {
 type pipeline struct {
 	builder *circuit.Builder
 	mode    enumerate.Mode
+	// indexer owns the reusable index-construction scratch; confined to
+	// the pipeline like the builder's arena.
+	indexer enumerate.Indexer
 
 	// attach maps live term nodes to their frozen wrapper. Entries of
 	// term nodes retired by path copying are released eagerly by every
@@ -161,8 +178,13 @@ type pipeline struct {
 	// the O(poly|Q|) Count / At fast paths.
 	unambiguous bool
 
+	// fullRebuild disables the signature-pruned reuse fast path
+	// (Options.FullRebuild): every trunk box is rebuilt.
+	fullRebuild bool
+
 	translatedStates int
 	boxesRebuilt     int // cumulative for this query, incl. registration
+	boxesReused      int // trunk boxes served by signature-pruned reuse
 
 	// gamma caches the accepting boxed set at the root, keyed by the
 	// root box it was computed for: publications that leave this
@@ -182,30 +204,93 @@ func (p *pipeline) attachNode(n *forest.Node) {
 	indexed := p.mode == enumerate.ModeIndexed
 	var ib *enumerate.IndexedBox
 	if n.IsLeaf() {
-		ib = enumerate.Wrap(p.builder.LeafBox(n.BinaryLabel(), n.TreeID), nil, nil, indexed)
+		ib = p.indexer.Wrap(p.builder.LeafBox(n.BinaryLabel(), n.TreeID), nil, nil, indexed)
 	} else {
 		l, r := p.attach[n.Left], p.attach[n.Right]
-		ib = enumerate.Wrap(p.builder.InnerBox(n.BinaryLabel(), tree.InvalidNode, l.Box, r.Box), l, r, indexed)
+		ib = p.indexer.Wrap(p.builder.InnerBox(n.BinaryLabel(), tree.InvalidNode, l.Box, r.Box), l, r, indexed)
 	}
 	ib.Counts = p.counts.UnionsOf(ib.Box)
 	p.attach[n] = ib
 	p.boxesRebuilt++
 }
 
+// tryReuse is the signature-pruned repair fast path: if the trunk node's
+// rebuild is guaranteed to reproduce the superseded node's box gate for
+// gate, the old frozen (box, index, counts) unit is returned for reuse
+// and nothing is built. Two sound cases:
+//
+//   - LEAF whose current label yields the same gate structure the old
+//     box has (Builder.LeafReusable: template signature plus structural
+//     verify) — the relabel case, where a label change the automaton
+//     does not distinguish keeps γ shape identical;
+//   - INNER whose children wrappers are POINTER-EQUAL to the old box's
+//     and whose label (term operator) is unchanged — box construction
+//     is deterministic in (label, left, right), so the rebuild would be
+//     identical. This is what stops propagation: once the box at the
+//     bottom of the trunk is reused, every ancestor's children compare
+//     pointer-equal and repair costs O(1) per trunk node instead of a
+//     poly(|Q|) rebuild.
+//
+// Pointer equality of the children is REQUIRED for the inner case: a
+// rebuilt child with identical shape but fresh identity carries updated
+// gates below, and an old parent box would keep enumerating the stale
+// subtree. The leaf case has no children, and identity of the node is
+// pinned by LeafReusable's Node check.
+func (p *pipeline) tryReuse(n, prev *forest.Node) *enumerate.IndexedBox {
+	if prev == nil {
+		return nil
+	}
+	old, ok := p.attach[prev]
+	if !ok {
+		return nil
+	}
+	if n.IsLeaf() {
+		if p.builder.LeafReusable(old.Box, n.BinaryLabel(), n.TreeID) {
+			return old
+		}
+		return nil
+	}
+	if old.IsLeaf() {
+		return nil
+	}
+	l, r := p.attach[n.Left], p.attach[n.Right]
+	if l != nil && r != nil && old.Left == l && old.Right == r && old.Box.Label == n.BinaryLabel() {
+		return old
+	}
+	return nil
+}
+
 // replay brings the pipeline's attachments from the previous term
-// version to the delta's: a fresh frozen (box, index, counts) unit per
-// trunk node, children before parents, sharing the wrappers of all
-// untouched subtrees (Lemma 7.3), then the retirement cleanup — Forget
-// the counting cache entry and drop the attachment of every node the
-// batch removed from the term (paid here, on the replaying goroutine,
-// not by the writer). Nodes never attached are a no-op.
+// version to the delta's: per trunk node, children before parents,
+// either a signature-pruned REUSE of the superseded node's frozen (box,
+// index, counts) unit (tryReuse) or a fresh rebuild, sharing the
+// wrappers of all untouched subtrees either way (Lemma 7.3); then the
+// retirement cleanup — Forget the counting cache entry and drop the
+// attachment of every node the batch removed from the term (paid here,
+// on the replaying goroutine, not by the writer). Boxes kept alive by
+// reuse skip the Forget: their counts still serve the live attachment.
+// Nodes never attached are a no-op.
 func (p *pipeline) replay(delta forest.TrunkDelta) {
-	for _, n := range delta.Fresh {
+	var kept map[*circuit.Box]bool
+	for i, n := range delta.Fresh {
+		if !p.fullRebuild {
+			if ib := p.tryReuse(n, delta.PrevOf(i)); ib != nil {
+				p.attach[n] = ib
+				p.boxesReused++
+				if kept == nil {
+					kept = make(map[*circuit.Box]bool, len(delta.Fresh))
+				}
+				kept[ib.Box] = true
+				continue
+			}
+		}
 		p.attachNode(n)
 	}
 	for _, n := range delta.Retired {
 		if ib, ok := p.attach[n]; ok {
-			p.counts.Forget(ib.Box)
+			if !kept[ib.Box] {
+				p.counts.Forget(ib.Box)
+			}
 			delete(p.attach, n)
 		}
 	}
@@ -245,6 +330,7 @@ func (p *pipeline) applyDelta(delta forest.TrunkDelta, pub pubInfo) *Snapshot {
 		version:          pub.version,
 		termHeight:       pub.termHeight,
 		boxesRebuilt:     p.boxesRebuilt,
+		boxesReused:      p.boxesReused,
 		pathCopies:       pub.pathCopies,
 		rebalances:       pub.rebalances,
 		translatedStates: p.translatedStates,
@@ -282,9 +368,11 @@ type Engine struct {
 
 	version    uint64
 	pathCopies int // cumulative term nodes drained (shared across queries)
-	// boxesReleased accumulates the boxesRebuilt counters of unregistered
-	// pipelines so EngineStats.BoxesRebuilt stays cumulative and monotone.
-	boxesReleased int
+	// boxesReleased/reusedReleased accumulate the boxesRebuilt/boxesReused
+	// counters of unregistered pipelines so EngineStats.BoxesRebuilt and
+	// .BoxesReused stay cumulative and monotone.
+	boxesReleased  int
+	reusedReleased int
 }
 
 // initEngine wires the shared fields around the freshly built source,
@@ -335,6 +423,7 @@ func (e *Engine) register(builder *circuit.Builder, translated int, opts Options
 		attach:           map[*forest.Node]*enumerate.IndexedBox{},
 		counts:           counting.NewEvaluator[*big.Int](counting.Derivations{}),
 		translatedStates: translated,
+		fullRebuild:      opts.FullRebuild,
 	}
 	// The unambiguity verdict only gates the ModeIndexed fast paths
 	// (ModeSimple is always direct, ModeNaive never): don't pay the
@@ -393,6 +482,7 @@ func (e *Engine) Unregister(id QueryID) error {
 		return fmt.Errorf("engine: query %d is not registered", id)
 	}
 	e.boxesReleased += p.boxesRebuilt
+	e.reusedReleased += p.boxesReused
 	delete(e.pipes, id)
 	i := slices.Index(e.order, id)
 	e.order = slices.Delete(e.order, i, i+1)

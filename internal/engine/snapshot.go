@@ -27,6 +27,7 @@ type Stats struct {
 	VarGates         int
 	TermHeight       int
 	BoxesRebuilt     int // cumulative for this query, across all updates
+	BoxesReused      int // trunk boxes served by signature-pruned reuse
 	PathCopies       int // cumulative shared term work (see EngineStats)
 	Rebalances       int // scapegoat rebuilds in the term
 }
@@ -53,6 +54,7 @@ type Snapshot struct {
 	version          uint64
 	termHeight       int
 	boxesRebuilt     int
+	boxesReused      int
 	pathCopies       int
 	rebalances       int
 	translatedStates int
@@ -274,6 +276,7 @@ func (s *Snapshot) Stats() Stats {
 			VarGates:         v,
 			TermHeight:       s.termHeight,
 			BoxesRebuilt:     s.boxesRebuilt,
+			BoxesReused:      s.boxesReused,
 			PathCopies:       s.pathCopies,
 			Rebalances:       s.rebalances,
 		}

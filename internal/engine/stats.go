@@ -37,6 +37,12 @@ type EngineStats struct {
 	// unregistered since (monotone; the per-query update-work counter of
 	// the amortization experiments, summed).
 	BoxesRebuilt int
+	// BoxesReused is the cumulative number of trunk boxes that
+	// signature-pruned repair served by reusing the superseded node's
+	// frozen (box, index, counts) unit instead of rebuilding it —
+	// repair work saved, summed across all pipelines (monotone, like
+	// BoxesRebuilt).
+	BoxesReused int
 	// QueryBoxesRebuilt maps each standing query to its pipeline's
 	// cumulative box-construction count.
 	QueryBoxesRebuilt map[QueryID]int
@@ -63,10 +69,12 @@ func (e *Engine) publishStats() {
 		PathCopies:        e.pathCopies,
 		Rebalances:        e.src.Rebalances(),
 		BoxesRebuilt:      e.boxesReleased,
+		BoxesReused:       e.reusedReleased,
 		QueryBoxesRebuilt: make(map[QueryID]int, len(e.pipes)),
 	}
 	for id, p := range e.pipes {
 		st.BoxesRebuilt += p.boxesRebuilt
+		st.BoxesReused += p.boxesReused
 		st.QueryBoxesRebuilt[id] = p.boxesRebuilt
 	}
 	e.stats.Store(st)

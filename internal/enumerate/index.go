@@ -2,7 +2,7 @@ package enumerate
 
 import (
 	"math/big"
-	"sort"
+	"slices"
 
 	"repro/internal/bitset"
 	"repro/internal/circuit"
@@ -52,26 +52,51 @@ func (n *IndexedBox) Walk(f func(*IndexedBox)) {
 	f(n)
 }
 
+// Indexer builds IndexedBox wrappers. It owns the reusable construction
+// scratch (raw per-gate tables, seed buffers, child position maps), so a
+// long-lived Indexer — one per engine pipeline — makes per-box index
+// repair allocate only the frozen result arrays. The zero value is
+// ready to use.
+//
+// CONCURRENCY: an Indexer is NOT safe for concurrent use (the scratch is
+// shared across calls); confine it like a circuit.Builder. The wrappers
+// it returns are immutable and freely shareable.
+type Indexer struct {
+	rawFib   []targetKey
+	rawFbb   []rawFbbVal
+	seeds    []targetKey
+	leftPos  []int16
+	rightPos []int16
+}
+
 // Wrap builds the IndexedBox for a box whose children wrappers are given
 // (nil for leaf boxes); left and right must wrap b.Left and b.Right.
 // With withIndex set, the children must have been wrapped with an index
 // too, and the box's part of I(C) is computed from theirs (Lemma 6.3).
-func Wrap(b *circuit.Box, left, right *IndexedBox, withIndex bool) *IndexedBox {
+func (ix *Indexer) Wrap(b *circuit.Box, left, right *IndexedBox, withIndex bool) *IndexedBox {
 	n := &IndexedBox{Box: b, Left: left, Right: right}
 	if withIndex {
-		n.Index = buildBoxIndex(n)
+		n.Index = ix.buildBoxIndex(n)
 	}
 	return n
 }
 
+// Wrap is Indexer.Wrap with one-shot scratch, for callers without a
+// long-lived Indexer.
+func Wrap(b *circuit.Box, left, right *IndexedBox, withIndex bool) *IndexedBox {
+	var ix Indexer
+	return ix.Wrap(b, left, right, withIndex)
+}
+
 // WrapCircuit wraps a whole circuit bottom-up.
 func WrapCircuit(c *circuit.Circuit, withIndex bool) *IndexedBox {
+	var ix Indexer
 	var rec func(b *circuit.Box) *IndexedBox
 	rec = func(b *circuit.Box) *IndexedBox {
 		if b == nil {
 			return nil
 		}
-		return Wrap(b, rec(b.Left), rec(b.Right), withIndex)
+		return ix.Wrap(b, rec(b.Left), rec(b.Right), withIndex)
 	}
 	return rec(c.Root)
 }
@@ -88,8 +113,9 @@ func BuildIndex(c *circuit.Circuit) *IndexedBox { return WrapCircuit(c, true) }
 //     sorted by preorder of the tree of boxes (the "linear order implied
 //     by preorder over 𝔅′" of Definition 6.1);
 //   - the reachability relation R(B*, B) for every target B* (Lemma 6.3);
-//   - the pairwise-lca table over the targets, which also answers
-//     ancestor queries (A ancestor of B iff lca(A,B) = A);
+//   - the pairwise-lca table over the targets — row-major in one flat
+//     array, read through Lca(i, j) — which also answers ancestor
+//     queries (A ancestor of B iff lca(A,B) = A);
 //   - per ∪-gate g: fib(g) as a target position, and the pair
 //     (FbbF, FbbE) summarizing the ∪-path structure below g. FbbE is the
 //     deepest box of g's unbranched descent path; FbbF is the first
@@ -104,17 +130,22 @@ func BuildIndex(c *circuit.Circuit) *IndexedBox { return WrapCircuit(c, true) }
 // trunk after updates (Lemma 7.3).
 type BoxIndex struct {
 	Targets []*IndexedBox
-	// side/childIdx locate each target: side 0 = the box itself (always
-	// target 0), 1 = a target of the left child, 2 = of the right child.
-	side     []int8
-	childIdx []int16
+	// locs locates each target: side 0 = the box itself (always target
+	// 0), 1 = a target of the left child, 2 = of the right child; ci is
+	// the child-level target position.
+	locs []targetKey
 
 	Rel []bitset.Matrix // Rel[i] = R(Targets[i], B); rows Targets[i].Unions, cols B.Unions
-	Lca [][]int16       // Lca[i][j] = target position of lca(Targets[i], Targets[j])
+	lca []int16         // row-major len(Targets)² table; see Lca
 
 	Fib  []int16 // per ∪-gate: target position of fib(g)
 	FbbF []int16 // per ∪-gate: target position of fbb(g), -1 if undefined
 	FbbE []int16 // per ∪-gate: target position of the end of g's unbranched descent
+}
+
+// Lca returns the target position of lca(Targets[i], Targets[j]).
+func (idx *BoxIndex) Lca(i, j int16) int16 {
+	return idx.lca[int(i)*len(idx.Targets)+int(j)]
 }
 
 // targetKey identifies a prospective target during construction.
@@ -123,25 +154,29 @@ type targetKey struct {
 	ci   int16
 }
 
+// rawFbbVal is the per-gate (side, F, E) summary before target
+// materialization.
+type rawFbbVal struct {
+	side int8
+	f, e int16
+}
+
 // buildBoxIndex computes the index for one wrapper from its children's
 // indexes (which must already be built).
-func buildBoxIndex(n *IndexedBox) *BoxIndex {
+func (ix *Indexer) buildBoxIndex(n *IndexedBox) *BoxIndex {
 	b := n.Box
+	nu := len(b.Unions)
 	if n.IsLeaf() {
 		idx := &BoxIndex{
-			Targets:  []*IndexedBox{n},
-			side:     []int8{0},
-			childIdx: []int16{0},
-			Rel:      []bitset.Matrix{bitset.Identity(len(b.Unions))},
-			Lca:      [][]int16{{0}},
-			Fib:      make([]int16, len(b.Unions)),
-			FbbF:     make([]int16, len(b.Unions)),
-			FbbE:     make([]int16, len(b.Unions)),
+			Targets: []*IndexedBox{n},
+			locs:    []targetKey{{0, 0}},
+			Rel:     []bitset.Matrix{bitset.Identity(nu)},
+			lca:     []int16{0},
 		}
-		for g := range b.Unions {
-			idx.Fib[g] = 0
-			idx.FbbF[g] = -1
-			idx.FbbE[g] = 0
+		flat := make([]int16, 3*nu)
+		idx.Fib, idx.FbbF, idx.FbbE = flat[:nu:nu], flat[nu:2*nu:2*nu], flat[2*nu:]
+		for g := 0; g < nu; g++ {
+			idx.FbbF[g] = -1 // Fib and FbbE stay 0: the box itself
 		}
 		return idx
 	}
@@ -149,13 +184,13 @@ func buildBoxIndex(n *IndexedBox) *BoxIndex {
 	ri := n.Right.Index
 
 	// Step 1: raw per-gate values in (side, childIdx) form.
-	type fe struct{ f, e int16 } // child-level target positions; f may be -1
-	rawFib := make([]targetKey, len(b.Unions))
-	rawFbb := make([]struct {
-		side int8
-		f, e int16
-	}, len(b.Unions))
-	for g := range b.Unions {
+	if cap(ix.rawFib) < nu {
+		ix.rawFib = make([]targetKey, nu)
+		ix.rawFbb = make([]rawFbbVal, nu)
+	}
+	rawFib := ix.rawFib[:nu]
+	rawFbb := ix.rawFbb[:nu]
+	for g := 0; g < nu; g++ {
 		u := &b.Unions[g]
 		hasLocal := len(u.Vars)+len(u.Times) > 0
 		switch {
@@ -186,144 +221,149 @@ func buildBoxIndex(n *IndexedBox) *BoxIndex {
 		hasL, hasR := len(u.LeftUnions) > 0, len(u.RightUnions) > 0
 		switch {
 		case hasL && hasR:
-			rawFbb[g] = struct {
-				side int8
-				f, e int16
-			}{0, 0, 0} // bidirectional at b itself
+			rawFbb[g] = rawFbbVal{0, 0, 0} // bidirectional at b itself
 		case !hasL && !hasR:
-			rawFbb[g] = struct {
-				side int8
-				f, e int16
-			}{0, -1, 0} // ∪-paths end here
+			rawFbb[g] = rawFbbVal{0, -1, 0} // ∪-paths end here
 		case hasL:
-			cur := fe{-1, -1}
+			f, e := int16(-1), int16(-1)
 			for _, cg := range u.LeftUnions {
-				nxt := fe{li.FbbF[cg], li.FbbE[cg]}
-				if cur.e < 0 {
-					cur = nxt
+				if e < 0 {
+					f, e = li.FbbF[cg], li.FbbE[cg]
 				} else {
-					cur.f, cur.e = combineFbb(li.Lca, cur.f, cur.e, nxt.f, nxt.e)
+					f, e = li.combineFbb(f, e, li.FbbF[cg], li.FbbE[cg])
 				}
 			}
-			rawFbb[g] = struct {
-				side int8
-				f, e int16
-			}{1, cur.f, cur.e}
+			rawFbb[g] = rawFbbVal{1, f, e}
 		default:
-			cur := fe{-1, -1}
+			f, e := int16(-1), int16(-1)
 			for _, cg := range u.RightUnions {
-				nxt := fe{ri.FbbF[cg], ri.FbbE[cg]}
-				if cur.e < 0 {
-					cur = nxt
+				if e < 0 {
+					f, e = ri.FbbF[cg], ri.FbbE[cg]
 				} else {
-					cur.f, cur.e = combineFbb(ri.Lca, cur.f, cur.e, nxt.f, nxt.e)
+					f, e = ri.combineFbb(f, e, ri.FbbF[cg], ri.FbbE[cg])
 				}
 			}
-			rawFbb[g] = struct {
-				side int8
-				f, e int16
-			}{2, cur.f, cur.e}
+			rawFbb[g] = rawFbbVal{2, f, e}
 		}
 	}
 
-	// Step 2: collect seeds.
-	seedSet := map[targetKey]bool{{0, 0}: true}
-	for g := range b.Unions {
+	// Step 2: collect seeds (duplicates allowed; sorted and compacted).
+	seeds := append(ix.seeds[:0], targetKey{0, 0})
+	for g := 0; g < nu; g++ {
 		if rawFib[g].side != 0 {
-			seedSet[rawFib[g]] = true
+			seeds = append(seeds, rawFib[g])
 		}
 		if rawFbb[g].side != 0 {
 			if rawFbb[g].f >= 0 {
-				seedSet[targetKey{rawFbb[g].side, rawFbb[g].f}] = true
+				seeds = append(seeds, targetKey{rawFbb[g].side, rawFbb[g].f})
 			}
-			seedSet[targetKey{rawFbb[g].side, rawFbb[g].e}] = true
+			seeds = append(seeds, targetKey{rawFbb[g].side, rawFbb[g].e})
 		}
 	}
+	sortCompactTargets := func(ks []targetKey) []targetKey {
+		slices.SortFunc(ks, func(a, b targetKey) int {
+			if a.side != b.side {
+				return int(a.side) - int(b.side)
+			}
+			return int(a.ci) - int(b.ci)
+		})
+		return slices.Compact(ks)
+	}
+	seeds = sortCompactTargets(seeds)
 
-	// Step 3: sort by preorder and close under pairwise lca (lca of
-	// consecutive elements in preorder suffices, as for virtual trees).
-	childLca := func(side int8, x, y int16) int16 {
-		if side == 1 {
-			return li.Lca[x][y]
-		}
-		return ri.Lca[x][y]
-	}
-	var seeds []targetKey
-	for k := range seedSet {
-		seeds = append(seeds, k)
-	}
-	sortTargets(seeds)
-	for i := 0; i+1 < len(seeds); i++ {
+	// Step 3: close under pairwise lca (lca of consecutive elements in
+	// preorder suffices, as for virtual trees). Cross-side or self lca is
+	// the box itself, already present.
+	base := len(seeds)
+	for i := 0; i+1 < base; i++ {
 		a, c := seeds[i], seeds[i+1]
 		if a.side != 0 && a.side == c.side {
-			k := targetKey{a.side, childLca(a.side, a.ci, c.ci)}
-			if !seedSet[k] {
-				seedSet[k] = true
+			var k targetKey
+			if a.side == 1 {
+				k = targetKey{1, li.Lca(a.ci, c.ci)}
+			} else {
+				k = targetKey{2, ri.Lca(a.ci, c.ci)}
 			}
+			seeds = append(seeds, k)
 		}
-		// Cross-side or self lca is the box itself, already present.
 	}
-	seeds = seeds[:0]
-	for k := range seedSet {
-		seeds = append(seeds, k)
+	if len(seeds) > base {
+		seeds = sortCompactTargets(seeds)
 	}
-	sortTargets(seeds)
+	ix.seeds = seeds
 
-	// Step 4: materialize targets, position maps, relations.
+	// Step 4: materialize targets, position maps, relations. The Rel
+	// matrices all live on one backing allocation.
+	nt := len(seeds)
 	idx := &BoxIndex{
-		Fib:  make([]int16, len(b.Unions)),
-		FbbF: make([]int16, len(b.Unions)),
-		FbbE: make([]int16, len(b.Unions)),
+		Targets: make([]*IndexedBox, nt),
+		locs:    make([]targetKey, nt),
+		Rel:     make([]bitset.Matrix, nt),
 	}
-	leftPos := make([]int16, len(li.Targets))
-	rightPos := make([]int16, len(ri.Targets))
-	for i := range leftPos {
-		leftPos[i] = -1
-	}
-	for i := range rightPos {
-		rightPos[i] = -1
-	}
+	copy(idx.locs, seeds)
+	ix.leftPos = growPos(ix.leftPos, len(li.Targets))
+	ix.rightPos = growPos(ix.rightPos, len(ri.Targets))
+	leftPos, rightPos := ix.leftPos, ix.rightPos
+	relWords := 0
 	for _, k := range seeds {
-		pos := int16(len(idx.Targets))
-		idx.side = append(idx.side, k.side)
-		idx.childIdx = append(idx.childIdx, k.ci)
 		switch k.side {
 		case 0:
-			idx.Targets = append(idx.Targets, n)
-			idx.Rel = append(idx.Rel, bitset.Identity(len(b.Unions)))
+			relWords += bitset.Words(nu, nu)
 		case 1:
-			idx.Targets = append(idx.Targets, li.Targets[k.ci])
-			idx.Rel = append(idx.Rel, bitset.Compose(li.Rel[k.ci], b.WLeft))
-			leftPos[k.ci] = pos
+			relWords += bitset.Words(li.Rel[k.ci].Rows, nu)
 		default:
-			idx.Targets = append(idx.Targets, ri.Targets[k.ci])
-			idx.Rel = append(idx.Rel, bitset.Compose(ri.Rel[k.ci], b.WRight))
-			rightPos[k.ci] = pos
+			relWords += bitset.Words(ri.Rel[k.ci].Rows, nu)
+		}
+	}
+	relBits := make([]uint64, relWords)
+	off := 0
+	carve := func(rows int) []uint64 {
+		w := bitset.Words(rows, nu)
+		out := relBits[off : off+w : off+w]
+		off += w
+		return out
+	}
+	for pos, k := range seeds {
+		switch k.side {
+		case 0:
+			idx.Targets[pos] = n
+			idx.Rel[pos] = bitset.IdentityOn(carve(nu), nu)
+		case 1:
+			idx.Targets[pos] = li.Targets[k.ci]
+			rel := li.Rel[k.ci]
+			idx.Rel[pos] = bitset.ComposeInto(bitset.MatrixOn(carve(rel.Rows), rel.Rows, nu), rel, b.WLeft)
+			leftPos[k.ci] = int16(pos)
+		default:
+			idx.Targets[pos] = ri.Targets[k.ci]
+			rel := ri.Rel[k.ci]
+			idx.Rel[pos] = bitset.ComposeInto(bitset.MatrixOn(carve(rel.Rows), rel.Rows, nu), rel, b.WRight)
+			rightPos[k.ci] = int16(pos)
 		}
 	}
 
-	// Step 5: lca table.
-	nt := len(idx.Targets)
-	idx.Lca = make([][]int16, nt)
+	// Step 5: lca table, flat row-major.
+	idx.lca = make([]int16, nt*nt)
 	for i := 0; i < nt; i++ {
-		idx.Lca[i] = make([]int16, nt)
+		row := idx.lca[i*nt : (i+1)*nt]
 		for j := 0; j < nt; j++ {
-			si, sj := idx.side[i], idx.side[j]
+			si, sj := idx.locs[i].side, idx.locs[j].side
 			switch {
 			case si == 0 || sj == 0 || si != sj:
-				idx.Lca[i][j] = 0
+				row[j] = 0
 			case si == 1:
-				idx.Lca[i][j] = leftPos[li.Lca[idx.childIdx[i]][idx.childIdx[j]]]
+				row[j] = leftPos[li.Lca(idx.locs[i].ci, idx.locs[j].ci)]
 			default:
-				idx.Lca[i][j] = rightPos[ri.Lca[idx.childIdx[i]][idx.childIdx[j]]]
+				row[j] = rightPos[ri.Lca(idx.locs[i].ci, idx.locs[j].ci)]
 			}
-			if idx.Lca[i][j] < 0 {
+			if row[j] < 0 {
 				panic("enumerate: lca closure incomplete")
 			}
 		}
 	}
 
 	// Step 6: map per-gate values to target positions.
+	flat := make([]int16, 3*nu)
+	idx.Fib, idx.FbbF, idx.FbbE = flat[:nu:nu], flat[nu:2*nu:2*nu], flat[2*nu:]
 	mapKey := func(k targetKey) int16 {
 		switch k.side {
 		case 0:
@@ -334,7 +374,7 @@ func buildBoxIndex(n *IndexedBox) *BoxIndex {
 			return rightPos[k.ci]
 		}
 	}
-	for g := range b.Unions {
+	for g := 0; g < nu; g++ {
 		idx.Fib[g] = mapKey(rawFib[g])
 		if idx.Fib[g] < 0 {
 			panic("enumerate: fib target not materialized")
@@ -358,24 +398,24 @@ func buildBoxIndex(n *IndexedBox) *BoxIndex {
 	return idx
 }
 
-// sortTargets sorts target keys by preorder of the tree of boxes: the box
-// itself first, then left-subtree targets in the left child's target
-// order, then right-subtree targets.
-func sortTargets(ks []targetKey) {
-	sort.Slice(ks, func(i, j int) bool {
-		if ks[i].side != ks[j].side {
-			return ks[i].side < ks[j].side
-		}
-		return ks[i].ci < ks[j].ci
-	})
+// growPos returns a length-n position buffer filled with -1.
+func growPos(s []int16, n int) []int16 {
+	if cap(s) < n {
+		s = make([]int16, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = -1
+	}
+	return s
 }
 
-// combineFbb merges the (F, E) summaries of two boxed sets living in the
-// same box, using that box's lca table. The result summarizes the union:
-// E is the deepest box of the common unbranched prefix of the union's
+// combineFbb merges the (F, E) summaries of two boxed sets living in
+// this box, using its lca table. The result summarizes the union: E is
+// the deepest box of the common unbranched prefix of the union's
 // ∪-paths, F the first box where they split (-1 if they never do).
-func combineFbb(lca [][]int16, f1, e1, f2, e2 int16) (f, e int16) {
-	d := lca[e1][e2]
+func (idx *BoxIndex) combineFbb(f1, e1, f2, e2 int16) (f, e int16) {
+	d := idx.Lca(e1, e2)
 	if d != e1 && d != e2 {
 		// The two descent paths split strictly above both ends: the
 		// union is bidirectional exactly at their divergence box.
@@ -432,7 +472,7 @@ func (idx *BoxIndex) FoldFbb(gamma bitset.Set) int16 {
 			first = false
 			return true
 		}
-		f, e = combineFbb(idx.Lca, f, e, idx.FbbF[g], idx.FbbE[g])
+		f, e = idx.combineFbb(f, e, idx.FbbF[g], idx.FbbE[g])
 		return true
 	})
 	return f
@@ -441,5 +481,5 @@ func (idx *BoxIndex) FoldFbb(gamma bitset.Set) int16 {
 // StrictAncestor reports whether target i is a strict ancestor of target
 // j in the tree of boxes.
 func (idx *BoxIndex) StrictAncestor(i, j int16) bool {
-	return i != j && idx.Lca[i][j] == i
+	return i != j && idx.Lca(i, j) == i
 }

@@ -224,7 +224,7 @@ func TestIndexLcaTable(t *testing.T) {
 			for i := range idx.Targets {
 				for j := range idx.Targets {
 					want := lca(idx.Targets[i], idx.Targets[j])
-					got := idx.Targets[idx.Lca[i][j]]
+					got := idx.Targets[idx.Lca(int16(i), int16(j))]
 					if got != want {
 						t.Fatalf("lca table wrong at box %p (%d, %d)", n.Box, i, j)
 					}

@@ -31,6 +31,11 @@ type Forest struct {
 	// since the last DrainRetired: the engine uses it to release the
 	// attachments (boxes, indexes) of superseded trunk nodes eagerly.
 	retired []*Node
+	// prev maps a fresh node to the pre-batch node it path-copied (the
+	// same term position, one edit earlier), resolved through intra-batch
+	// chains; TrunkDelta.Prev hands it to consumers so signature-pruned
+	// repair can compare a rebuilt trunk box against its predecessor.
+	prev map[*Node]*Node
 
 	// Height budget: rebuild a subterm when its height exceeds
 	// HeightFactor·log₂(weight+1) + HeightBase (scapegoat rule).
@@ -59,6 +64,21 @@ func New(t *tree.Unranked) *Forest {
 
 // record registers a node as created/modified for the dirty protocol.
 func (f *Forest) record(n *Node) { f.created = append(f.created, n) }
+
+// recordPrev notes that fresh supersedes old at the same term position.
+// Chains within one batch are resolved at record time (entries always
+// point at nodes that predate the batch, the ones consumers may hold
+// attachments for), so a lookup is O(1) and a batch of k edits over one
+// trunk maps its final copies to the pre-batch originals.
+func (f *Forest) recordPrev(fresh, old *Node) {
+	if f.prev == nil {
+		f.prev = map[*Node]*Node{}
+	}
+	if orig, ok := f.prev[old]; ok {
+		old = orig
+	}
+	f.prev[fresh] = old
+}
 
 // retire registers a node as dropped from the term. Shared subtrees are
 // never retired — only the nodes a path copy or rebuild actually

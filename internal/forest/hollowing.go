@@ -55,6 +55,13 @@ type TrunkDelta struct {
 	// Fresh lists the term nodes needing per-consumer (re)construction,
 	// children before parents.
 	Fresh []*Node
+	// Prev, when non-nil, is aligned with Fresh: Prev[i] is the
+	// pre-batch node Fresh[i] path-copied (nil when Fresh[i] is
+	// structurally new). It is a reuse HINT for signature-pruned repair
+	// — consumers must verify structural equality before acting on it —
+	// and carries no correctness obligation: an absent or stale entry
+	// only costs a rebuild.
+	Prev []*Node
 	// Retired lists the term nodes dropped from the term by this batch:
 	// consumers release their attachments. Unknown nodes (never attached,
 	// or created and dropped within one batch) are a no-op.
@@ -67,8 +74,31 @@ type TrunkDelta struct {
 // changed nothing, or the delta was already drained).
 func (d TrunkDelta) Empty() bool { return len(d.Fresh) == 0 && len(d.Retired) == 0 }
 
+// PrevOf returns the reuse hint for Fresh[i], or nil.
+func (d TrunkDelta) PrevOf(i int) *Node {
+	if i < len(d.Prev) {
+		return d.Prev[i]
+	}
+	return nil
+}
+
+// prevSlice materializes the Prev hint list for a drained trunk from a
+// recordPrev map, which is then reset (buckets kept for reuse).
+func prevSlice(fresh []*Node, prev map[*Node]*Node) []*Node {
+	if len(prev) == 0 {
+		return nil
+	}
+	out := make([]*Node, len(fresh))
+	for i, n := range fresh {
+		out[i] = prev[n]
+	}
+	clear(prev)
+	return out
+}
+
 // DrainDelta drains the dirty protocol ONCE into an immutable TrunkDelta
 // (Drain + DrainRetired + the current root) and resets both lists.
 func (f *Forest) DrainDelta() TrunkDelta {
-	return TrunkDelta{Fresh: f.Drain(), Retired: f.DrainRetired(), Root: f.Root}
+	fresh := f.Drain()
+	return TrunkDelta{Fresh: fresh, Prev: prevSlice(fresh, f.prev), Retired: f.DrainRetired(), Root: f.Root}
 }

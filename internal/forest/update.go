@@ -43,6 +43,7 @@ func (f *Forest) spliceUp(p *Node, wasLeft bool, repl *Node) {
 		if nn.Height > f.heightBudget(nn.Weight) {
 			scapegoat = nn
 		}
+		f.recordPrev(nn, p)
 		f.retire(p)
 		repl, p, wasLeft = nn, np, nwasLeft
 	}
@@ -118,6 +119,7 @@ func (f *Forest) Relabel(id tree.NodeID, l tree.Label) error {
 	} else {
 		leaf = f.newLeafTree(f.Tree.Node(id))
 	}
+	f.recordPrev(leaf, old)
 	f.retire(old)
 	f.spliceUp(p, wasLeft, leaf)
 	return nil

@@ -24,6 +24,7 @@ type Word struct {
 	size    int
 	created []*Node
 	retired []*Node
+	prev    map[*Node]*Node // see Forest.recordPrev
 
 	HeightFactor float64
 	HeightBase   int
@@ -61,10 +62,22 @@ func (w *Word) record(n *Node) { w.created = append(w.created, n) }
 
 func (w *Word) retire(n *Node) { w.retired = append(w.retired, n) }
 
+// recordPrev mirrors Forest.recordPrev (chain-resolved reuse hints).
+func (w *Word) recordPrev(fresh, old *Node) {
+	if w.prev == nil {
+		w.prev = map[*Node]*Node{}
+	}
+	if orig, ok := w.prev[old]; ok {
+		old = orig
+	}
+	w.prev[fresh] = old
+}
+
 // DrainDelta mirrors Forest.DrainDelta: one immutable, replayable
 // TrunkDelta per batch for the dynamic engine.
 func (w *Word) DrainDelta() TrunkDelta {
-	return TrunkDelta{Fresh: w.Drain(), Retired: w.DrainRetired(), Root: w.Root}
+	fresh := w.Drain()
+	return TrunkDelta{Fresh: fresh, Prev: prevSlice(fresh, w.prev), Retired: w.DrainRetired(), Root: w.Root}
 }
 
 // DrainRetired mirrors Forest.DrainRetired for the dynamic engine.
@@ -190,6 +203,7 @@ func (w *Word) spliceUp(p *Node, wasLeft bool, repl *Node) {
 		if nn.Height > w.heightBudget(nn.Weight) {
 			scapegoat = nn
 		}
+		w.recordPrev(nn, p)
 		w.retire(p)
 		repl, p, wasLeft = nn, np, nwasLeft
 	}
@@ -233,6 +247,7 @@ func (w *Word) Relabel(id tree.NodeID, l tree.Label) error {
 	leaf := &Node{Op: LeafTree, Label: l, TreeID: id, Weight: 1, HoleNode: tree.InvalidNode}
 	w.leafOf[id] = leaf
 	w.record(leaf)
+	w.recordPrev(leaf, old)
 	w.retire(old)
 	w.spliceUp(p, wasLeft, leaf)
 	return nil
