@@ -544,6 +544,52 @@ func BenchmarkDirectAccess(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelAll mirrors experiment E1-par: full-result
+// materialization through the sequential drain vs rank-partitioned
+// parallel drains at several worker counts, plus the order-preserving
+// Chunks stream. On one core all variants should sit within noise of
+// each other (workers time-share); the scaling shape is what
+// multi-core runs reproduce. cmd/benchtables -enumparallel emits the
+// same measurement as a machine-readable JSON baseline.
+func BenchmarkParallelAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(151))
+	ut := mustTree(b, workload.ShapeRandom, 16000, rng)
+	q := tva.SelectLabel([]tree.Label{"a", "b", "c"}, "b", 0)
+	eng, err := engine.NewTree(ut, q, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	answers := snap.Count()
+	b.Run("All", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := snap.All(); len(got) != answers {
+				b.Fatal("short drain")
+			}
+		}
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ParallelAll/w=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := snap.ParallelAll(w); len(got) != answers {
+					b.Fatal("short drain")
+				}
+			}
+		})
+	}
+	b.Run("Chunks/w=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for chunk := range snap.Chunks(4, 512) {
+				n += len(chunk)
+			}
+			if n != answers {
+				b.Fatal("short drain")
+			}
+		}
+	})
+}
+
 // BenchmarkMultiQueryBatch mirrors experiment C2: one batched update
 // stream fanned out to k standing queries, a shared QuerySet (term work
 // once, k box repairs) vs k independent engines (everything k times).

@@ -24,6 +24,11 @@
 //	                         # per-edit publish latency vs standing queries
 //	                         # for workers ∈ {1,4,8}) and write its JSON
 //	                         # baseline
+//	benchtables -enumparallel BENCH_enum_parallel.json
+//	                         # run the parallel-enumeration experiment
+//	                         # (E1-par: full-result materialization via
+//	                         # All / ParallelAll(w) / Chunks) and write
+//	                         # its JSON baseline
 //	benchtables -build BENCH_build.json
 //	                         # run the box-construction experiment (B1:
 //	                         # build throughput plus per-update repair ns
@@ -68,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	multiquery := fs.String("multiquery", "", "run the multi-query experiment and write its JSON baseline to this path")
 	directaccess := fs.String("directaccess", "", "run the direct-access experiment and write its JSON baseline to this path")
 	parallel := fs.String("parallel", "", "run the parallel-write-path experiment and write its JSON baseline to this path")
+	enumparallel := fs.String("enumparallel", "", "run the parallel-enumeration experiment and write its JSON baseline to this path")
 	build := fs.String("build", "", "run the box-construction experiment and write its JSON baseline to this path")
 	buildref := fs.String("buildref", "", "embed a previous -build baseline (its \"current\" run) as the pre-PR reference of this -build run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
@@ -136,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	start := time.Now()
 	// Baseline flags alone skip the table sweep unless IDs were
 	// requested.
-	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *build == "") || len(want) > 0
+	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *enumparallel == "" && *build == "") || len(want) > 0
 	if runTables {
 		for _, id := range order {
 			if len(want) > 0 && !want[id] {
@@ -190,6 +196,13 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		fmt.Fprintf(stderr, "[D1 done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *directaccess)
 	}
+	// The speedup columns of both parallel experiments are meaningless
+	// on one core: warn loudly instead of silently committing ~1×
+	// baselines (the JSONs still record cpus/gomaxprocs either way).
+	if (*parallel != "" || *enumparallel != "") && runtime.NumCPU() == 1 {
+		fmt.Fprintln(stderr, "benchtables: WARNING: runtime.NumCPU() == 1 — workers time-share one core, "+
+			"speedup columns will sit near 1x; re-record on multi-core hardware for meaningful scaling numbers")
+	}
 	if *parallel != "" {
 		t0 := time.Now()
 		base := experiments.Parallel(*quick)
@@ -203,6 +216,20 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 		fmt.Fprintf(stderr, "[C3 done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *parallel)
+	}
+	if *enumparallel != "" {
+		t0 := time.Now()
+		base := experiments.EnumParallel(*quick)
+		fmt.Fprintln(stdout, base.Table().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*enumparallel, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[E1-par done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *enumparallel)
 	}
 	if *build != "" {
 		t0 := time.Now()

@@ -42,6 +42,13 @@
 //	-page OFF:LIM   print results OFF..OFF+LIM-1 by count-guided descent
 //	                — "page 1000000:20" costs the same as "0:20" on
 //	                direct-access queries
+//
+// Parallel enumeration:
+//
+//	-jobs N         drain full result sets with N workers (0 = all
+//	                cores): the rank range [0, Count()) is partitioned
+//	                across per-worker count-guided descents and streamed
+//	                back in enumeration order via Snapshot.Chunks
 package main
 
 import (
@@ -89,10 +96,14 @@ func run(args []string, w io.Writer) error {
 	statsFlag := fs.Bool("stats", false, "print structure statistics")
 	countFlag := fs.Bool("count", false, "print only result counts (O(poly|Q|) for unambiguous queries)")
 	pageFlag := fs.String("page", "", "print results OFF:LIM by direct access instead of the first -max")
+	jobsFlag := fs.Int("jobs", 1, "workers for full-result drains (0 = all cores); order is preserved")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	view := printView{count: *countFlag, pageOff: -1, max: *maxPrint}
+	if *jobsFlag < 0 {
+		return fmt.Errorf("-jobs wants N >= 0")
+	}
+	view := printView{count: *countFlag, pageOff: -1, max: *maxPrint, jobs: *jobsFlag}
 	if *pageFlag != "" {
 		offStr, limStr, ok := strings.Cut(*pageFlag, ":")
 		off, errOff := strconv.Atoi(offStr)
@@ -311,12 +322,14 @@ func applyEdit(w io.Writer, qs *enumtrees.QuerySet, ed string) (*enumtrees.Multi
 
 // printView selects what printResults shows: the default prefix of the
 // enumeration, only the count (-count), or one direct-access page
-// (-page OFF:LIM).
+// (-page OFF:LIM). jobs != 1 drains full results through the parallel
+// rank-partitioned path (-jobs N).
 type printView struct {
 	count   bool
 	pageOff int
 	pageLim int
 	max     int
+	jobs    int
 }
 
 // printAll prints each standing query's results; with several queries
@@ -347,11 +360,25 @@ func printResults(w io.Writer, snap *enumtrees.Snapshot, v printView) {
 		return
 	}
 	n := 0
-	for asg := range snap.Results() {
-		if n < v.max {
-			fmt.Fprintf(w, "  %v\n", asg)
+	if v.jobs != 1 {
+		// Parallel drain: workers materialize disjoint rank ranges by
+		// count-guided descent; Chunks streams them back in enumeration
+		// order, so the printed prefix is identical to Results().
+		for chunk := range snap.Chunks(v.jobs, 256) {
+			for _, asg := range chunk {
+				if n < v.max {
+					fmt.Fprintf(w, "  %v\n", asg)
+				}
+				n++
+			}
 		}
-		n++
+	} else {
+		for asg := range snap.Results() {
+			if n < v.max {
+				fmt.Fprintf(w, "  %v\n", asg)
+			}
+			n++
+		}
 	}
 	if n > v.max {
 		fmt.Fprintf(w, "  … %d more\n", n-v.max)

@@ -63,6 +63,22 @@
 //	page := snap.Page(1000, 20)  // answers 1000..1019, stateless
 //	mid, _ := snap.At(n / 2)
 //
+// # Parallel enumeration
+//
+// Because ranked access is stateless, bulk enumeration is
+// embarrassingly parallel: Snapshot.ParallelAll(w) splits the rank
+// range [0, Count()) across w workers, each draining its slice by
+// count-guided descent with its own reusable scratch, and
+// Snapshot.Chunks(w, size) streams the same partition back in
+// enumeration order with bounded buffering. Both return exactly the
+// Results() order on any snapshot (a sharded drain covers ambiguous
+// automata), and both are snapshot-isolated from concurrent updates.
+//
+//	all := snap.ParallelAll(0)         // 0 = all cores
+//	for chunk := range snap.Chunks(4, 512) {
+//	    use(chunk)                     // in enumeration order
+//	}
+//
 // # Many standing queries on one document
 //
 // A QuerySet serves any number of standing queries over the same

@@ -1,0 +1,83 @@
+package bitset
+
+// Arena is a bump allocator for short-lived matrices and sets: carved
+// values share backing word slabs that survive Reset, so a hot loop
+// that composes many transient relations (the count-guided descent, one
+// arena per worker) allocates only while the slabs are still growing
+// toward the loop's high-water mark.
+//
+// Carved values are valid until the next Reset; Reset recycles ALL of
+// them at once. An Arena is NOT safe for concurrent use — confine one
+// per goroutine, like a circuit.Builder.
+type Arena struct {
+	free [][]uint64 // slabs available for carving
+	used [][]uint64 // slabs carved from (or skipped) since the last Reset
+	cur  []uint64   // current slab; len = used prefix, cap = slab size
+}
+
+// arenaSlabWords is the minimum slab size; requests larger than a slab
+// get a dedicated slab of exactly their size.
+const arenaSlabWords = 1024
+
+// words carves n zeroed words. Carving clears the region explicitly
+// (slabs are dirty after Reset), which is a memclr — far cheaper than a
+// fresh allocation per matrix.
+func (a *Arena) words(n int) []uint64 {
+	if len(a.cur)+n > cap(a.cur) {
+		a.grow(n)
+	}
+	off := len(a.cur)
+	a.cur = a.cur[: off+n : cap(a.cur)]
+	w := a.cur[off : off+n : off+n]
+	clear(w)
+	return w
+}
+
+// grow installs a slab with room for at least n more words: a retained
+// free slab if one fits, else a fresh allocation. The outgoing current
+// slab — and any free slab too small for this request — moves to the
+// used list, out of reach until Reset.
+func (a *Arena) grow(n int) {
+	if cap(a.cur) > 0 {
+		a.used = append(a.used, a.cur)
+	}
+	a.cur = nil
+	for len(a.free) > 0 {
+		s := a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		if cap(s) >= n {
+			a.cur = s[:0]
+			return
+		}
+		a.used = append(a.used, s)
+	}
+	a.cur = make([]uint64, 0, max(n, arenaSlabWords))
+}
+
+// Matrix carves an all-false rows×cols matrix from the arena.
+func (a *Arena) Matrix(rows, cols int) Matrix {
+	return MatrixOn(a.words(Words(rows, cols)), rows, cols)
+}
+
+// Set carves an empty set of capacity n from the arena.
+func (a *Arena) Set(n int) Set {
+	return Set{words: a.words((n + 63) / 64), n: n}
+}
+
+// Compose carves the result matrix from the arena and composes x∘y into
+// it: Compose without the allocation.
+func (a *Arena) Compose(x, y Matrix) Matrix {
+	return ComposeInto(a.Matrix(x.Rows, y.Cols), x, y)
+}
+
+// Reset recycles every value carved since the last Reset. The backing
+// slabs are retained, so steady-state loops stop allocating.
+func (a *Arena) Reset() {
+	if cap(a.cur) > 0 {
+		a.used = append(a.used, a.cur)
+	}
+	a.cur = nil
+	a.free = append(a.free, a.used...)
+	clear(a.used)
+	a.used = a.used[:0]
+}

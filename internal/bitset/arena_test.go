@@ -1,0 +1,115 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randMatrix fills a rows×cols matrix with density ~p.
+func randMatrix(rng *rand.Rand, rows, cols int, p float64) Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < p {
+				m.Set(i, j)
+			}
+		}
+	}
+	return m
+}
+
+// TestComposeKernelsAgainstNaive drives every composition path — the
+// stride-1 fast path, the unrolled multi-word path, and arena-carved
+// destinations — against the textbook triple loop across random shapes,
+// including dimensions straddling the 64-column word boundary.
+func TestComposeKernelsAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := []int{1, 3, 17, 63, 64, 65, 130, 300}
+	var ar Arena
+	for trial := 0; trial < 60; trial++ {
+		r := dims[rng.Intn(len(dims))]
+		m := dims[rng.Intn(len(dims))]
+		c := dims[rng.Intn(len(dims))]
+		a := randMatrix(rng, r, m, 0.2)
+		b := randMatrix(rng, m, c, 0.2)
+		want := ComposeNaive(a, b)
+		if got := Compose(a, b); !got.Equal(want) {
+			t.Fatalf("Compose %dx%dx%d diverges from naive", r, m, c)
+		}
+		ar.Reset()
+		if got := ar.Compose(a, b); !got.Equal(want) {
+			t.Fatalf("Arena.Compose %dx%dx%d diverges from naive", r, m, c)
+		}
+		if got := ComposeInto(NewMatrix(r, c), a, b); !got.Equal(want) {
+			t.Fatalf("ComposeInto %dx%dx%d diverges from naive", r, m, c)
+		}
+		// NonEmptyRowsInto must agree with the allocating variant.
+		got := want.NonEmptyRowsInto(ar.Set(want.Rows))
+		if !got.Equal(want.NonEmptyRows()) {
+			t.Fatalf("NonEmptyRowsInto diverges on %dx%d", want.Rows, want.Cols)
+		}
+	}
+}
+
+// TestComposeIntoAccumulates pins the OR-accumulate contract: bits
+// already set in the destination survive the composition.
+func TestComposeIntoAccumulates(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	a.Set(0, 1)
+	b.Set(1, 0)
+	dst := NewMatrix(2, 2)
+	dst.Set(1, 1) // pre-existing bit, untouched by a∘b
+	ComposeInto(dst, a, b)
+	if !dst.Get(0, 0) || !dst.Get(1, 1) {
+		t.Fatalf("ComposeInto lost bits: %v", dst)
+	}
+}
+
+// TestArenaCarvesAreDisjoint verifies that values carved between Resets
+// never alias, across enough carves to force slab growth and recycling.
+func TestArenaCarvesAreDisjoint(t *testing.T) {
+	var ar Arena
+	for cycle := 0; cycle < 3; cycle++ {
+		ar.Reset()
+		var carved []Matrix
+		for i := 0; i < 40; i++ {
+			m := ar.Matrix(9, 130) // 3 words/row: multi-word path
+			for r := 0; r < m.Rows; r++ {
+				if !m.RowEmpty(r) {
+					t.Fatalf("cycle %d: carve %d not cleared", cycle, i)
+				}
+			}
+			m.Set(i%9, i%130)
+			carved = append(carved, m)
+		}
+		s := ar.Set(200)
+		if !s.Empty() {
+			t.Fatal("carved set not empty")
+		}
+		s.Add(199)
+		for i, m := range carved {
+			if got := m.Count(); got != 1 || !m.Get(i%9, i%130) {
+				t.Fatalf("cycle %d: carve %d clobbered (count %d)", cycle, i, got)
+			}
+		}
+	}
+}
+
+// TestArenaSteadyStateAllocs pins the point of the arena: once the slabs
+// reach the loop's high-water mark, carving allocates nothing.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	var ar Arena
+	work := func() {
+		ar.Reset()
+		for i := 0; i < 16; i++ {
+			m := ar.Matrix(8, 64)
+			m.Set(1, 2)
+			ar.Set(100).Add(3)
+		}
+	}
+	work() // reach the high-water mark
+	if avg := testing.AllocsPerRun(50, work); avg > 0.5 {
+		t.Fatalf("arena steady state allocates %.1f allocs/cycle, want 0", avg)
+	}
+}

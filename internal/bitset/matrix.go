@@ -1,6 +1,9 @@
 package bitset
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Matrix is a boolean matrix with word-packed rows. Entry (i, j) set means
 // the relation contains the pair (row element i, column element j).
@@ -71,6 +74,13 @@ func IdentityOn(bits []uint64, n int) Matrix {
 // destination matrix, which must be a.Rows×b.Cols and ALL-FALSE on
 // entry (typically carved with MatrixOn from a fresh allocation; the
 // helper does not clear it — see MatrixOn). It returns dst.
+//
+// This is the composition hot loop of the enumeration descent, so it is
+// written word-parallel twice over: when every matrix fits one word per
+// row (the common case — boxes rarely carry more than 64 ∪-gates) the
+// whole composition runs on raw words with no closure calls and an
+// all-zero early exit per row; the general path unrolls the per-word OR
+// by four.
 func ComposeInto(dst, a, b Matrix) Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("bitset: ComposeInto dimension mismatch %d != %d", a.Cols, b.Rows))
@@ -78,17 +88,46 @@ func ComposeInto(dst, a, b Matrix) Matrix {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("bitset: ComposeInto destination is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
+	if a.stride == 1 && b.stride == 1 {
+		// Single-word rows on both sides: row i of the result is the OR of
+		// the b-rows selected by the bits of a's row word.
+		for i := 0; i < a.Rows; i++ {
+			w := a.bits[i]
+			if w == 0 {
+				continue
+			}
+			acc := dst.bits[i]
+			for w != 0 {
+				acc |= b.bits[bits.TrailingZeros64(w)]
+				w &= w - 1
+			}
+			dst.bits[i] = acc
+		}
+		return dst
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := dst.bits[i*dst.stride : (i+1)*dst.stride]
 		a.Row(i).ForEach(func(j int) bool {
-			src := b.bits[j*b.stride : (j+1)*b.stride]
-			for w := range src {
-				row[w] |= src[w]
-			}
+			orWords(row, b.bits[j*b.stride:(j+1)*b.stride])
 			return true
 		})
 	}
 	return dst
+}
+
+// orWords ORs src into dst (equal lengths), unrolled by four words.
+func orWords(dst, src []uint64) {
+	_ = dst[len(src)-1]
+	w := 0
+	for ; w+4 <= len(src); w += 4 {
+		dst[w] |= src[w]
+		dst[w+1] |= src[w+1]
+		dst[w+2] |= src[w+2]
+		dst[w+3] |= src[w+3]
+	}
+	for ; w < len(src); w++ {
+		dst[w] |= src[w]
+	}
 }
 
 // Set makes (i, j) true.
@@ -151,12 +190,43 @@ func (m Matrix) Equal(o Matrix) bool {
 // enumeration algorithms (Algorithm 2 line 4, Algorithm 3 lines 4 and 11).
 func (m Matrix) NonEmptyRows() Set {
 	s := NewSet(m.Rows)
+	m.NonEmptyRowsInto(s)
+	return s
+}
+
+// NonEmptyRowsInto is NonEmptyRows writing into a caller-provided set of
+// capacity m.Rows, which must be empty on entry; it returns dst. With
+// single-word rows the scan is branch-light: one word test per row,
+// bit-packed straight into dst's words.
+func (m Matrix) NonEmptyRowsInto(dst Set) Set {
+	if dst.n != m.Rows {
+		panic(fmt.Sprintf("bitset: NonEmptyRowsInto capacity %d, want %d", dst.n, m.Rows))
+	}
+	if m.stride == 1 {
+		for i, w := range m.bits {
+			if w != 0 {
+				dst.words[i>>6] |= 1 << uint(i&63)
+			}
+		}
+		return dst
+	}
 	for i := 0; i < m.Rows; i++ {
-		if !m.Row(i).Empty() {
-			s.Add(i)
+		if !m.RowEmpty(i) {
+			dst.Add(i)
 		}
 	}
-	return s
+	return dst
+}
+
+// RowEmpty reports whether row i has no true entry, without materializing
+// the row as a Set.
+func (m Matrix) RowEmpty(i int) bool {
+	for _, w := range m.bits[i*m.stride : (i+1)*m.stride] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // ColUnion returns the union of the rows indexed by rows, i.e. the image of
@@ -176,21 +246,7 @@ func (m Matrix) ColUnion(rows Set) Set {
 // implemented word-parallel: for each true (i, j) the whole row b[j] is
 // OR-ed into the output row in Cols/64 operations.
 func Compose(a, b Matrix) Matrix {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("bitset: Compose dimension mismatch %d != %d", a.Cols, b.Rows))
-	}
-	out := NewMatrix(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		dst := out.bits[i*out.stride : (i+1)*out.stride]
-		a.Row(i).ForEach(func(j int) bool {
-			src := b.bits[j*b.stride : (j+1)*b.stride]
-			for w := range src {
-				dst[w] |= src[w]
-			}
-			return true
-		})
-	}
-	return out
+	return ComposeInto(NewMatrix(a.Rows, b.Cols), a, b)
 }
 
 // ComposeNaive is the textbook O(rows·mid·cols) triple loop. It exists to

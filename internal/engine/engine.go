@@ -303,6 +303,7 @@ type pubInfo struct {
 	termHeight int
 	pathCopies int
 	rebalances int
+	reads      *readCounters // engine-owned read-path counters
 }
 
 // applyDelta is the self-contained per-query unit of the parallel write
@@ -335,6 +336,7 @@ func (p *pipeline) applyDelta(delta forest.TrunkDelta, pub pubInfo) *Snapshot {
 		rebalances:       pub.rebalances,
 		translatedStates: p.translatedStates,
 		automatonStates:  p.builder.A.NumStates,
+		reads:            pub.reads,
 	}
 }
 
@@ -365,6 +367,11 @@ type Engine struct {
 
 	snap  atomic.Pointer[MultiSnapshot]
 	stats atomic.Pointer[EngineStats]
+
+	// reads aggregates read-path work (answers enumerated, parallel
+	// drains) across every snapshot this engine publishes; snapshots
+	// carry a pointer and bump the atomics lock-free.
+	reads readCounters
 
 	version    uint64
 	pathCopies int // cumulative term nodes drained (shared across queries)
@@ -571,6 +578,7 @@ func (e *Engine) applyAndPublish() *MultiSnapshot {
 		termHeight: delta.Root.Height,
 		pathCopies: e.pathCopies,
 		rebalances: e.src.Rebalances(),
+		reads:      &e.reads,
 	}
 
 	ids := slices.Clone(e.order)

@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/enumerate"
+	"repro/internal/tree"
+)
+
+// This file is the rank-partitioned parallel bulk-enumeration layer:
+// because direct access is STATELESS — Snapshot.At(j) reaches any rank
+// by count-guided descent with no shared cursor — bulk materialization
+// is embarrassingly parallel: split [0, Count()) into per-worker rank
+// ranges and drain each range concurrently, one enumerate.Descender
+// (goroutine-confined descent scratch) per worker. ParallelAll is the
+// scatter into a preallocated slice; Chunks is the order-preserving
+// streaming variant (scatter over chunk ranks, bounded-channel gather
+// with a reorder buffer). Snapshots without direct access (ambiguous
+// automata, ModeNaive) take a sharded-drain fallback: every worker runs
+// its own rope enumeration — snapshots are immutable, so concurrent
+// iterations are free — and materializes only the ranks of its shard,
+// parallelizing the materialization cost even when ranks cannot be
+// jumped to.
+
+// readCounters aggregates read-path work across every snapshot an
+// engine publishes. Plain atomics: bulk drains bump them once per
+// call, not per answer, so contention is negligible.
+type readCounters struct {
+	// answersEnumerated counts assignments produced by the snapshot read
+	// APIs — bulk drains, pages, ranked access, and the enumeration
+	// fallbacks behind them. It is a work counter, not a delivery
+	// counter: a defensive fallback that enumerates i answers to serve
+	// one rank counts i.
+	answersEnumerated atomic.Int64
+	// parallelDrains counts ParallelAll / Chunks invocations that
+	// actually fanned out (more than one worker engaged).
+	parallelDrains atomic.Int64
+}
+
+// noteAnswers records n produced answers; snapshots not published by an
+// engine (zero values in tests) have no counter and skip.
+func (s *Snapshot) noteAnswers(n int) {
+	if s.reads != nil && n > 0 {
+		s.reads.answersEnumerated.Add(int64(n))
+	}
+}
+
+// noteParallelDrain records one fanned-out bulk drain.
+func (s *Snapshot) noteParallelDrain() {
+	if s.reads != nil {
+		s.reads.parallelDrains.Add(1)
+	}
+}
+
+// ParallelAll materializes every result in Results' order across the
+// given number of workers (<= 0 means GOMAXPROCS). On direct-access
+// snapshots worker k drains the rank range [k·n/W, (k+1)·n/W) by
+// count-guided descent with its own reusable scratch, writing into
+// disjoint regions of one preallocated slice — no locks, no channels,
+// wall-clock n/W·O(log|T|·poly|Q|) on W free cores. Other snapshots
+// take the sharded-drain fallback (see shardedAll). The result is
+// exactly All(): same answers, same order.
+func (s *Snapshot) ParallelAll(workers int) []tree.Assignment {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !s.DirectAccess() {
+		return s.shardedAll(workers)
+	}
+	n := s.Count()
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return s.All()
+	}
+	out := make([]tree.Assignment, n)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo, hi := k*n/workers, (k+1)*n/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := enumerate.NewDescender()
+			for j := lo; j < hi; j++ {
+				a, err := s.atRank(d, j)
+				if err != nil {
+					failed.Store(true)
+					return
+				}
+				out[j] = a
+			}
+		}()
+	}
+	wg.Wait()
+	s.noteParallelDrain()
+	if failed.Load() {
+		// A worker hit a rank the counts cannot serve (count
+		// inconsistency surfaced mid-drain). The sharded drain never
+		// trusts ranks, so it is the correct recovery.
+		return s.shardedAll(workers)
+	}
+	s.noteAnswers(n)
+	return out
+}
+
+// shardedAll is the bulk-materialization fallback for snapshots without
+// direct access: W workers each run an independent rope enumeration of
+// the full answer set — safe and contention-free, snapshots are frozen
+// — and worker k materializes exactly the ranks ≡ k (mod W) into its
+// disjoint slots of the shared output. Every worker pays the O(delay)
+// iteration cost, but materialization (the per-answer copy, the
+// dominant cost for long assignments) splits W ways.
+func (s *Snapshot) shardedAll(workers int) []tree.Assignment {
+	n := s.drain()
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return s.All()
+	}
+	out := make([]tree.Assignment, n)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			j := 0
+			for rope := range s.Ropes() {
+				if j%workers == shard {
+					if rope == nil {
+						out[j] = tree.Assignment{}
+					} else {
+						out[j] = rope.Materialize()
+					}
+				}
+				j++
+				if j > n {
+					return // snapshot invariant violated; stay in bounds
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	s.noteParallelDrain()
+	s.noteAnswers(n)
+	return out
+}
+
+// chunkRes is one computed chunk in flight from a worker to the
+// reassembling consumer.
+type chunkRes struct {
+	idx  int
+	data []tree.Assignment
+}
+
+// Chunks streams Results in order as []tree.Assignment chunks of the
+// given size (<= 0 means 512), computed by the given number of workers
+// (<= 0 means GOMAXPROCS). It is the streaming complement of
+// ParallelAll: chunks are produced out of order by the workers —
+// direct-access snapshots claim chunk indices dynamically and serve
+// each by count-guided descent; others shard chunks over independent
+// rope drains (each worker materializes only its own chunks) — and
+// reassembled in order by a bounded gather: a channel of capacity ~2W
+// plus a reorder buffer, so an abandoned iteration stops the workers
+// and total buffering stays O(W·chunkSize) no matter how large the
+// answer set is. Concatenating the chunks yields exactly All().
+func (s *Snapshot) Chunks(workers, chunkSize int) iter.Seq[[]tree.Assignment] {
+	return func(yield func([]tree.Assignment) bool) {
+		if chunkSize <= 0 {
+			chunkSize = 512
+		}
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		direct := s.DirectAccess()
+		var n int
+		if direct {
+			n = s.Count()
+		} else {
+			n = s.drain()
+		}
+		if n == 0 {
+			return
+		}
+		chunks := (n + chunkSize - 1) / chunkSize
+		if workers > chunks {
+			workers = chunks
+		}
+		if workers == 1 {
+			// One worker: no gather needed, serve chunks in order off the
+			// consumer's own goroutine.
+			s.sequentialChunks(n, chunkSize, yield)
+			return
+		}
+
+		out := make(chan chunkRes, 2*workers)
+		done := make(chan struct{})
+		var next atomic.Int64 // dynamic chunk claiming (direct path)
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(shard int) {
+				defer wg.Done()
+				if direct {
+					s.chunkWorkerDirect(n, chunkSize, chunks, &next, out, done)
+				} else {
+					s.chunkWorkerSharded(n, chunkSize, chunks, shard, workers, out, done)
+				}
+			}(k)
+		}
+		go func() { wg.Wait(); close(out) }()
+		defer close(done)
+
+		s.noteParallelDrain()
+		pending := make(map[int][]tree.Assignment, workers)
+		nextYield := 0
+		for r := range out {
+			pending[r.idx] = r.data
+			for {
+				data, ok := pending[nextYield]
+				if !ok {
+					break
+				}
+				delete(pending, nextYield)
+				nextYield++
+				s.noteAnswers(len(data))
+				if !yield(data) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// sequentialChunks serves the single-worker (or single-chunk) case of
+// Chunks with no goroutines: in-order pages on direct-access snapshots,
+// a straight batched drain otherwise.
+func (s *Snapshot) sequentialChunks(n, chunkSize int, yield func([]tree.Assignment) bool) {
+	if s.DirectAccess() {
+		d := enumerate.NewDescender()
+		for lo := 0; lo < n; lo += chunkSize {
+			hi := min(lo+chunkSize, n)
+			data, err := s.pageWith(d, lo, hi-lo)
+			if err != nil || len(data) == 0 {
+				return
+			}
+			s.noteAnswers(len(data))
+			if !yield(data) {
+				return
+			}
+		}
+		return
+	}
+	data := make([]tree.Assignment, 0, chunkSize)
+	for a := range s.Results() {
+		data = append(data, a)
+		if len(data) == chunkSize {
+			if !yield(data) {
+				return
+			}
+			data = make([]tree.Assignment, 0, chunkSize)
+		}
+	}
+	if len(data) > 0 {
+		yield(data)
+	}
+}
+
+// chunkWorkerDirect is one scatter worker of the direct-access Chunks
+// path: claim the next unserved chunk index, materialize its rank range
+// by count-guided descent, hand it to the gather channel. Dynamic
+// claiming load-balances automatically when chunks cost unevenly.
+func (s *Snapshot) chunkWorkerDirect(n, chunkSize, chunks int, next *atomic.Int64, out chan<- chunkRes, done <-chan struct{}) {
+	d := enumerate.NewDescender()
+	for {
+		c := int(next.Add(1)) - 1
+		if c >= chunks {
+			return
+		}
+		lo := c * chunkSize
+		hi := min(lo+chunkSize, n)
+		data := make([]tree.Assignment, 0, hi-lo)
+		for j := lo; j < hi; j++ {
+			a, err := s.atRank(d, j)
+			if err != nil {
+				return // count inconsistency; chunk withheld, stream ends short
+			}
+			data = append(data, a)
+		}
+		select {
+		case out <- chunkRes{idx: c, data: data}:
+		case <-done:
+			return
+		}
+	}
+}
+
+// chunkWorkerSharded is one scatter worker of the fallback Chunks path:
+// an independent rope drain that materializes only the chunks
+// preassigned to this shard (chunk index ≡ shard mod workers). Chunk
+// indices leave each worker in increasing order, so the consumer's
+// reorder buffer stays bounded by the channel capacity plus one chunk
+// per worker.
+func (s *Snapshot) chunkWorkerSharded(n, chunkSize, chunks, shard, workers int, out chan<- chunkRes, done <-chan struct{}) {
+	var data []tree.Assignment
+	j := 0
+	for rope := range s.Ropes() {
+		if j >= n {
+			return // snapshot invariant violated; stay in bounds
+		}
+		c := j / chunkSize
+		if c%workers == shard {
+			if data == nil {
+				lo := c * chunkSize
+				hi := min(lo+chunkSize, n)
+				data = make([]tree.Assignment, 0, hi-lo)
+			}
+			if rope == nil {
+				data = append(data, tree.Assignment{})
+			} else {
+				data = append(data, rope.Materialize())
+			}
+			if cap(data) == len(data) {
+				select {
+				case out <- chunkRes{idx: c, data: data}:
+				case <-done:
+					return
+				}
+				data = nil
+			}
+		}
+		j++
+	}
+}

@@ -65,6 +65,10 @@ type Snapshot struct {
 
 	drainOnce  sync.Once
 	drainCount int
+
+	// reads points at the owning engine's read-path counters
+	// (answers enumerated, parallel drains); nil on zero-value snapshots.
+	reads *readCounters
 }
 
 // Version returns the publication sequence number of the snapshot
@@ -77,7 +81,20 @@ func (s *Snapshot) Version() uint64 { return s.version }
 // abandoned, restarted, and run concurrently with engine updates and
 // with other iterations of the same snapshot.
 func (s *Snapshot) Results() iter.Seq[tree.Assignment] {
-	return enumerate.Assignments(s.root, s.gamma, s.emptyOK, s.mode)
+	inner := enumerate.Assignments(s.root, s.gamma, s.emptyOK, s.mode)
+	if s.reads == nil {
+		return inner
+	}
+	return func(yield func(tree.Assignment) bool) {
+		n := 0
+		defer func() { s.noteAnswers(n) }()
+		for a := range inner {
+			n++
+			if !yield(a) {
+				return
+			}
+		}
+	}
 }
 
 // Ropes is Results without materialization: assignments as shared ropes
@@ -163,22 +180,45 @@ func (s *Snapshot) DirectAccess() bool {
 // falls back to enumerating j+1 elements. Returns an error iff j is out
 // of range.
 func (s *Snapshot) At(j int) (tree.Assignment, error) {
+	if s.DirectAccess() {
+		a, err := s.atRank(enumerate.NewDescender(), j)
+		if err == nil {
+			s.noteAnswers(1)
+		}
+		return a, err
+	}
+	return s.atByEnumeration(j)
+}
+
+// atRank is the direct-access rank read on a caller-provided descender:
+// the bulk paths (Page, ParallelAll, Chunks workers) call it in a loop,
+// one goroutine-confined descender each, so the descent scratch is paid
+// once per worker instead of once per answer. Callers have checked
+// DirectAccess.
+func (s *Snapshot) atRank(d *enumerate.Descender, j int) (tree.Assignment, error) {
 	if j < 0 {
 		return nil, fmt.Errorf("engine: rank %d out of range", j)
 	}
-	if s.DirectAccess() {
-		rope, err := enumerate.At(s.root, s.gamma, s.emptyOK, s.mode, big.NewInt(int64(j)))
-		switch {
-		case err == nil:
-			if rope == nil {
-				return tree.Assignment{}, nil
-			}
-			return rope.Materialize(), nil
-		case errors.Is(err, enumerate.ErrRankRange):
-			return nil, fmt.Errorf("engine: rank %d out of range (count %s)", j, s.count)
+	rope, err := d.AtInt(s.root, s.gamma, s.emptyOK, s.mode, j)
+	switch {
+	case err == nil:
+		if rope == nil {
+			return tree.Assignment{}, nil
 		}
-		// ErrAmbiguous / ErrNoDirectAccess: defensive fall-through to the
-		// enumeration path, which is always correct.
+		return rope.Materialize(), nil
+	case errors.Is(err, enumerate.ErrRankRange):
+		return nil, fmt.Errorf("engine: rank %d out of range (count %s)", j, s.count)
+	}
+	// ErrAmbiguous / ErrNoDirectAccess: defensive fall-through to the
+	// enumeration path, which is always correct.
+	return s.atByEnumeration(j)
+}
+
+// atByEnumeration serves a rank by enumerating j+1 answers — the
+// non-direct-access path, and the defensive fallback of atRank.
+func (s *Snapshot) atByEnumeration(j int) (tree.Assignment, error) {
+	if j < 0 {
+		return nil, fmt.Errorf("engine: rank %d out of range", j)
 	}
 	i := 0
 	for a := range s.Results() {
@@ -202,20 +242,8 @@ func (s *Snapshot) Page(offset, limit int) []tree.Assignment {
 		return nil
 	}
 	if s.DirectAccess() {
-		// Clamp the preallocation to what the snapshot can actually
-		// serve: limit is caller-supplied and may be huge.
-		prealloc := limit
-		if remaining := s.Count() - offset; remaining < prealloc {
-			prealloc = max(remaining, 0)
-		}
-		out := make([]tree.Assignment, 0, prealloc)
-		for i := 0; i < limit; i++ {
-			a, err := s.At(offset + i)
-			if err != nil {
-				break
-			}
-			out = append(out, a)
-		}
+		out, _ := s.pageWith(enumerate.NewDescender(), offset, limit)
+		s.noteAnswers(len(out))
 		return out
 	}
 	var out []tree.Assignment
@@ -232,6 +260,28 @@ func (s *Snapshot) Page(offset, limit int) []tree.Assignment {
 	return out
 }
 
+// pageWith is the direct-access page loop on a caller-provided
+// descender (see atRank). The error is non-nil only when a rank inside
+// the clamped range failed — a count inconsistency, not a short page.
+func (s *Snapshot) pageWith(d *enumerate.Descender, offset, limit int) ([]tree.Assignment, error) {
+	end := offset + limit
+	if c := s.Count(); end > c || end < offset {
+		end = c
+	}
+	if end <= offset {
+		return nil, nil
+	}
+	out := make([]tree.Assignment, 0, end-offset)
+	for j := offset; j < end; j++ {
+		a, err := s.atRank(d, j)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
 // NonEmpty reports whether at least one satisfying assignment exists; by
 // the delay bound it runs in time independent of |T| (indexed mode).
 func (s *Snapshot) NonEmpty() bool {
@@ -241,8 +291,19 @@ func (s *Snapshot) NonEmpty() bool {
 	return false
 }
 
-// All materializes every result (test/benchmark helper).
+// All materializes every result in Results' order. On direct-access
+// snapshots it routes through the Page descent — one reusable descender
+// for the whole sweep — instead of paying the enumeration iterator's
+// rope/resume overhead per answer; otherwise it drains Results.
+// ParallelAll is the same sweep fanned out across workers.
 func (s *Snapshot) All() []tree.Assignment {
+	if s.DirectAccess() {
+		n := s.Count()
+		if n == 0 {
+			return nil
+		}
+		return s.Page(0, n)
+	}
 	var out []tree.Assignment
 	for a := range s.Results() {
 		out = append(out, a)

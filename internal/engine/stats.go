@@ -46,6 +46,17 @@ type EngineStats struct {
 	// QueryBoxesRebuilt maps each standing query to its pipeline's
 	// cumulative box-construction count.
 	QueryBoxesRebuilt map[QueryID]int
+	// AnswersEnumerated is the cumulative number of assignments the
+	// engine's snapshots produced through the read APIs (bulk drains,
+	// pages, ranked access, and the enumeration fallbacks behind them; a
+	// work counter — a fallback that enumerates i answers to serve one
+	// rank counts i). Unlike the write-side counters it advances between
+	// publications: Engine.Stats reads it live.
+	AnswersEnumerated int64
+	// ParallelDrains is the cumulative number of ParallelAll / Chunks
+	// calls that fanned out across more than one worker (read live,
+	// like AnswersEnumerated).
+	ParallelDrains int64
 }
 
 // Stats returns the engine's latest published work counters: one atomic
@@ -55,6 +66,11 @@ type EngineStats struct {
 func (e *Engine) Stats() EngineStats {
 	st := *e.stats.Load()
 	st.QueryBoxesRebuilt = maps.Clone(st.QueryBoxesRebuilt)
+	// Read-path counters advance between publications (readers never
+	// publish); overlay the live values so Stats reflects reads that
+	// happened since the last write.
+	st.AnswersEnumerated = e.reads.answersEnumerated.Load()
+	st.ParallelDrains = e.reads.parallelDrains.Load()
 	return st
 }
 
@@ -71,6 +87,8 @@ func (e *Engine) publishStats() {
 		BoxesRebuilt:      e.boxesReleased,
 		BoxesReused:       e.reusedReleased,
 		QueryBoxesRebuilt: make(map[QueryID]int, len(e.pipes)),
+		AnswersEnumerated: e.reads.answersEnumerated.Load(),
+		ParallelDrains:    e.reads.parallelDrains.Load(),
 	}
 	for id, p := range e.pipes {
 		st.BoxesRebuilt += p.boxesRebuilt

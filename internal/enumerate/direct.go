@@ -43,6 +43,11 @@ import (
 // directly (vars, then ×-gates left-major, then child ∪-gates), where
 // derivation counts are exact block lengths even for ambiguous
 // automata, because Algorithm 1 enumerates with multiplicity.
+//
+// All transient state — relation matrices, weights, factor-weight
+// vectors, the answer rope — lives on a Descender (scratch.go), so a
+// worker calling At in a loop reuses one set of slabs. The package-level
+// At wraps a throwaway Descender for one-shot callers.
 
 // Errors reported by the direct-access descent.
 var (
@@ -63,7 +68,12 @@ var (
 // ModeSimple enumeration always, and of the duplicate-free enumerations
 // exactly when the automaton is unambiguous.
 func Total(root *IndexedBox, gamma bitset.Set, emptyOK bool) (*big.Int, error) {
-	total := new(big.Int)
+	return totalInto(new(big.Int), root, gamma, emptyOK)
+}
+
+// totalInto is Total accumulating into a caller-provided big.Int.
+func totalInto(total *big.Int, root *IndexedBox, gamma bitset.Set, emptyOK bool) (*big.Int, error) {
+	total.SetInt64(0)
 	if emptyOK {
 		total.SetInt64(1)
 	}
@@ -82,19 +92,30 @@ func Total(root *IndexedBox, gamma bitset.Set, emptyOK bool) (*big.Int, error) {
 
 // At returns the j-th rope (0-based) of Ropes(root, gamma, emptyOK,
 // mode). A nil rope with a nil error is the empty assignment. At never
-// mutates j.
+// mutates j. One-shot wrapper over a fresh Descender; loops over many
+// ranks should hold a Descender and call its At instead.
 func At(root *IndexedBox, gamma bitset.Set, emptyOK bool, mode Mode, j *big.Int) (*Rope, error) {
+	return new(Descender).At(root, gamma, emptyOK, mode, j)
+}
+
+// At returns the j-th rope (0-based) of Ropes(root, gamma, emptyOK,
+// mode), reusing the descender's scratch: the call recycles everything
+// handed out by previous calls, so the returned rope is only valid until
+// the descender's next At (materialize it first). A nil rope with a nil
+// error is the empty assignment. At never mutates j.
+func (d *Descender) At(root *IndexedBox, gamma bitset.Set, emptyOK bool, mode Mode, j *big.Int) (*Rope, error) {
 	if j.Sign() < 0 {
 		return nil, ErrRankRange
 	}
-	total, err := Total(root, gamma, emptyOK)
+	d.Reset()
+	total, err := totalInto(d.ints.get(), root, gamma, emptyOK)
 	if err != nil {
 		return nil, err
 	}
 	if j.Cmp(total) >= 0 {
 		return nil, ErrRankRange
 	}
-	rank := new(big.Int).Set(j)
+	rank := d.ints.get().Set(j)
 	if emptyOK {
 		if rank.Sign() == 0 {
 			return nil, nil
@@ -103,16 +124,22 @@ func At(root *IndexedBox, gamma bitset.Set, emptyOK bool, mode Mode, j *big.Int)
 	}
 	switch mode {
 	case ModeSimple:
-		return simpleAt(root, gamma, rank)
+		return d.simpleAt(root, gamma, rank)
 	case ModeIndexed:
 		if root.Index == nil {
 			return nil, ErrNoDirectAccess
 		}
-		rope, _, _, err := descendRegion(root, seedRelation(root.Box, gamma), nil, rank)
+		rope, _, _, err := d.descendRegion(root, d.seedRelation(root.Box, gamma), nil, rank)
 		return rope, err
 	default:
 		return nil, ErrNoDirectAccess
 	}
+}
+
+// AtInt is At for a machine-word rank, reusing an internal big.Int.
+func (d *Descender) AtInt(root *IndexedBox, gamma bitset.Set, emptyOK bool, mode Mode, j int) (*Rope, error) {
+	d.rank.SetInt64(int64(j))
+	return d.At(root, gamma, emptyOK, mode, &d.rank)
 }
 
 // bigOne and bigZero are shared constants; nothing may mutate them.
@@ -148,34 +175,58 @@ func singleCol(s bitset.Set) (int, error) {
 	return c, nil
 }
 
+// seedRelation is boxenum.go's seedRelation carved from the descender's
+// arena: the identity relation on gamma's gates.
+func (d *Descender) seedRelation(b *circuit.Box, gamma bitset.Set) bitset.Matrix {
+	r := d.mats.Matrix(len(b.Unions), len(b.Unions))
+	gamma.ForEach(func(g int) bool {
+		r.Set(g, g)
+		return true
+	})
+	return r
+}
+
+// gateProv is enum.go's gateProv carved from the descender's arena: the
+// union of the relation rows of a gate's ∪-outputs.
+func (d *Descender) gateProv(r bitset.Matrix, outs []int32) bitset.Set {
+	prov := d.mats.Set(r.Cols)
+	for _, u := range outs {
+		prov.Or(r.Row(int(u)))
+	}
+	return prov
+}
+
 // regionWeight returns the weighted number of outputs of the Algorithm
 // 2/3 recursion on (n, r): Σ over ∪-gates u of n with a nonempty
 // relation row of Counts[u] · w(column of u). Every assignment topped
 // in n's subtree that reaches the top boxed set is derived at exactly
 // one such gate (unambiguity), so the sum skips the whole region in one
 // O(w) pass.
-func regionWeight(n *IndexedBox, r bitset.Matrix, w []*big.Int) (*big.Int, error) {
+func (d *Descender) regionWeight(n *IndexedBox, r bitset.Matrix, w []*big.Int) (*big.Int, error) {
 	if n.Counts == nil && len(n.Box.Unions) > 0 {
 		return nil, ErrNoDirectAccess
 	}
-	total := new(big.Int)
+	total := d.ints.get().SetInt64(0)
+	var tmp *big.Int
 	for u := 0; u < r.Rows; u++ {
-		row := r.Row(u)
-		if row.Empty() {
+		if r.RowEmpty(u) {
 			continue
 		}
 		if w == nil {
 			total.Add(total, n.Counts[u])
 			continue
 		}
-		col, err := singleCol(row)
+		col, err := singleCol(r.Row(u))
 		if err != nil {
 			return nil, err
 		}
 		if w[col].Sign() == 0 {
 			continue
 		}
-		total.Add(total, new(big.Int).Mul(n.Counts[u], w[col]))
+		if tmp == nil {
+			tmp = d.ints.get()
+		}
+		total.Add(total, tmp.Mul(n.Counts[u], w[col]))
 	}
 	return total, nil
 }
@@ -183,11 +234,12 @@ func regionWeight(n *IndexedBox, r bitset.Matrix, w []*big.Int) (*big.Int, error
 // productWeight returns the weighted number of products boxwiseStep
 // emits at box b1 under relation r1: Σ over ×-gates in ↓(Γ) of
 // D(left factor)·D(right factor)·w(provenance column).
-func productWeight(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int) (*big.Int, error) {
+func (d *Descender) productWeight(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int) (*big.Int, error) {
 	bp := b1.Box
-	total := new(big.Int)
+	total := d.ints.get().SetInt64(0)
+	blk := d.ints.get()
 	for ti := range bp.Times {
-		prov := gateProv(r1, bp.TimesOut[ti])
+		prov := d.gateProv(r1, bp.TimesOut[ti])
 		if prov.Empty() {
 			continue
 		}
@@ -196,7 +248,7 @@ func productWeight(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int) (*big.Int, er
 			return nil, err
 		}
 		tg := bp.Times[ti]
-		blk := new(big.Int).Mul(b1.Left.Counts[tg.Left], b1.Right.Counts[tg.Right])
+		blk.Mul(b1.Left.Counts[tg.Left], b1.Right.Counts[tg.Right])
 		total.Add(total, blk.Mul(blk, weightOf(w, col)))
 	}
 	return total, nil
@@ -210,26 +262,26 @@ func productWeight(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int) (*big.Int, er
 // the next factor). j is consumed. The control flow mirrors indexedRec
 // (boxenum.go) with boxwiseStep (enum.go) inlined at each interesting
 // box, so outputs are visited in exactly the order Boxwise emits them.
-func descendRegion(n *IndexedBox, r bitset.Matrix, w []*big.Int, j *big.Int) (*Rope, int, *big.Int, error) {
+func (d *Descender) descendRegion(n *IndexedBox, r bitset.Matrix, w []*big.Int, j *big.Int) (*Rope, int, *big.Int, error) {
 outer:
 	for {
 		idx := n.Index
 		if idx == nil {
 			return nil, -1, nil, ErrNoDirectAccess
 		}
-		gates := r.NonEmptyRows()
+		gates := r.NonEmptyRowsInto(d.mats.Set(r.Rows))
 		fib := idx.FoldFib(gates)
 		if fib < 0 {
 			// Empty relation: the caller's region count said otherwise.
 			return nil, -1, nil, ErrAmbiguous
 		}
 		b1 := idx.Targets[fib]
-		r1 := bitset.Compose(idx.Rel[fib], r)
+		r1 := d.mats.Compose(idx.Rel[fib], r)
 		bp := b1.Box
 
 		// boxwiseStep at B1, part 1: var gates in ↓(Γ).
 		for vi := range bp.Vars {
-			prov := gateProv(r1, bp.VarOut[vi])
+			prov := d.gateProv(r1, bp.VarOut[vi])
 			if prov.Empty() {
 				continue
 			}
@@ -240,26 +292,26 @@ outer:
 			wv := weightOf(w, col)
 			if j.Cmp(wv) < 0 {
 				vg := bp.Vars[vi]
-				return LeafRope(vg.Set, vg.Node), col, j, nil
+				return d.ropes.Leaf(vg.Set, vg.Node), col, j, nil
 			}
 			j.Sub(j, wv)
 		}
 		// boxwiseStep at B1, part 2: ×-gate products.
 		if len(bp.Times) > 0 {
-			pc, err := productWeight(b1, r1, w)
+			pc, err := d.productWeight(b1, r1, w)
 			if err != nil {
 				return nil, -1, nil, err
 			}
 			if j.Cmp(pc) < 0 {
-				return descendProducts(b1, r1, w, j)
+				return d.descendProducts(b1, r1, w, j)
 			}
 			j.Sub(j, pc)
 		}
 		// Interesting boxes strictly below B1 (indexedRec lines 7-10).
 		if !b1.IsLeaf() {
-			rl := bitset.Compose(bp.WLeft, r1)
+			rl := d.mats.Compose(bp.WLeft, r1)
 			if !rl.Empty() {
-				c, err := regionWeight(b1.Left, rl, w)
+				c, err := d.regionWeight(b1.Left, rl, w)
 				if err != nil {
 					return nil, -1, nil, err
 				}
@@ -269,9 +321,9 @@ outer:
 				}
 				j.Sub(j, c)
 			}
-			rr := bitset.Compose(bp.WRight, r1)
+			rr := d.mats.Compose(bp.WRight, r1)
 			if !rr.Empty() {
-				c, err := regionWeight(b1.Right, rr, w)
+				c, err := d.regionWeight(b1.Right, rr, w)
 				if err != nil {
 					return nil, -1, nil, err
 				}
@@ -285,7 +337,7 @@ outer:
 		// Bidirectional boxes on the path from n down to B1 (indexedRec
 		// lines 11-17): each hangs a right region with further outputs.
 		for {
-			gates = r.NonEmptyRows()
+			gates = r.NonEmptyRowsInto(d.mats.Set(r.Rows))
 			fbb := idx.FoldFbb(gates)
 			fib = idx.FoldFib(gates)
 			if fbb < 0 || !idx.StrictAncestor(fbb, fib) {
@@ -293,10 +345,10 @@ outer:
 				return nil, -1, nil, ErrAmbiguous
 			}
 			bb := idx.Targets[fbb]
-			rb := bitset.Compose(idx.Rel[fbb], r)
-			rr := bitset.Compose(bb.Box.WRight, rb)
+			rb := d.mats.Compose(idx.Rel[fbb], r)
+			rr := d.mats.Compose(bb.Box.WRight, rb)
 			if !rr.Empty() {
-				c, err := regionWeight(bb.Right, rr, w)
+				c, err := d.regionWeight(bb.Right, rr, w)
 				if err != nil {
 					return nil, -1, nil, err
 				}
@@ -306,7 +358,7 @@ outer:
 				}
 				j.Sub(j, c)
 			}
-			r = bitset.Compose(bb.Box.WLeft, rb)
+			r = d.mats.Compose(bb.Box.WLeft, rb)
 			n = bb.Left
 			idx = n.Index
 			if idx == nil {
@@ -323,12 +375,12 @@ outer:
 // therefore runs with per-gate weights — each left factor captured by
 // gate g fans out to Σ over ×-gates (g, h) of D(h)·w(prov) outputs —
 // and the offset it returns ranks the right factor.
-func descendProducts(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int, j *big.Int) (*Rope, int, *big.Int, error) {
+func (d *Descender) descendProducts(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int, j *big.Int) (*Rope, int, *big.Int, error) {
 	bp := b1.Box
-	wL := make([]*big.Int, len(bp.Left.Unions))
-	gammaL := bitset.NewSet(len(bp.Left.Unions))
+	wL := d.wgts.get(len(bp.Left.Unions))
+	gammaL := d.mats.Set(len(bp.Left.Unions))
 	for ti := range bp.Times {
-		prov := gateProv(r1, bp.TimesOut[ti])
+		prov := d.gateProv(r1, bp.TimesOut[ti])
 		if prov.Empty() {
 			continue
 		}
@@ -337,7 +389,7 @@ func descendProducts(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int, j *big.Int)
 			return nil, -1, nil, err
 		}
 		tg := bp.Times[ti]
-		contrib := new(big.Int).Mul(b1.Right.Counts[tg.Right], weightOf(w, col))
+		contrib := d.ints.get().Mul(b1.Right.Counts[tg.Right], weightOf(w, col))
 		lg := int(tg.Left)
 		if wL[lg] == nil {
 			wL[lg] = contrib
@@ -351,21 +403,21 @@ func descendProducts(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int, j *big.Int)
 			wL[g] = bigZero
 		}
 	}
-	sl, lcol, off, err := descendRegion(b1.Left, seedRelation(bp.Left, gammaL), wL, j)
+	sl, lcol, off, err := d.descendRegion(b1.Left, d.seedRelation(bp.Left, gammaL), wL, j)
 	if err != nil {
 		return nil, -1, nil, err
 	}
 	// The right factors compatible with sl: the ×-gates whose left input
 	// is sl's provenance gate, enumerated as Boxwise(b1.Right, ΓR).
-	wR := make([]*big.Int, len(bp.Right.Unions))
-	cols := make([]int, len(bp.Right.Unions))
-	gammaR := bitset.NewSet(len(bp.Right.Unions))
+	wR := d.wgts.get(len(bp.Right.Unions))
+	cols := d.cols.get(len(bp.Right.Unions))
+	gammaR := d.mats.Set(len(bp.Right.Unions))
 	for ti := range bp.Times {
 		tg := bp.Times[ti]
 		if int(tg.Left) != lcol {
 			continue
 		}
-		prov := gateProv(r1, bp.TimesOut[ti])
+		prov := d.gateProv(r1, bp.TimesOut[ti])
 		if prov.Empty() {
 			continue
 		}
@@ -388,18 +440,18 @@ func descendProducts(b1 *IndexedBox, r1 bitset.Matrix, w []*big.Int, j *big.Int)
 			wR[g] = bigZero
 		}
 	}
-	sr, rcol, off2, err := descendRegion(b1.Right, seedRelation(bp.Right, gammaR), wR, off)
+	sr, rcol, off2, err := d.descendRegion(b1.Right, d.seedRelation(bp.Right, gammaR), wR, off)
 	if err != nil {
 		return nil, -1, nil, err
 	}
-	return Concat(sl, sr), cols[rcol], off2, nil
+	return d.ropes.Concat(sl, sr), cols[rcol], off2, nil
 }
 
 // simpleAt finds the j-th rope of Simple(root.Box, gamma): Algorithm
 // 1's enumeration order, where derivation counts are exact block
 // lengths by construction (one output per derivation), ambiguous or
 // not.
-func simpleAt(root *IndexedBox, gamma bitset.Set, j *big.Int) (*Rope, error) {
+func (d *Descender) simpleAt(root *IndexedBox, gamma bitset.Set, j *big.Int) (*Rope, error) {
 	var (
 		out *Rope
 		err error = ErrRankRange
@@ -407,7 +459,7 @@ func simpleAt(root *IndexedBox, gamma bitset.Set, j *big.Int) (*Rope, error) {
 	gamma.ForEach(func(g int) bool {
 		c := root.Counts[g]
 		if j.Cmp(c) < 0 {
-			out, err = simpleAtUnion(root, g, j)
+			out, err = d.simpleAtUnion(root, g, j)
 			return false
 		}
 		j.Sub(j, c)
@@ -419,45 +471,47 @@ func simpleAt(root *IndexedBox, gamma bitset.Set, j *big.Int) (*Rope, error) {
 // simpleAtUnion finds the j-th rope of simpleUnion(n.Box, u): var
 // inputs first, then ×-inputs left-factor-major, then the child
 // ∪-inputs, exactly the input order of Algorithm 1.
-func simpleAtUnion(n *IndexedBox, u int, j *big.Int) (*Rope, error) {
+func (d *Descender) simpleAtUnion(n *IndexedBox, u int, j *big.Int) (*Rope, error) {
 	if n.Counts == nil && len(n.Box.Unions) > 0 {
 		return nil, ErrNoDirectAccess
 	}
 	g := &n.Box.Unions[u]
 	if j.IsInt64() && j.Int64() < int64(len(g.Vars)) {
 		vg := n.Box.Vars[g.Vars[j.Int64()]]
-		return LeafRope(vg.Set, vg.Node), nil
+		return d.ropes.Leaf(vg.Set, vg.Node), nil
 	}
-	j.Sub(j, big.NewInt(int64(len(g.Vars))))
+	j.Sub(j, d.ints.get().SetInt64(int64(len(g.Vars))))
+	blk := d.ints.get()
 	for _, t := range g.Times {
 		tg := n.Box.Times[t]
 		cl, cr := n.Left.Counts[tg.Left], n.Right.Counts[tg.Right]
-		blk := new(big.Int).Mul(cl, cr)
+		blk.Mul(cl, cr)
 		if j.Cmp(blk) < 0 {
-			jl, jr := new(big.Int).DivMod(j, cr, new(big.Int))
-			sl, err := simpleAtUnion(n.Left, int(tg.Left), jl)
+			jl, jr := d.ints.get(), d.ints.get()
+			jl.DivMod(j, cr, jr)
+			sl, err := d.simpleAtUnion(n.Left, int(tg.Left), jl)
 			if err != nil {
 				return nil, err
 			}
-			sr, err := simpleAtUnion(n.Right, int(tg.Right), jr)
+			sr, err := d.simpleAtUnion(n.Right, int(tg.Right), jr)
 			if err != nil {
 				return nil, err
 			}
-			return Concat(sl, sr), nil
+			return d.ropes.Concat(sl, sr), nil
 		}
 		j.Sub(j, blk)
 	}
 	for _, l := range g.LeftUnions {
 		c := n.Left.Counts[l]
 		if j.Cmp(c) < 0 {
-			return simpleAtUnion(n.Left, int(l), j)
+			return d.simpleAtUnion(n.Left, int(l), j)
 		}
 		j.Sub(j, c)
 	}
 	for _, r := range g.RightUnions {
 		c := n.Right.Counts[r]
 		if j.Cmp(c) < 0 {
-			return simpleAtUnion(n.Right, int(r), j)
+			return d.simpleAtUnion(n.Right, int(r), j)
 		}
 		j.Sub(j, c)
 	}

@@ -38,6 +38,7 @@ type ParallelBaseline struct {
 	Edits      int             `json:"edits"`
 	CPUs       int             `json:"cpus"`
 	GoMaxProcs int             `json:"gomaxprocs"`
+	Note       string          `json:"note,omitempty"`
 	QuerySpecs []string        `json:"query_specs"`
 	Points     []ParallelPoint `json:"points"`
 }
@@ -95,6 +96,10 @@ func Parallel(quick bool) ParallelBaseline {
 		CPUs:       runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		QuerySpecs: specs,
+	}
+	if base.CPUs == 1 || base.GoMaxProcs == 1 {
+		base.Note = "measured on a single available core: workers time-share, speedups near 1x are expected; " +
+			"re-record on multi-core hardware for meaningful scaling numbers"
 	}
 	labels := []tree.Label{"a", "b", "c"}
 	for _, k := range []int{1, 4, 16} {
