@@ -13,8 +13,10 @@
 //	                         # markdown table); combine with -quick/-only
 //	benchtables -multiquery BENCH_multiquery.json
 //	                         # run the multi-query experiment (C2: shared
-//	                         # QuerySet vs k independent engines) and
-//	                         # write its JSON baseline
+//	                         # QuerySet vs k independent engines, plus the
+//	                         # duplicate-heavy C2-dup sweep: k registrations
+//	                         # over d distinct specs, pipeline dedupe vs
+//	                         # NoDedupe) and write its JSON baseline
 //	benchtables -directaccess BENCH_directaccess.json
 //	                         # run the direct-access experiment (D1: Count
 //	                         # and At(j) latency vs answer-set size, engine
@@ -172,6 +174,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		t0 := time.Now()
 		base := experiments.MultiQuery(*quick)
 		fmt.Fprintln(stdout, base.Table().Markdown())
+		fmt.Fprintln(stdout, base.DuplicateTable().Markdown())
 		data, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
 			return err

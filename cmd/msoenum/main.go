@@ -14,6 +14,12 @@
 //	msoenum -tree '(a (b) (c))' -query select:b -query select:c \
 //	        -edits 'relabel 2 b'       # two standing queries, shared trunk
 //
+// Repeating an identical query spec engages the multi-query optimizer:
+// content-equal queries are deduped onto one refcounted pipeline, and a
+// one-line "shared pipeline" note reports how many registrations were
+// served without building (repair cost per edit scales with pipelines,
+// not with registered queries).
+//
 // Queries (-query is repeatable; each one becomes a standing query):
 //
 //	select:<label>              X0 selects a node with the label
@@ -138,6 +144,13 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("preprocess %q: %w", spec, err)
 		}
 		queries = append(queries, standing{spec: spec, id: id})
+	}
+	// Content-equal queries are deduped onto one refcounted pipeline by
+	// the multi-query optimizer; say so, since the repair cost the user
+	// pays per edit scales with pipelines, not registered queries.
+	if st := qs.Stats(); st.RegistrationsDeduped > 0 {
+		fmt.Fprintf(w, "shared pipeline: %d of %d queries deduped onto %d pipeline(s)\n",
+			st.RegistrationsDeduped, st.Queries, st.Pipelines)
 	}
 	printAll(w, qs.Snapshot(), queries, view)
 

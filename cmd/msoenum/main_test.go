@@ -77,6 +77,29 @@ func TestMultiQueryBatch(t *testing.T) {
 	}
 }
 
+// TestDedupeNote repeats one query spec: the optimizer must dedupe the
+// twin onto the first registration's pipeline and say so, both answers
+// staying intact — and distinct specs must stay silent.
+func TestDedupeNote(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (a (b)))", "-query", "select:b", "-query", "select:b",
+		"-edits", "relabel 1 a")
+	if !strings.Contains(out, "shared pipeline: 1 of 2 queries deduped onto 1 pipeline(s)") {
+		t.Fatalf("missing shared-pipeline note:\n%s", out)
+	}
+	// Both twins answer before and after the edit (2 then 1 b-node).
+	if got := strings.Count(out, "2 result(s)"); got != 2 {
+		t.Fatalf("want both twins to print 2 result(s) pre-edit, got %d:\n%s", got, out)
+	}
+	if got := strings.Count(out, "1 result(s)"); got != 2 {
+		t.Fatalf("want both twins to print 1 result(s) post-edit, got %d:\n%s", got, out)
+	}
+
+	out = runOut(t, "-tree", "(a (b) (c))", "-query", "select:b", "-query", "select:c")
+	if strings.Contains(out, "shared pipeline") {
+		t.Fatalf("distinct queries must not print the dedupe note:\n%s", out)
+	}
+}
+
 // TestErrors covers flag validation and bad edits.
 func TestErrors(t *testing.T) {
 	var buf bytes.Buffer

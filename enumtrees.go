@@ -101,6 +101,12 @@
 // is built off the writer's critical section against a pinned term
 // version. QuerySet.Stats returns the immutable work counters (shared
 // term work vs per-query repair) of the latest publication.
+//
+// Registrations of CONTENT-EQUAL queries are deduped by the multi-query
+// optimizer: they share one refcounted pipeline, so k near-duplicate
+// standing queries pay the repair of one (per-edit cost scales with
+// Stats().Pipelines, not Queries). Options.NoDedupe opts a registration
+// out; see EngineStats.RegistrationsDeduped.
 package enumtrees
 
 import (

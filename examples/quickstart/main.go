@@ -1,8 +1,9 @@
 // Command quickstart is the smallest end-to-end tour of the library:
 // build a tree, run an automaton query, enumerate, edit the tree, and
 // enumerate again — all through the public facade. It finishes with the
-// snapshot engine: a batched update and an old snapshot that keeps
-// answering for its own version.
+// snapshot engine — a batched update and an old snapshot that keeps
+// answering for its own version — and a QuerySet where a duplicate
+// registration is deduped onto one shared pipeline.
 package main
 
 import (
@@ -82,5 +83,27 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "engine: snapshot v%d sees %d figure(s), v%d sees %d (batch of 2 edits, one publication)\n",
 		before.Version(), before.Count(), after.Version(), after.Count())
+
+	// Many subscribers, one query: registering the same automaton again
+	// on a QuerySet is deduped onto a shared refcounted pipeline by the
+	// multi-query optimizer — k near-duplicate standing queries cost ~1
+	// pipeline of repair per edit.
+	t3, err := enumtrees.ParseTree("(doc (sec (fig) (fig)) (sec (fig)))")
+	if err != nil {
+		return err
+	}
+	qs := enumtrees.NewQuerySet(t3)
+	a, err := qs.Register(q, enumtrees.Options{})
+	if err != nil {
+		return err
+	}
+	b, err := qs.Register(enumtrees.SelectLabel(alpha, "fig", 0), enumtrees.Options{})
+	if err != nil {
+		return err
+	}
+	est := qs.Stats()
+	m := qs.Snapshot()
+	fmt.Fprintf(w, "query set: %d queries share %d pipeline(s); both count %d/%d figures\n",
+		est.Queries, est.Pipelines, m.Query(a).Count(), m.Query(b).Count())
 	return nil
 }

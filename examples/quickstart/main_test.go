@@ -16,6 +16,7 @@ func TestQuickstartRuns(t *testing.T) {
 	for _, want := range []string{
 		"figures now: 2",
 		"snapshot v1 sees 1 figure(s), v2 sees 3",
+		"query set: 2 queries share 1 pipeline(s); both count 3/3 figures",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)

@@ -11,6 +11,10 @@
 //   - a monitor REGISTERED LATE, halfway through the session, against
 //     the already-edited document (it answers as if it had been standing
 //     from the start),
+//   - a DUPLICATE subscriber: a second dashboard registering the same
+//     caption query is deduped onto the standing pipeline by the
+//     multi-query optimizer (refcounted — its later departure retires
+//     nothing),
 //   - unregistering a monitor while the others keep serving.
 //
 // The bulk-grow phase uses the engine's batched updates: 500
@@ -158,6 +162,20 @@ func run(w io.Writer) error {
 	m = qs.Snapshot()
 	reportCount(w, "captions", m.Query(caps))
 
+	// A second dashboard subscribes the SAME caption query. The
+	// multi-query optimizer recognizes the content-equal automaton and
+	// dedupes the registration onto the standing caption pipeline — no
+	// construction walk, no extra repair on future edits.
+	fmt.Fprintln(w, "\nsubscribe twin: a second dashboard wants the same caption monitor")
+	capsTwin, err := qs.Register(enumtrees.SelectLabel(alpha, "caption", 0), enumtrees.Options{})
+	if err != nil {
+		return err
+	}
+	est := qs.Stats()
+	fmt.Fprintf(w, "  deduped: %d pipelines serve %d monitors (%d registration(s) deduped)\n",
+		est.Pipelines, est.Queries, est.RegistrationsDeduped)
+	reportCount(w, "captions (twin)", qs.Snapshot().Query(capsTwin))
+
 	fmt.Fprintln(w, "\nedit: delete one caption deep in the document")
 	capID := enumtrees.InvalidNode
 	for c := t.Node(lastFig).FirstChild; c != nil; c = c.NextSib {
@@ -172,6 +190,16 @@ func run(w io.Writer) error {
 	reportUncaptioned(w, m.Query(uncap), t)
 	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 	reportCount(w, "captions", m.Query(caps))
+	reportCount(w, "captions (twin)", m.Query(capsTwin))
+
+	// The twin dashboard leaves. Its registration only held a refcount on
+	// the shared caption pipeline, so unregistering it retires nothing:
+	// the original caption monitor keeps serving the same boxes.
+	fmt.Fprintln(w, "\nunsubscribe: twin dashboard leaves (shared pipeline stays)")
+	if err := qs.Unregister(capsTwin); err != nil {
+		return err
+	}
+	reportCount(w, "captions", qs.Snapshot().Query(caps))
 
 	// Unsubscribe the path monitor: unregistration itself publishes the
 	// shrunk set, and the remaining monitors keep serving.

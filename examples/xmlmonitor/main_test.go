@@ -7,7 +7,8 @@ import (
 )
 
 // TestXMLMonitorRuns smoke-tests the multi-monitor session: shared
-// QuerySet, 500-figure batched growth, late registration, unregister.
+// QuerySet, 500-figure batched growth, late registration, a duplicate
+// subscriber deduped onto the shared pipeline, unregister.
 func TestXMLMonitorRuns(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf); err != nil {
@@ -21,7 +22,12 @@ func TestXMLMonitorRuns(t *testing.T) {
 		"uncaptioned figure in section node",
 		"subscribe late: caption monitor",
 		"[captions] 503 match(es)", // at registration, against the grown document
-		"[captions] 502 match(es)", // after the caption delete
+		"subscribe twin: a second dashboard wants the same caption monitor",
+		"deduped: 3 pipelines serve 4 monitors (1 registration(s) deduped)",
+		"[captions (twin)] 503 match(es)", // the twin answers from the shared pipeline
+		"[captions (twin)] 502 match(es)", // and tracks the caption delete
+		"[captions] 502 match(es)",        // after the caption delete
+		"unsubscribe: twin dashboard leaves (shared pipeline stays)",
 		"unsubscribe: /doc/sec/fig monitor leaves",
 		"monitors standing: 2",
 		"final: 1010 nodes",

@@ -48,6 +48,29 @@ type Program struct {
 	init  []tva.InitRule
 	delta []tva.Triple
 	fp    uint64
+
+	// cacheUsed is the clock-eviction reference bit: set on every cache
+	// hit, cleared by the sweeping hand, evicted when found clear.
+	// Guarded by programCache.mu — it is cache metadata, not program
+	// content, so the program itself stays immutable and shareable.
+	cacheUsed bool
+}
+
+// Fingerprint returns the 64-bit content fingerprint of the automaton's
+// canonical rule sequences — the key the process-wide program cache
+// hashes by, and the content key the engine's multi-query optimizer
+// keys shared pipelines by. Equal content always yields equal
+// fingerprints; callers that must not alias distinct content on a hash
+// collision verify with ContentEqual.
+func (p *Program) Fingerprint() uint64 { return p.fp }
+
+// ContentEqual reports whether two programs were compiled from the same
+// canonical rule content (states, 1-states, ι and δ sequences, order
+// included). Content-equal programs build gate-for-gate identical boxes
+// over any term, which is the soundness condition for sharing one
+// enumeration pipeline across registrations.
+func (p *Program) ContentEqual(q *Program) bool {
+	return p == q || equalProgram(p, q)
 }
 
 // leafTemplate is the label-determined part of a leaf box. All slices
@@ -378,15 +401,69 @@ func (bd *Builder) LeafReusable(b *Box, label tree.Label, node tree.NodeID) bool
 // sequences map to the same *Program even when they are distinct
 // objects, which is what lets every pipeline of a QuerySet engine (each
 // registration translates and homogenizes afresh) skip recompilation.
-// Capped; automata beyond the cap still compile, they just aren't
-// retained.
+//
+// The cache is BOUNDED under register/unregister churn: at most
+// programCacheCap entries, enforced by coarse CLOCK eviction (ring is
+// the clock, each entry carries a reference bit set on hit; the
+// sweeping hand clears bits until it finds one already clear and evicts
+// that entry). A long-running process cycling through millions of
+// distinct one-off queries therefore holds a fixed-size working set of
+// hot programs instead of growing without bound, while automata beyond
+// the cap still compile — they just displace the coldest entry.
+// Evicted programs stay fully usable by the builders already holding
+// them; only future lookups recompile.
 var programCache struct {
-	mu    sync.Mutex
-	m     map[uint64][]*Program
-	count int
+	mu   sync.Mutex
+	m    map[uint64][]*Program
+	ring []*Program // every cached entry, in clock order
+	hand int        // next ring slot the eviction sweep examines
 }
 
 const programCacheCap = 256
+
+// ProgramCacheSize returns the current number of cached compiled
+// programs (process-wide; at most ProgramCacheCap). Exposed for the
+// engine's stats surface and the cache-churn tests.
+func ProgramCacheSize() int {
+	programCache.mu.Lock()
+	defer programCache.mu.Unlock()
+	return len(programCache.ring)
+}
+
+// ProgramCacheCap is the entry bound of the process-wide program cache.
+func ProgramCacheCap() int { return programCacheCap }
+
+// evictProgramLocked frees one ring slot by the clock sweep: hit
+// entries get a second chance (bit cleared, hand advances), the first
+// clear entry found is removed from both the ring and the fingerprint
+// map. Terminates in at most two sweeps. Callers hold programCache.mu
+// with a nonempty ring.
+func evictProgramLocked() {
+	for {
+		victim := programCache.ring[programCache.hand]
+		if victim.cacheUsed {
+			victim.cacheUsed = false
+			programCache.hand = (programCache.hand + 1) % len(programCache.ring)
+			continue
+		}
+		chain := programCache.m[victim.fp]
+		i := slices.Index(chain, victim)
+		chain = slices.Delete(chain, i, i+1)
+		if len(chain) == 0 {
+			delete(programCache.m, victim.fp)
+		} else {
+			programCache.m[victim.fp] = chain
+		}
+		last := len(programCache.ring) - 1
+		programCache.ring[programCache.hand] = programCache.ring[last]
+		programCache.ring[last] = nil
+		programCache.ring = programCache.ring[:last]
+		if programCache.hand >= len(programCache.ring) {
+			programCache.hand = 0
+		}
+		return
+	}
+}
 
 func fingerprint(numStates int, one bitset.Set, init []tva.InitRule, delta []tva.Triple) uint64 {
 	h := sigHash(fnvOffset)
@@ -449,6 +526,7 @@ func programFor(a *tva.Binary) *Program {
 	}
 	for _, cached := range programCache.m[fp] {
 		if equalProgram(cached, probe) {
+			cached.cacheUsed = true
 			programCache.mu.Unlock()
 			return cached
 		}
@@ -463,13 +541,16 @@ func programFor(a *tva.Binary) *Program {
 	defer programCache.mu.Unlock()
 	for _, cached := range programCache.m[fp] {
 		if equalProgram(cached, p) {
+			cached.cacheUsed = true
 			return cached
 		}
 	}
-	if programCache.count < programCacheCap {
-		programCache.m[fp] = append(programCache.m[fp], p)
-		programCache.count++
+	if len(programCache.ring) >= programCacheCap {
+		evictProgramLocked()
 	}
+	p.cacheUsed = true
+	programCache.m[fp] = append(programCache.m[fp], p)
+	programCache.ring = append(programCache.ring, p)
 	return p
 }
 

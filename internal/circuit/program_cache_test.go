@@ -1,0 +1,82 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/tva"
+)
+
+// randomHomogenized draws one random homogenized binary automaton; the
+// rng stream makes content deterministic per seed, so the same seed
+// reproduces content-equal (but object-distinct) automata.
+func randomHomogenized(seed int64) *tva.Binary {
+	rng := rand.New(rand.NewSource(seed))
+	raw := tva.RandomBinary(rng, 1+rng.Intn(4), alphaAB, tree.NewVarSet(0), 0.4)
+	return raw.Homogenize()
+}
+
+// TestProgramCacheBoundedUnderChurn registers far more distinct automata
+// than the cache cap — the register/unregister churn shape of a
+// long-running QuerySet process — and pins that clock eviction keeps the
+// entry count at or under the cap the whole way (the cache used to
+// retain its first 256 programs forever and ignore everything after).
+func TestProgramCacheBoundedUnderChurn(t *testing.T) {
+	for seed := int64(0); seed < int64(3*programCacheCap); seed++ {
+		if _, err := NewBuilder(randomHomogenized(1000 + seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n := ProgramCacheSize(); n > ProgramCacheCap() {
+			t.Fatalf("after %d compilations the cache holds %d entries (cap %d)", seed+1, n, ProgramCacheCap())
+		}
+	}
+	if ProgramCacheSize() == 0 {
+		t.Fatal("churn left the cache empty — eviction is removing too much")
+	}
+}
+
+// TestProgramCacheHitAfterChurn pins that the cache still SHARES after
+// eviction has run: compiling content-equal automata back to back yields
+// one *Program (the second compilation is a hit, its reference bit set),
+// and an entry evicted by later churn recompiles to a content-equal
+// program rather than failing.
+func TestProgramCacheHitAfterChurn(t *testing.T) {
+	// Force the cache through at least one full eviction cycle first.
+	for seed := int64(0); seed < int64(programCacheCap+32); seed++ {
+		if _, err := NewBuilder(randomHomogenized(5000 + seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	b1, err := NewBuilder(randomHomogenized(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewBuilder(randomHomogenized(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Program() != b2.Program() {
+		t.Fatal("back-to-back compilations of content-equal automata should share one cached program")
+	}
+	if !b1.Program().ContentEqual(b2.Program()) {
+		t.Fatal("ContentEqual must hold for the shared program")
+	}
+	if b1.Program().Fingerprint() != b2.Program().Fingerprint() {
+		t.Fatal("content-equal programs must carry equal fingerprints")
+	}
+	// Churn the entry out, then recompile: a fresh but content-equal
+	// program (same fingerprint) must come back.
+	for seed := int64(0); seed < int64(2*programCacheCap); seed++ {
+		if _, err := NewBuilder(randomHomogenized(9000 + seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	b3, err := NewBuilder(randomHomogenized(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b3.Program().ContentEqual(b1.Program()) || b3.Program().Fingerprint() != b1.Program().Fingerprint() {
+		t.Fatal("recompiled program after eviction must be content-equal with equal fingerprint")
+	}
+}

@@ -48,6 +48,30 @@
 // query preprocesses. Unregistration drops exactly one pipeline's
 // attachments.
 //
+// MULTI-QUERY OPTIMIZER (pipeline dedupe). Registrations of
+// CONTENT-EQUAL automata — the realistic shape when many subscribers
+// register variants of one template — share ONE refcounted pipeline
+// instead of paying k× box repair: register keys pipelines by the same
+// content key the process-wide circuit.Program cache uses (the
+// automaton's canonical rule fingerprint, verified rule for rule on
+// collision) plus the enumeration mode, and a registration whose key
+// matches a standing pipeline just bumps its refcount and maps the new
+// QueryID onto it — no O(|T|) build, no delta replay, no extra repair
+// on any future batch. Equal automata accept exactly the same
+// assignments in exactly the same enumeration order (construction is
+// deterministic in the rule content), so the per-query "projection" of
+// a shared pipeline is the identity: every twin's Snapshot in a
+// MultiSnapshot is the shared pipeline's snapshot, and Results / Count
+// / At ranks are preserved per query by construction. Unregister
+// decrements the refcount and retires the pipeline — attachments,
+// counting cache, boxes — only when it hits zero; a QueryID leaving
+// while its twin stays live never invalidates the shared structure.
+// The write path fans out over DISTINCT pipelines (worker scheduling
+// weights by pipelines, not QueryIDs), which is what makes k standing
+// duplicates cost ~1 pipeline per batch. Options.NoDedupe keeps a
+// registration on a private pipeline (the differential oracle's knob,
+// and the pre-optimizer behavior).
+//
 // Publication is an immutable MultiSnapshot — query ID → Snapshot —
 // installed through a single atomic.Pointer. Readers stay lock-free:
 // one atomic load yields a consistent version of every standing query,
@@ -115,6 +139,15 @@ type Options struct {
 	// pruned-vs-full-rebuild differential suite and the B1 experiment's
 	// comparison rows, not something production callers want.
 	FullRebuild bool
+
+	// NoDedupe opts this registration out of the multi-query optimizer:
+	// it gets a PRIVATE pipeline even when a standing pipeline over a
+	// content-equal automaton exists, and never serves as a dedupe
+	// target itself. The answers are identical either way — this is the
+	// diagnostic knob behind the dedupe differential suite (and the
+	// pre-optimizer one-pipeline-per-query behavior), not something
+	// production callers want.
+	NoDedupe bool
 }
 
 // QueryID identifies a registered query within an Engine. IDs are
@@ -141,8 +174,27 @@ type Source interface {
 	Rebalances() int
 }
 
-// pipeline is the per-query half of the engine: everything that depends
-// on one registered query. The shared term work (path copies,
+// pipeKey identifies the work a pipeline does, for the multi-query
+// optimizer: the content fingerprint of the homogenized automaton's
+// canonical rules (the same fingerprint the circuit.Program cache
+// hashes; verified by Program.ContentEqual on lookup, so a hash
+// collision can never alias two distinct queries onto one pipeline),
+// the enumeration mode, the FullRebuild knob and the pre-homogenization
+// state count (a stats-only input, included so shared pipelines are
+// indistinguishable from private ones on every observable surface).
+type pipeKey struct {
+	fp          uint64
+	mode        enumerate.Mode
+	fullRebuild bool
+	translated  int
+}
+
+// pipeline is the per-PIPELINE half of the engine: everything that
+// depends on one standing automaton. Since the multi-query optimizer,
+// a pipeline may serve SEVERAL registered QueryIDs at once (refs is the
+// refcount, guarded by the engine lock like the registration maps): all
+// twins read the same published Snapshot, which is sound because their
+// automata are content-equal. The shared term work (path copies,
 // rebalances) lives in the Source; a pipeline only ever consumes
 // immutable trunk deltas. A pipeline is GOROUTINE-CONFINED: it is
 // mutated by exactly one goroutine at a time (one pool worker per
@@ -150,6 +202,16 @@ type Source interface {
 // of its state — builder, attach map, counting evaluator, γ cache — is
 // safe for concurrent use.
 type pipeline struct {
+	// refs counts the QueryIDs served by this pipeline; the pipeline
+	// retires (attachments dropped, counting cache released) only when
+	// it reaches zero. key/shared record its slot in the engine's
+	// dedupe index (shared is false for Options.NoDedupe pipelines,
+	// which are never dedupe targets). All three are guarded by the
+	// engine mutex, not touched by the worker pool.
+	refs   int
+	key    pipeKey
+	shared bool
+
 	builder *circuit.Builder
 	mode    enumerate.Mode
 	// indexer owns the reusable index-construction scratch; confined to
@@ -348,10 +410,19 @@ func (p *pipeline) applyDelta(delta forest.TrunkDelta, pub pubInfo) *Snapshot {
 type Engine struct {
 	mu      sync.Mutex
 	src     Source
-	pipes   map[QueryID]*pipeline
-	order   []QueryID // registered IDs, ascending (publication order)
+	pipes   map[QueryID]*pipeline // several IDs may share one pipeline
+	order   []QueryID             // registered IDs, ascending (publication order)
 	nextID  QueryID
 	workers int
+
+	// byKey is the multi-query optimizer's dedupe index: content key →
+	// standing shareable pipelines (a short chain, in case distinct
+	// automata ever collide on the 64-bit fingerprint — lookups verify
+	// rule content before sharing). NoDedupe pipelines are absent.
+	byKey map[pipeKey][]*pipeline
+	// dedupedRegs counts registrations served by bumping a standing
+	// pipeline's refcount instead of building (cumulative, monotone).
+	dedupedRegs int
 
 	// regPins holds the absolute delta-log start index of every
 	// in-flight lock-light registration; while any is pinned, deltaLog
@@ -391,6 +462,7 @@ type Engine struct {
 func (e *Engine) initEngine(src Source) {
 	e.src = src
 	e.pipes = map[QueryID]*pipeline{}
+	e.byKey = map[pipeKey][]*pipeline{}
 	e.workers = runtime.GOMAXPROCS(0)
 	delta := src.DrainDelta()
 	e.pathCopies += len(delta.Fresh)
@@ -416,15 +488,69 @@ func (e *Engine) setWorkersLocked(n int) {
 	e.workers = n
 }
 
-// register creates the pipeline for a prepared query builder, builds its
-// (box, index, counts) tree against the pinned current term OFF the
-// writer's critical section, replays whatever deltas were published
-// meanwhile, and splices the finished pipeline in under a short lock
-// hold, publishing a MultiSnapshot that includes the new query. Edits
-// (and other registrations) stream concurrently with the O(|T|) build —
+// lookupShared returns the standing shareable pipeline for the key, or
+// nil. Callers hold e.mu. The fingerprint match is verified against the
+// actual rule content (Program.ContentEqual) so a hash collision can
+// never alias two distinct queries onto one pipeline.
+func (e *Engine) lookupShared(key pipeKey, prog *circuit.Program) *pipeline {
+	for _, cand := range e.byKey[key] {
+		if cand.builder.Program().ContentEqual(prog) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// adoptLocked maps a fresh QueryID onto the pipeline (bumping its
+// refcount), publishes a MultiSnapshot that includes the new query, and
+// returns the ID. Callers hold e.mu; the pipeline is already current
+// (a standing dedupe target, or a freshly built one that replayed the
+// delta log).
+func (e *Engine) adoptLocked(p *pipeline) QueryID {
+	p.refs++
+	e.nextID++
+	id := e.nextID
+	e.pipes[id] = p
+	e.order = append(e.order, id) // nextID is increasing: order stays sorted
+	e.applyAndPublish()
+	return id
+}
+
+// register creates — or, for a content-equal automaton, SHARES — the
+// pipeline for a prepared query builder. The dedupe fast path: if a
+// shareable standing pipeline has the same content key (automaton rule
+// fingerprint + mode + knobs, verified rule for rule), the new QueryID
+// just joins it — refcount up, one publication, no O(|T|) build and no
+// extra repair on any future batch. Otherwise the pipeline is built
+// against the pinned current term OFF the writer's critical section,
+// the deltas published meanwhile are replayed, and the finished
+// pipeline is spliced in under a short lock hold, publishing a
+// MultiSnapshot that includes the new query. Edits (and other
+// registrations) stream concurrently with the O(|T|) build —
 // registering a large query no longer stalls the update stream.
 func (e *Engine) register(builder *circuit.Builder, translated int, opts Options) QueryID {
+	key := pipeKey{
+		fp:          builder.Program().Fingerprint(),
+		mode:        opts.Mode,
+		fullRebuild: opts.FullRebuild,
+		translated:  translated,
+	}
+	if !opts.NoDedupe {
+		e.mu.Lock()
+		if opts.Workers > 0 {
+			e.setWorkersLocked(opts.Workers)
+		}
+		if twin := e.lookupShared(key, builder.Program()); twin != nil {
+			e.dedupedRegs++
+			id := e.adoptLocked(twin)
+			e.mu.Unlock()
+			return id
+		}
+		e.mu.Unlock()
+	}
+
 	p := &pipeline{
+		key:              key,
 		builder:          builder,
 		mode:             opts.Mode,
 		attach:           map[*forest.Node]*enumerate.IndexedBox{},
@@ -469,18 +595,27 @@ func (e *Engine) register(builder *circuit.Builder, translated int, opts Options
 		p.replay(d)
 	}
 	e.unpin(pin)
-	e.nextID++
-	id := e.nextID
-	e.pipes[id] = p
-	e.order = append(e.order, id) // nextID is increasing: order stays sorted
-	e.applyAndPublish()
-	return id
+	if !opts.NoDedupe {
+		// A twin may have finished registering while we built: converge
+		// on it (our build is discarded) so the one-shared-pipeline-
+		// per-key invariant holds no matter how registrations race.
+		if twin := e.lookupShared(key, builder.Program()); twin != nil {
+			e.dedupedRegs++
+			return e.adoptLocked(twin)
+		}
+		p.shared = true
+		e.byKey[key] = append(e.byKey[key], p)
+	}
+	return e.adoptLocked(p)
 }
 
 // Unregister removes a standing query and publishes a MultiSnapshot
-// without it. Exactly this query's attachments are released (the boxes
-// stay alive only as long as already-published snapshots reference
-// them); the shared term and every other pipeline are untouched.
+// without it. The query's pipeline loses one reference; only when the
+// LAST QueryID sharing it leaves are its attachments released (the
+// boxes stay alive only as long as already-published snapshots
+// reference them) — unregistering a query whose twin still stands
+// never retires the shared structure. The shared term and every other
+// pipeline are untouched.
 func (e *Engine) Unregister(id QueryID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -488,8 +623,21 @@ func (e *Engine) Unregister(id QueryID) error {
 	if !ok {
 		return fmt.Errorf("engine: query %d is not registered", id)
 	}
-	e.boxesReleased += p.boxesRebuilt
-	e.reusedReleased += p.boxesReused
+	p.refs--
+	if p.refs == 0 {
+		if p.shared {
+			chain := e.byKey[p.key]
+			i := slices.Index(chain, p)
+			chain = slices.Delete(chain, i, i+1)
+			if len(chain) == 0 {
+				delete(e.byKey, p.key)
+			} else {
+				e.byKey[p.key] = chain
+			}
+		}
+		e.boxesReleased += p.boxesRebuilt
+		e.reusedReleased += p.boxesReused
+	}
 	delete(e.pipes, id)
 	i := slices.Index(e.order, id)
 	e.order = slices.Delete(e.order, i, i+1)
@@ -555,9 +703,25 @@ func (e *Engine) absorbPending() {
 	if len(e.regPins) > 0 {
 		e.deltaLog = append(e.deltaLog, delta)
 	}
-	for _, id := range e.order {
-		e.pipes[id].replay(delta)
+	for _, p := range e.distinctPipes(e.order) {
+		p.replay(delta)
 	}
+}
+
+// distinctPipes returns the DISTINCT pipelines behind the given query
+// IDs, in first-appearance order (ascending first QueryID). This is the
+// unit the write path fans out over: k registrations sharing d
+// pipelines cost d repairs, not k. Callers hold e.mu.
+func (e *Engine) distinctPipes(ids []QueryID) []*pipeline {
+	out := make([]*pipeline, 0, len(ids))
+	seen := make(map[*pipeline]bool, len(ids))
+	for _, id := range ids {
+		if p := e.pipes[id]; !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // applyAndPublish is the write path's back half: drain the trunk ONCE
@@ -582,20 +746,20 @@ func (e *Engine) applyAndPublish() *MultiSnapshot {
 	}
 
 	ids := slices.Clone(e.order)
-	pipes := make([]*pipeline, len(ids))
-	for i, id := range ids {
-		pipes[i] = e.pipes[id]
-	}
-	snaps := make([]*Snapshot, len(pipes))
+	// The fan-out unit is the DISTINCT pipeline: k registered queries
+	// deduped onto d pipelines repair d (box, index, counts) trees, and
+	// the worker pool is sized by d, not k.
+	pipes := e.distinctPipes(ids)
+	snaps := make(map[*pipeline]*Snapshot, len(pipes))
 	if w := min(e.workers, len(pipes)); w <= 1 || delta.Empty() {
-		// Deterministic sequential path: k <= 1, Workers == 1, or an
+		// Deterministic sequential path: d <= 1, Workers == 1, or an
 		// empty delta (register/unregister publications — replay is a
 		// no-op and γ is cached, so per-pipeline work is O(1) and
 		// spawning workers would cost more than it saves). No
 		// goroutines, no pool overhead — single-query latency is
 		// identical to the pre-parallel engine.
-		for i, p := range pipes {
-			snaps[i] = p.applyDelta(delta, pub)
+		for _, p := range pipes {
+			snaps[p] = p.applyDelta(delta, pub)
 		}
 	} else {
 		// Bounded pool: w workers claim pipeline indices from a shared
@@ -603,6 +767,7 @@ func (e *Engine) applyAndPublish() *MultiSnapshot {
 		// (goroutine confinement), all workers replay the same immutable
 		// delta, and wg.Wait orders every worker write before the
 		// publication below.
+		out := make([]*Snapshot, len(pipes))
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for range w {
@@ -614,11 +779,14 @@ func (e *Engine) applyAndPublish() *MultiSnapshot {
 					if i >= len(pipes) {
 						return
 					}
-					snaps[i] = pipes[i].applyDelta(delta, pub)
+					out[i] = pipes[i].applyDelta(delta, pub)
 				}
 			}()
 		}
 		wg.Wait()
+		for i, p := range pipes {
+			snaps[p] = out[i]
+		}
 	}
 
 	m := &MultiSnapshot{
@@ -626,8 +794,11 @@ func (e *Engine) applyAndPublish() *MultiSnapshot {
 		ids:     ids,
 		snaps:   make(map[QueryID]*Snapshot, len(ids)),
 	}
-	for i, id := range ids {
-		m.snaps[id] = snaps[i]
+	// Twin QueryIDs project the SAME snapshot: content-equal automata
+	// answer identically, so the per-query view of a shared pipeline is
+	// the identity projection.
+	for _, id := range ids {
+		m.snaps[id] = snaps[e.pipes[id]]
 	}
 	e.snap.Store(m)
 	e.publishStats()

@@ -1,6 +1,10 @@
 package engine
 
-import "maps"
+import (
+	"maps"
+
+	"repro/internal/circuit"
+)
 
 // EngineStats is one immutable reading of the engine's cumulative work
 // counters, taken at a publication. Engine.Stats returns the latest
@@ -21,6 +25,20 @@ type EngineStats struct {
 	Version uint64
 	// Queries is the number of standing queries at the publication.
 	Queries int
+	// Pipelines is the number of DISTINCT (box, index, counts) pipelines
+	// behind the standing queries: the multi-query optimizer dedupes
+	// registrations of content-equal automata onto one refcounted
+	// pipeline, so Pipelines <= Queries, and the gap is repair work the
+	// write path does not pay (per-batch cost scales with Pipelines).
+	Pipelines int
+	// PipelinesShared is the number of standing pipelines currently
+	// serving more than one registered query (refcount > 1).
+	PipelinesShared int
+	// RegistrationsDeduped is the cumulative number of registrations the
+	// optimizer served by joining a standing pipeline instead of
+	// building one — each skipped an O(|T|) construction walk and all
+	// future repair (monotone; unregistrations do not decrease it).
+	RegistrationsDeduped int
 	// Workers is the engine's worker-pool bound (Options.Workers /
 	// SetWorkers; the pool additionally never exceeds Queries).
 	Workers int
@@ -44,8 +62,14 @@ type EngineStats struct {
 	// BoxesRebuilt).
 	BoxesReused int
 	// QueryBoxesRebuilt maps each standing query to its pipeline's
-	// cumulative box-construction count.
+	// cumulative box-construction count (queries deduped onto one shared
+	// pipeline report the same counter).
 	QueryBoxesRebuilt map[QueryID]int
+	// ProgramCacheSize is the current entry count of the process-wide
+	// compiled-transition-program cache (circuit.ProgramCacheSize): a
+	// GLOBAL reading, shared by every engine in the process, bounded by
+	// clock eviction under register/unregister churn.
+	ProgramCacheSize int
 	// AnswersEnumerated is the cumulative number of assignments the
 	// engine's snapshots produced through the read APIs (bulk drains,
 	// pages, ranked access, and the enumeration fallbacks behind them; a
@@ -68,9 +92,12 @@ func (e *Engine) Stats() EngineStats {
 	st.QueryBoxesRebuilt = maps.Clone(st.QueryBoxesRebuilt)
 	// Read-path counters advance between publications (readers never
 	// publish); overlay the live values so Stats reflects reads that
-	// happened since the last write.
+	// happened since the last write. The program cache is process-wide
+	// and moves with every engine's registrations, so it is read live
+	// too.
 	st.AnswersEnumerated = e.reads.answersEnumerated.Load()
 	st.ParallelDrains = e.reads.parallelDrains.Load()
+	st.ProgramCacheSize = circuit.ProgramCacheSize()
 	return st
 }
 
@@ -79,21 +106,35 @@ func (e *Engine) Stats() EngineStats {
 // publication has been waited for.
 func (e *Engine) publishStats() {
 	st := &EngineStats{
-		Version:           e.version,
-		Queries:           len(e.order),
-		Workers:           e.workers,
-		PathCopies:        e.pathCopies,
-		Rebalances:        e.src.Rebalances(),
-		BoxesRebuilt:      e.boxesReleased,
-		BoxesReused:       e.reusedReleased,
-		QueryBoxesRebuilt: make(map[QueryID]int, len(e.pipes)),
-		AnswersEnumerated: e.reads.answersEnumerated.Load(),
-		ParallelDrains:    e.reads.parallelDrains.Load(),
+		Version:              e.version,
+		Queries:              len(e.order),
+		Workers:              e.workers,
+		PathCopies:           e.pathCopies,
+		Rebalances:           e.src.Rebalances(),
+		BoxesRebuilt:         e.boxesReleased,
+		BoxesReused:          e.reusedReleased,
+		RegistrationsDeduped: e.dedupedRegs,
+		QueryBoxesRebuilt:    make(map[QueryID]int, len(e.pipes)),
+		ProgramCacheSize:     circuit.ProgramCacheSize(),
+		AnswersEnumerated:    e.reads.answersEnumerated.Load(),
+		ParallelDrains:       e.reads.parallelDrains.Load(),
 	}
+	// Repair-work counters sum over DISTINCT pipelines (a shared
+	// pipeline's work is paid once, so it is counted once); the
+	// per-query map still carries one entry per QueryID.
+	seen := make(map[*pipeline]bool, len(e.pipes))
 	for id, p := range e.pipes {
+		st.QueryBoxesRebuilt[id] = p.boxesRebuilt
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		st.Pipelines++
+		if p.refs > 1 {
+			st.PipelinesShared++
+		}
 		st.BoxesRebuilt += p.boxesRebuilt
 		st.BoxesReused += p.boxesReused
-		st.QueryBoxesRebuilt[id] = p.boxesRebuilt
 	}
 	e.stats.Store(st)
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"repro/internal/engine"
@@ -38,15 +39,51 @@ type MultiQueryPoint struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// DuplicateMultiQueryPoint is one row of the duplicate-heavy C2
+// workload: k registrations drawn round-robin from d distinct query
+// specs, a QuerySet with the multi-query optimizer on (content-equal
+// automata deduped onto refcounted shared pipelines) against the same
+// registrations under Options.NoDedupe (one private pipeline each, the
+// pre-optimizer behavior). With dedupe the per-batch repair cost tracks
+// d, not k: Pipelines stays at d, boxes rebuilt per batch matches the
+// d-query run, and per-query seconds/batch is flat as k grows past d.
+type DuplicateMultiQueryPoint struct {
+	Registrations int `json:"registrations"`
+	DistinctSpecs int `json:"distinct_specs"`
+
+	// Pipelines and RegistrationsDeduped come from the dedupe engine's
+	// stats after registration: Pipelines must equal DistinctSpecs and
+	// RegistrationsDeduped must equal Registrations - DistinctSpecs.
+	Pipelines            int `json:"pipelines"`
+	RegistrationsDeduped int `json:"registrations_deduped"`
+
+	DedupeBoxesRebuilt    int     `json:"dedupe_boxes_rebuilt"`
+	DedupeSecondsPerBatch float64 `json:"dedupe_seconds_per_batch"`
+
+	NoDedupeBoxesRebuilt    int     `json:"nodedupe_boxes_rebuilt"`
+	NoDedupeSecondsPerBatch float64 `json:"nodedupe_seconds_per_batch"`
+
+	// Speedup is NoDedupe/dedupe wall time per batch: ~k/d when repair
+	// dominates the batch.
+	Speedup float64 `json:"speedup"`
+}
+
 // MultiQueryBaseline is the machine-readable output of the multi-query
 // experiment (written by cmd/benchtables as BENCH_multiquery.json), the
-// perf trajectory anchor for the QuerySet engine.
+// perf trajectory anchor for the QuerySet engine. Points is the
+// distinct-query scaling sweep (shared QuerySet vs k independent
+// engines); DuplicatePoints is the duplicate-heavy sweep (pipeline
+// dedupe vs NoDedupe on one QuerySet). Cpus and Gomaxprocs record the
+// hardware the numbers were taken on, like the parallel baselines.
 type MultiQueryBaseline struct {
-	TreeNodes  int               `json:"tree_nodes"`
-	Batches    int               `json:"batches"`
-	BatchSize  int               `json:"batch_size"`
-	QuerySpecs []string          `json:"query_specs"`
-	Points     []MultiQueryPoint `json:"points"`
+	TreeNodes       int                        `json:"tree_nodes"`
+	Batches         int                        `json:"batches"`
+	BatchSize       int                        `json:"batch_size"`
+	Cpus            int                        `json:"cpus"`
+	Gomaxprocs      int                        `json:"gomaxprocs"`
+	QuerySpecs      []string                   `json:"query_specs"`
+	Points          []MultiQueryPoint          `json:"points"`
+	DuplicatePoints []DuplicateMultiQueryPoint `json:"duplicate_points"`
 }
 
 // standingQueries returns the k distinct standing queries of the
@@ -119,6 +156,11 @@ func makeBatch(t *tree.Unranked, size int, rng *rand.Rand) []engine.Update {
 // path copies and scapegoat rebalances — must be flat in k on the shared
 // side and k× on the independent side; wall time per batch grows far
 // slower than k× on the shared side because only box repair fans out.
+//
+// It then runs the duplicate-heavy sweep: k ∈ {d, 2d, 4d} registrations
+// round-robin over the d distinct specs, the multi-query optimizer
+// (pipeline dedupe) against NoDedupe, pinning that with dedupe the
+// per-batch repair cost is governed by d, not k.
 func MultiQuery(quick bool) MultiQueryBaseline {
 	n, batches, size := 20000, 200, 6
 	if quick {
@@ -136,6 +178,8 @@ func MultiQuery(quick bool) MultiQueryBaseline {
 		TreeNodes:  n,
 		Batches:    batches,
 		BatchSize:  size,
+		Cpus:       runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
 		QuerySpecs: specs,
 	}
 	for _, k := range []int{1, 2, 4, 8} {
@@ -208,6 +252,55 @@ func MultiQuery(quick bool) MultiQueryBaseline {
 		p.Speedup = p.IndepSecondsPerBatch / p.SharedSecondsPerBatch
 		base.Points = append(base.Points, p)
 	}
+
+	// Duplicate-heavy workload: k registrations round-robin over the d
+	// distinct specs, multi-query optimizer on vs NoDedupe. The k=d row
+	// is the flat-cost reference: with dedupe, every k > d row must pay
+	// the same per-batch repair (boxes rebuilt tracks d, not k).
+	d := len(queries)
+	for _, k := range []int{d, 2 * d, 4 * d} {
+		dedupe := engine.NewTreeSet(ut.Clone())
+		plain := engine.NewTreeSet(ut.Clone())
+		for i := 0; i < k; i++ {
+			if _, err := dedupe.Register(queries[i%d], engine.Options{}); err != nil {
+				panic(err)
+			}
+			if _, err := plain.Register(queries[i%d], engine.Options{NoDedupe: true}); err != nil {
+				panic(err)
+			}
+		}
+		dst0, pst0 := dedupe.Stats(), plain.Stats()
+
+		brng := rand.New(rand.NewSource(7))
+		var dTime, pTime time.Duration
+		for b := 0; b < batches; b++ {
+			batch := makeBatch(dedupe.Tree(), size, brng)
+			t0 := time.Now()
+			if _, _, err := dedupe.ApplyBatch(batch); err != nil {
+				panic(err)
+			}
+			dTime += time.Since(t0)
+			t0 = time.Now()
+			if _, _, err := plain.ApplyBatch(batch); err != nil {
+				panic(err)
+			}
+			pTime += time.Since(t0)
+		}
+
+		dst, pst := dedupe.Stats(), plain.Stats()
+		dp := DuplicateMultiQueryPoint{
+			Registrations:           k,
+			DistinctSpecs:           d,
+			Pipelines:               dst.Pipelines,
+			RegistrationsDeduped:    dst.RegistrationsDeduped,
+			DedupeBoxesRebuilt:      dst.BoxesRebuilt - dst0.BoxesRebuilt,
+			NoDedupeBoxesRebuilt:    pst.BoxesRebuilt - pst0.BoxesRebuilt,
+			DedupeSecondsPerBatch:   dTime.Seconds() / float64(batches),
+			NoDedupeSecondsPerBatch: pTime.Seconds() / float64(batches),
+		}
+		dp.Speedup = dp.NoDedupeSecondsPerBatch / dp.DedupeSecondsPerBatch
+		base.DuplicatePoints = append(base.DuplicatePoints, dp)
+	}
 	return base
 }
 
@@ -229,6 +322,30 @@ func (b MultiQueryBaseline) Table() Table {
 			fmt.Sprintf("%d / %d", p.SharedBoxesRebuilt, p.IndepBoxesRebuilt),
 			fmt.Sprintf("%.0f", p.SharedSecondsPerBatch*1e6),
 			fmt.Sprintf("%.0f", p.IndepSecondsPerBatch*1e6),
+			fmt.Sprintf("%.2fx", p.Speedup),
+		})
+	}
+	return t
+}
+
+// DuplicateTable renders the duplicate-heavy sweep as a markdown table
+// for the benchtables output.
+func (b MultiQueryBaseline) DuplicateTable() Table {
+	t := Table{
+		ID:     "C2-dup",
+		Title:  "k duplicate registrations over d distinct queries: pipeline dedupe vs NoDedupe",
+		Claim:  fmt.Sprintf("the multi-query optimizer dedupes content-equal automata onto refcounted shared pipelines, so per-batch repair tracks the d distinct specs, not the k registrations (%d batches of %d edits, %d-node tree)", b.Batches, b.BatchSize, b.TreeNodes),
+		Header: []string{"registrations", "distinct", "pipelines", "deduped", "boxes rebuilt (dedupe/NoDedupe)", "µs/batch (dedupe)", "µs/batch (NoDedupe)", "speedup"},
+	}
+	for _, p := range b.DuplicatePoints {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(p.Registrations),
+			fmt.Sprint(p.DistinctSpecs),
+			fmt.Sprint(p.Pipelines),
+			fmt.Sprint(p.RegistrationsDeduped),
+			fmt.Sprintf("%d / %d", p.DedupeBoxesRebuilt, p.NoDedupeBoxesRebuilt),
+			fmt.Sprintf("%.0f", p.DedupeSecondsPerBatch*1e6),
+			fmt.Sprintf("%.0f", p.NoDedupeSecondsPerBatch*1e6),
 			fmt.Sprintf("%.2fx", p.Speedup),
 		})
 	}
