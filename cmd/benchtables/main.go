@@ -31,6 +31,12 @@
 //	                         # (E1-par: full-result materialization via
 //	                         # All / ParallelAll(w) / Chunks) and write
 //	                         # its JSON baseline
+//	benchtables -structural BENCH_structural.json
+//	                         # run the structural-edit experiment (S1:
+//	                         # subtree-move cost vs moved size, S2:
+//	                         # BulkLoad vs sequential construction, S3:
+//	                         # weighted structural workload with rebalance
+//	                         # accounting) and write its JSON baseline
 //	benchtables -build BENCH_build.json
 //	                         # run the box-construction experiment (B1:
 //	                         # build throughput plus per-update repair ns
@@ -76,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	directaccess := fs.String("directaccess", "", "run the direct-access experiment and write its JSON baseline to this path")
 	parallel := fs.String("parallel", "", "run the parallel-write-path experiment and write its JSON baseline to this path")
 	enumparallel := fs.String("enumparallel", "", "run the parallel-enumeration experiment and write its JSON baseline to this path")
+	structural := fs.String("structural", "", "run the structural-edit experiment and write its JSON baseline to this path")
 	build := fs.String("build", "", "run the box-construction experiment and write its JSON baseline to this path")
 	buildref := fs.String("buildref", "", "embed a previous -build baseline (its \"current\" run) as the pre-PR reference of this -build run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
@@ -144,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	start := time.Now()
 	// Baseline flags alone skip the table sweep unless IDs were
 	// requested.
-	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *enumparallel == "" && *build == "") || len(want) > 0
+	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *enumparallel == "" && *structural == "" && *build == "") || len(want) > 0
 	if runTables {
 		for _, id := range order {
 			if len(want) > 0 && !want[id] {
@@ -233,6 +240,22 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 		fmt.Fprintf(stderr, "[E1-par done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *enumparallel)
+	}
+	if *structural != "" {
+		t0 := time.Now()
+		base := experiments.Structural(*quick)
+		fmt.Fprintln(stdout, base.MoveTable().Markdown())
+		fmt.Fprintln(stdout, base.BulkTable().Markdown())
+		fmt.Fprintln(stdout, base.MixTable().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*structural, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[E-struct done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *structural)
 	}
 	if *build != "" {
 		t0 := time.Now()

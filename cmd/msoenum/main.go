@@ -35,6 +35,16 @@
 //	insertR <id> <label>     (right sibling)
 //	delete <id>
 //
+// Structural edits splice whole subtrees in O(log n + boundary),
+// preserving the node IDs of moved subtrees:
+//
+//	deleteSub <id>              delete the whole subtree of <id>
+//	moveSub <id> <dest>         move it to be <dest>'s first child subtree
+//	moveSubR <id> <dest>        move it to be <dest>'s right sibling
+//	insertSub <id> <sexpr>      graft a fragment as <id>'s first child,
+//	insertSubR <id> <sexpr>     ... or right sibling, e.g.
+//	                            'insertSub 0 (a (b) (c))'
+//
 // With -batch the whole edit stream is applied as one QuerySet.ApplyBatch
 // call: a single publication, with box and index repair amortized across
 // the batch (and the term work shared across all standing queries), and
@@ -302,6 +312,31 @@ func parseEdit(ed string) (enumtrees.Update, error) {
 		}
 	case "delete":
 		u.Op = enumtrees.OpDelete
+	case "deleteSub":
+		u.Op = enumtrees.OpDeleteSubtree
+	case "moveSub", "moveSubR":
+		if len(fields) != 3 {
+			return enumtrees.Update{}, fmt.Errorf("usage: %s <id> <dest>", fields[0])
+		}
+		dest, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return enumtrees.Update{}, err
+		}
+		u.Dest = enumtrees.NodeID(dest)
+		u.Op = enumtrees.OpMoveSubtreeFirstChild
+		if fields[0] == "moveSubR" {
+			u.Op = enumtrees.OpMoveSubtreeRightSibling
+		}
+	case "insertSub", "insertSubR":
+		frag, err := enumtrees.ParseTree(strings.Join(fields[2:], " "))
+		if err != nil {
+			return enumtrees.Update{}, fmt.Errorf("fragment: %w", err)
+		}
+		u.Fragment = frag
+		u.Op = enumtrees.OpInsertSubtreeFirstChild
+		if fields[0] == "insertSubR" {
+			u.Op = enumtrees.OpInsertSubtreeRightSibling
+		}
 	default:
 		return enumtrees.Update{}, fmt.Errorf("unknown edit %q", fields[0])
 	}
@@ -326,6 +361,24 @@ func applyEdit(w io.Writer, qs *enumtrees.QuerySet, ed string) (*enumtrees.Multi
 		v, m, err := qs.InsertRightSibling(u.Node, u.Label)
 		if err == nil {
 			fmt.Fprintf(w, "  (new node %d)\n", v)
+		}
+		return m, err
+	case enumtrees.OpDeleteSubtree:
+		return qs.DeleteSubtree(u.Node)
+	case enumtrees.OpMoveSubtreeFirstChild:
+		return qs.MoveSubtreeFirstChild(u.Node, u.Dest)
+	case enumtrees.OpMoveSubtreeRightSibling:
+		return qs.MoveSubtreeRightSibling(u.Node, u.Dest)
+	case enumtrees.OpInsertSubtreeFirstChild:
+		v, m, err := qs.InsertSubtreeFirstChild(u.Node, u.Fragment)
+		if err == nil {
+			fmt.Fprintf(w, "  (new subtree %d)\n", v)
+		}
+		return m, err
+	case enumtrees.OpInsertSubtreeRightSibling:
+		v, m, err := qs.InsertSubtreeRightSibling(u.Node, u.Fragment)
+		if err == nil {
+			fmt.Fprintf(w, "  (new subtree %d)\n", v)
 		}
 		return m, err
 	default:

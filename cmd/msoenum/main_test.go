@@ -48,6 +48,32 @@ func TestBatchMode(t *testing.T) {
 	}
 }
 
+// TestStructuralEdits smoke-tests the structural edit syntax: a graft,
+// a subtree move and a subtree delete, per-edit and batched.
+func TestStructuralEdits(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (a))", "-query", "select:b",
+		"-edits", "insertSub 2 (a (b) (b)); moveSub 1 2; deleteSub 3")
+	// Graft adds two b-nodes (3 total), the move keeps the count, the
+	// subtree delete removes the grafted pair (1 left).
+	if !strings.Contains(out, "(new subtree 3)") {
+		t.Fatalf("missing graft root ID:\n%s", out)
+	}
+	for _, want := range []string{"1 result(s)", "3 result(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runOut(t, "-tree", "(a (b) (a))", "-query", "select:b", "-batch",
+		"-edits", "insertSubR 1 (a (b)); moveSubR 3 1; deleteSub 1")
+	if !strings.Contains(out, "after batch of 3 edits") {
+		t.Fatalf("unexpected batch output:\n%s", out)
+	}
+	if !strings.Contains(out, "1 result(s)") {
+		t.Fatalf("unexpected result count:\n%s", out)
+	}
+}
+
 // TestMultiQuery runs two standing queries over one edit stream: both
 // blocks must appear, labeled, and both must see the edit.
 func TestMultiQuery(t *testing.T) {

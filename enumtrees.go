@@ -50,6 +50,27 @@
 //	    {Op: enumtrees.OpInsertFirstChild, Node: 0, Label: "a"},
 //	})
 //
+// # Structural edits
+//
+// Beyond the single-leaf edits of Definition 7.1, the engines accept
+// STRUCTURAL updates that splice whole subterms: subtree delete, subtree
+// move and subtree graft on trees, range move/insert/delete and concat
+// on words. A move relocates the subtree (or letter range) as one shared
+// piece — node IDs are preserved, the per-query repair cost is
+// O(log n + boundary) regardless of the moved size, and the maintained
+// term is rebalanced back into its logarithmic height budget by
+// scapegoat rebuilding. Bulk construction of an n-leaf document is O(n).
+//
+//	eng.ApplyBatch([]enumtrees.Update{
+//	    {Op: enumtrees.OpMoveSubtreeFirstChild, Node: sec, Dest: doc},
+//	    {Op: enumtrees.OpDeleteSubtree, Node: appendix},
+//	    {Op: enumtrees.OpInsertSubtreeRightSibling, Node: fig, Fragment: frag},
+//	})
+//	weng.ApplyBatch([]enumtrees.Update{
+//	    {Op: enumtrees.OpMoveRange, From: 0, K: 3, To: 8},
+//	    {Op: enumtrees.OpConcat, Labels: []enumtrees.Label{"a", "b"}},
+//	})
+//
 // # Counting and stateless pagination
 //
 // Snapshots also answer aggregates and ranked access without
@@ -285,6 +306,33 @@ const (
 	OpInsertAfter = engine.OpInsertAfter
 	// OpInsertBefore inserts a letter before the given one (words).
 	OpInsertBefore = engine.OpInsertBefore
+
+	// Structural edits: whole subtrees (trees) and letter ranges (words)
+	// in one O(log n + boundary) splice — see DESIGN.md §10.
+
+	// OpDeleteSubtree removes the whole subtree of Node (trees).
+	OpDeleteSubtree = engine.OpDeleteSubtree
+	// OpMoveSubtreeFirstChild relocates the subtree of Node to be the
+	// first child subtree of Dest, preserving node IDs (trees).
+	OpMoveSubtreeFirstChild = engine.OpMoveSubtreeFirstChild
+	// OpMoveSubtreeRightSibling relocates the subtree of Node to be the
+	// right-sibling subtree of Dest, preserving node IDs (trees).
+	OpMoveSubtreeRightSibling = engine.OpMoveSubtreeRightSibling
+	// OpInsertSubtreeFirstChild grafts a copy of Fragment as the first
+	// child subtree of Node (trees).
+	OpInsertSubtreeFirstChild = engine.OpInsertSubtreeFirstChild
+	// OpInsertSubtreeRightSibling grafts a copy of Fragment as the
+	// right-sibling subtree of Node (trees).
+	OpInsertSubtreeRightSibling = engine.OpInsertSubtreeRightSibling
+	// OpMoveRange moves the K letters at position From after position To
+	// of the remaining word, To = -1 prepending (words).
+	OpMoveRange = engine.OpMoveRange
+	// OpInsertRange inserts Labels at position From (words).
+	OpInsertRange = engine.OpInsertRange
+	// OpDeleteRange removes the K letters at position From (words).
+	OpDeleteRange = engine.OpDeleteRange
+	// OpConcat appends Labels at the end of the word (words).
+	OpConcat = engine.OpConcat
 )
 
 // NewEngine preprocesses a tree and a query into a snapshot-isolated

@@ -89,6 +89,50 @@ func (r *RebuildEnumerator) Delete(id tree.NodeID) error {
 	return r.rebuild()
 }
 
+// DeleteSubtree edits the tree and rebuilds from scratch.
+func (r *RebuildEnumerator) DeleteSubtree(id tree.NodeID) error {
+	if _, _, err := r.t.DeleteSubtree(id); err != nil {
+		return err
+	}
+	return r.rebuild()
+}
+
+// MoveSubtreeFirstChild edits the tree and rebuilds from scratch.
+func (r *RebuildEnumerator) MoveSubtreeFirstChild(id, dest tree.NodeID) error {
+	if err := r.t.MoveSubtreeFirstChild(id, dest); err != nil {
+		return err
+	}
+	return r.rebuild()
+}
+
+// MoveSubtreeRightSibling edits the tree and rebuilds from scratch.
+func (r *RebuildEnumerator) MoveSubtreeRightSibling(id, dest tree.NodeID) error {
+	if err := r.t.MoveSubtreeRightSibling(id, dest); err != nil {
+		return err
+	}
+	return r.rebuild()
+}
+
+// InsertSubtreeFirstChild edits the tree and rebuilds from scratch. The
+// grafted copy's node IDs match the engine's only if both sides consume
+// IDs in lockstep, which holds when the same edit script drives both.
+func (r *RebuildEnumerator) InsertSubtreeFirstChild(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error) {
+	v, err := r.t.GraftFirstChild(id, frag)
+	if err != nil {
+		return 0, err
+	}
+	return v.ID, r.rebuild()
+}
+
+// InsertSubtreeRightSibling edits the tree and rebuilds from scratch.
+func (r *RebuildEnumerator) InsertSubtreeRightSibling(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error) {
+	v, err := r.t.GraftRightSibling(id, frag)
+	if err != nil {
+		return 0, err
+	}
+	return v.ID, r.rebuild()
+}
+
 // Results enumerates on the current structure.
 func (r *RebuildEnumerator) Results() iter.Seq[tree.Assignment] { return r.e.Results() }
 

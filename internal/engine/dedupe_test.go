@@ -202,12 +202,12 @@ func TestDedupeDifferentialRandom(t *testing.T) {
 	queries := []string{"select:b", "ancestor", "childpair", "path://a//b"}
 	for seed := int64(0); seed < 8; seed++ {
 		rng := rand.New(rand.NewSource(500 + seed))
-		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false)
+		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false, true)
 		t.Run(fmt.Sprintf("tree%d", seed), func(t *testing.T) { runDedupeVsNoDedupe(t, s) })
 	}
 	for seed := int64(0); seed < 3; seed++ {
 		rng := rand.New(rand.NewSource(600 + seed))
-		s := randomDiffScript(rng, "span", true)
+		s := randomDiffScript(rng, "span", true, true)
 		t.Run(fmt.Sprintf("word%d", seed), func(t *testing.T) { runDedupeVsNoDedupe(t, s) })
 	}
 }

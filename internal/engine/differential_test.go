@@ -37,6 +37,16 @@ import (
 //	                              // path:<expr> | span (words)
 //	batch relabel 0 b; insert 1 a // tree ops: relabel/insert/insertR/delete
 //	batch insertA 0 b; delete 2   // word ops: relabel/insertA/insertB/delete
+//	batch deleteSub 3             // structural tree ops: deleteSub <id>,
+//	batch moveSub 2 5             //   moveSub/moveSubR <id> <dest>,
+//	batch insertSub 1 (a (b))     //   insertSub/insertSubR <id> <sexpr>
+//	batch moveRange 1 2 3         // word range ops: moveRange <from> <k> <to>,
+//	batch insertRange 0 a b       //   insertRange <pos> <labels...>,
+//	batch deleteRange 2 2         //   deleteRange <from> <k>, concat <labels...>
+//
+// After every batch the maintained term's height budget is re-verified
+// on every node (Engine.CheckBalanceDeep), so the corpus doubles as the
+// balance-invariant oracle for structural edits.
 
 // resultKeys drains an enumeration into sorted assignment keys.
 func resultKeys(rs iter.Seq[tree.Assignment]) []string {
@@ -115,18 +125,100 @@ func parseDiffScript(text string) (*diffScript, error) {
 	return s, nil
 }
 
-// parseDiffEdit turns "relabel 3 b" into an Update (word ops use
-// insertA/insertB for engine.OpInsertAfter/engine.OpInsertBefore).
+// parseDiffEdit turns one edit directive into an Update: leaf ops
+// ("relabel 3 b", word insertA/insertB), structural tree ops
+// (deleteSub/moveSub/moveSubR/insertSub/insertSubR) and word range ops
+// (moveRange/insertRange/deleteRange/concat, positional).
 func parseDiffEdit(ed string) (engine.Update, error) {
 	f := strings.Fields(ed)
 	if len(f) < 2 {
 		return engine.Update{}, fmt.Errorf("malformed edit %q", ed)
+	}
+	ints := func(args ...string) ([]int, error) {
+		out := make([]int, len(args))
+		for i, a := range args {
+			v, err := strconv.Atoi(a)
+			if err != nil {
+				return nil, fmt.Errorf("edit %q: %w", ed, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	labels := func(args []string) []tree.Label {
+		out := make([]tree.Label, len(args))
+		for i, a := range args {
+			out[i] = tree.Label(a)
+		}
+		return out
+	}
+	// Word range ops take positions, not node IDs.
+	switch f[0] {
+	case "moveRange":
+		if len(f) != 4 {
+			return engine.Update{}, fmt.Errorf("edit %q needs from k to", ed)
+		}
+		v, err := ints(f[1], f[2], f[3])
+		if err != nil {
+			return engine.Update{}, err
+		}
+		return engine.Update{Op: engine.OpMoveRange, From: v[0], K: v[1], To: v[2]}, nil
+	case "insertRange":
+		if len(f) < 3 {
+			return engine.Update{}, fmt.Errorf("edit %q needs pos labels", ed)
+		}
+		v, err := ints(f[1])
+		if err != nil {
+			return engine.Update{}, err
+		}
+		return engine.Update{Op: engine.OpInsertRange, From: v[0], Labels: labels(f[2:])}, nil
+	case "deleteRange":
+		if len(f) != 3 {
+			return engine.Update{}, fmt.Errorf("edit %q needs from k", ed)
+		}
+		v, err := ints(f[1], f[2])
+		if err != nil {
+			return engine.Update{}, err
+		}
+		return engine.Update{Op: engine.OpDeleteRange, From: v[0], K: v[1]}, nil
+	case "concat":
+		return engine.Update{Op: engine.OpConcat, Labels: labels(f[1:])}, nil
 	}
 	id, err := strconv.Atoi(f[1])
 	if err != nil {
 		return engine.Update{}, err
 	}
 	u := engine.Update{Node: tree.NodeID(id)}
+	switch f[0] {
+	case "deleteSub":
+		u.Op = engine.OpDeleteSubtree
+		return u, nil
+	case "moveSub", "moveSubR":
+		if len(f) != 3 {
+			return engine.Update{}, fmt.Errorf("edit %q needs id dest", ed)
+		}
+		v, err := ints(f[2])
+		if err != nil {
+			return engine.Update{}, err
+		}
+		u.Op = engine.OpMoveSubtreeFirstChild
+		if f[0] == "moveSubR" {
+			u.Op = engine.OpMoveSubtreeRightSibling
+		}
+		u.Dest = tree.NodeID(v[0])
+		return u, nil
+	case "insertSub", "insertSubR":
+		frag, err := tree.ParseUnranked(strings.Join(f[2:], " "))
+		if err != nil {
+			return engine.Update{}, fmt.Errorf("edit %q fragment: %w", ed, err)
+		}
+		u.Op = engine.OpInsertSubtreeFirstChild
+		if f[0] == "insertSubR" {
+			u.Op = engine.OpInsertSubtreeRightSibling
+		}
+		u.Fragment = frag
+		return u, nil
+	}
 	ops := map[string]engine.UpdateOp{
 		"relabel": engine.OpRelabel, "insert": engine.OpInsertFirstChild, "insertR": engine.OpInsertRightSibling,
 		"insertA": engine.OpInsertAfter, "insertB": engine.OpInsertBefore, "delete": engine.OpDelete,
@@ -211,6 +303,9 @@ func runDiffScript(t *testing.T, s *diffScript) {
 		if err != nil {
 			t.Fatalf("batch %d: %v\nscript:\n%s", bi, err, s)
 		}
+		if err := e.Set().CheckBalanceDeep(); err != nil {
+			t.Fatalf("batch %d: height budget violated: %v\nscript:\n%s", bi, err, s)
+		}
 		for _, u := range batch {
 			if err := applyOracleEdit(oracle, u); err != nil {
 				t.Fatalf("oracle batch %d: %v\nscript:\n%s", bi, err, s)
@@ -232,6 +327,18 @@ func applyOracleEdit(o *baseline.RebuildEnumerator, u engine.Update) error {
 		return err
 	case engine.OpDelete:
 		return o.Delete(u.Node)
+	case engine.OpDeleteSubtree:
+		return o.DeleteSubtree(u.Node)
+	case engine.OpMoveSubtreeFirstChild:
+		return o.MoveSubtreeFirstChild(u.Node, u.Dest)
+	case engine.OpMoveSubtreeRightSibling:
+		return o.MoveSubtreeRightSibling(u.Node, u.Dest)
+	case engine.OpInsertSubtreeFirstChild:
+		_, err := o.InsertSubtreeFirstChild(u.Node, u.Fragment)
+		return err
+	case engine.OpInsertSubtreeRightSibling:
+		_, err := o.InsertSubtreeRightSibling(u.Node, u.Fragment)
+		return err
 	}
 	return fmt.Errorf("bad oracle op %v", u.Op)
 }
@@ -268,6 +375,27 @@ func checkAgainstOracle(t *testing.T, s *diffScript, step int, snap *engine.Snap
 	}
 	if _, err := snap.At(len(drained)); err == nil {
 		t.Fatalf("step %d: At past end succeeded\nscript:\n%s", step, s)
+	}
+	// Page windows must agree with the enumeration order, including a
+	// window running past the end (short page, never an error).
+	n := len(drained)
+	for _, win := range [][2]int{{0, n + 1}, {n / 3, 2}, {n, 3}} {
+		off, lim := win[0], win[1]
+		if lim <= 0 {
+			continue
+		}
+		page := snap.Page(off, lim)
+		end := min(off+lim, n)
+		if len(page) != end-off {
+			t.Fatalf("step %d: Page(%d,%d) returned %d answers, want %d\nscript:\n%s",
+				step, off, lim, len(page), end-off, s)
+		}
+		for i, a := range page {
+			if a.Key() != drained[off+i].Key() {
+				t.Fatalf("step %d: Page(%d,%d)[%d] = %v, Results[%d] = %v\nscript:\n%s",
+					step, off, lim, i, a, off+i, drained[off+i], s)
+			}
+		}
 	}
 }
 
@@ -315,6 +443,9 @@ func runDiffWord(t *testing.T, s *diffScript) {
 		if err != nil {
 			t.Fatalf("batch %d: %v\nscript:\n%s", bi, err, s)
 		}
+		if err := e.Set().CheckBalanceDeep(); err != nil {
+			t.Fatalf("batch %d: height budget violated: %v\nscript:\n%s", bi, err, s)
+		}
 		checkAgainstOracle(t, s, bi+1, snap, oracleKeys())
 	}
 }
@@ -352,21 +483,47 @@ func TestDifferentialOracleRandom(t *testing.T) {
 	queries := []string{"select:b", "ancestor", "childpair", "path://a//b"}
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(100 + seed))
-		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false)
+		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false, false)
 		t.Run(fmt.Sprintf("tree%d", seed), func(t *testing.T) { runDiffScript(t, s) })
 	}
 	for seed := int64(0); seed < 3; seed++ {
 		rng := rand.New(rand.NewSource(200 + seed))
-		s := randomDiffScript(rng, "span", true)
+		s := randomDiffScript(rng, "span", true, false)
+		t.Run(fmt.Sprintf("word%d", seed), func(t *testing.T) { runDiffScript(t, s) })
+	}
+}
+
+// TestDifferentialOracleStructural is the structural half of the random
+// oracle: weighted scripts where roughly half the edits are subtree
+// grafts, moves and deletes (trees) or range moves, inserts, deletes and
+// concats (words), against ambiguous and unambiguous automata. The
+// height budget is invariant-checked after every batch (runDiffScript).
+func TestDifferentialOracleStructural(t *testing.T) {
+	queries := []string{"select:b", "ancestor", "childpair", "path://a//b"}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false, true)
+		t.Run(fmt.Sprintf("tree%d", seed), func(t *testing.T) { runDiffScript(t, s) })
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(400 + seed))
+		s := randomDiffScript(rng, "span", true, true)
 		t.Run(fmt.Sprintf("word%d", seed), func(t *testing.T) { runDiffScript(t, s) })
 	}
 }
 
 // randomDiffScript builds a random script by simulating the document so
-// every generated edit is valid when replayed.
-func randomDiffScript(rng *rand.Rand, query string, isWord bool) *diffScript {
+// every generated edit is valid when replayed. With structural set, the
+// draw is weighted half-and-half between leaf and structural edits —
+// the fix for the old relabel-dominated scripts, which structurally
+// exercised nothing but single-leaf splices.
+func randomDiffScript(rng *rand.Rand, query string, isWord, structural bool) *diffScript {
 	labels := []string{"a", "b", "c"}
 	pick := func() string { return labels[rng.Intn(len(labels))] }
+	kinds := 4
+	if structural {
+		kinds = 8
+	}
 	s := &diffScript{isWord: isWord, query: query}
 	if isWord {
 		n := 5 + rng.Intn(10)
@@ -381,7 +538,7 @@ func randomDiffScript(rng *rand.Rand, query string, isWord bool) *diffScript {
 			for k := 0; k < 1+rng.Intn(3); k++ {
 				i := rng.Intn(len(sim))
 				id := sim[i]
-				switch rng.Intn(4) {
+				switch rng.Intn(kinds) {
 				case 0:
 					batch = append(batch, fmt.Sprintf("relabel %d %s", id, pick()))
 				case 1:
@@ -392,11 +549,49 @@ func randomDiffScript(rng *rand.Rand, query string, isWord bool) *diffScript {
 					batch = append(batch, fmt.Sprintf("insertB %d %s", id, pick()))
 					sim = append(sim[:i], append([]int{next}, sim[i:]...)...)
 					next++
-				default:
+				case 3:
 					if len(sim) > 1 {
 						batch = append(batch, fmt.Sprintf("delete %d", id))
 						sim = append(sim[:i], sim[i+1:]...)
 					}
+				case 4: // moveRange
+					from := rng.Intn(len(sim))
+					k := 1 + rng.Intn(len(sim)-from)
+					rest := len(sim) - k
+					to := rng.Intn(rest+1) - 1
+					batch = append(batch, fmt.Sprintf("moveRange %d %d %d", from, k, to))
+					block := slices.Clone(sim[from : from+k])
+					remain := append(slices.Clone(sim[:from]), sim[from+k:]...)
+					sim = slices.Concat(remain[:to+1], block, remain[to+1:])
+				case 5: // insertRange
+					pos := rng.Intn(len(sim) + 1)
+					m := 1 + rng.Intn(3)
+					parts := make([]string, m)
+					fresh := make([]int, m)
+					for j := 0; j < m; j++ {
+						parts[j] = pick()
+						fresh[j] = next
+						next++
+					}
+					batch = append(batch, fmt.Sprintf("insertRange %d %s", pos, strings.Join(parts, " ")))
+					sim = slices.Concat(sim[:pos:pos], fresh, sim[pos:])
+				case 6: // deleteRange (word must stay nonempty)
+					if len(sim) < 2 {
+						continue
+					}
+					from := rng.Intn(len(sim) - 1)
+					k := 1 + rng.Intn(min(len(sim)-from, len(sim)-1))
+					batch = append(batch, fmt.Sprintf("deleteRange %d %d", from, k))
+					sim = slices.Concat(sim[:from:from], sim[from+k:])
+				default: // concat
+					m := 1 + rng.Intn(3)
+					parts := make([]string, m)
+					for j := 0; j < m; j++ {
+						parts[j] = pick()
+						sim = append(sim, next)
+						next++
+					}
+					batch = append(batch, "concat "+strings.Join(parts, " "))
 				}
 			}
 			if len(batch) > 0 {
@@ -417,7 +612,7 @@ func randomDiffScript(rng *rand.Rand, query string, isWord bool) *diffScript {
 		for k := 0; k < 1+rng.Intn(3); k++ {
 			nodes := ut.Nodes()
 			nd := nodes[rng.Intn(len(nodes))]
-			switch rng.Intn(4) {
+			switch rng.Intn(kinds) {
 			case 0:
 				l := pick()
 				batch = append(batch, fmt.Sprintf("relabel %d %s", nd.ID, l))
@@ -438,10 +633,51 @@ func randomDiffScript(rng *rand.Rand, query string, isWord bool) *diffScript {
 						panic(err)
 					}
 				}
-			default:
+			case 3:
 				if nd.IsLeaf() && nd.Parent != nil {
 					batch = append(batch, fmt.Sprintf("delete %d", nd.ID))
 					if err := ut.Delete(nd.ID); err != nil {
+						panic(err)
+					}
+				}
+			case 4: // deleteSub (keep at least half the tree)
+				if nd.Parent != nil && ut.SubtreeSize(nd.ID) <= ut.Size()/2 {
+					batch = append(batch, fmt.Sprintf("deleteSub %d", nd.ID))
+					if _, _, err := ut.DeleteSubtree(nd.ID); err != nil {
+						panic(err)
+					}
+				}
+			case 5: // moveSub / moveSubR
+				dest := nodes[rng.Intn(len(nodes))]
+				if nd.Parent == nil || ut.InSubtree(nd.ID, dest.ID) {
+					continue
+				}
+				if rng.Intn(2) == 0 || dest.Parent == nil {
+					batch = append(batch, fmt.Sprintf("moveSub %d %d", nd.ID, dest.ID))
+					if err := ut.MoveSubtreeFirstChild(nd.ID, dest.ID); err != nil {
+						panic(err)
+					}
+				} else {
+					batch = append(batch, fmt.Sprintf("moveSubR %d %d", nd.ID, dest.ID))
+					if err := ut.MoveSubtreeRightSibling(nd.ID, dest.ID); err != nil {
+						panic(err)
+					}
+				}
+			default: // insertSub / insertSubR
+				frag := tva.RandomUnrankedTree(rng, 1+rng.Intn(4), []tree.Label{"a", "b", "c"})
+				fs := frag.String()
+				parsed, err := tree.ParseUnranked(fs)
+				if err != nil {
+					panic(err)
+				}
+				if rng.Intn(2) == 0 || nd.Parent == nil {
+					batch = append(batch, fmt.Sprintf("insertSub %d %s", nd.ID, fs))
+					if _, err := ut.GraftFirstChild(nd.ID, parsed); err != nil {
+						panic(err)
+					}
+				} else {
+					batch = append(batch, fmt.Sprintf("insertSubR %d %s", nd.ID, fs))
+					if _, err := ut.GraftRightSibling(nd.ID, parsed); err != nil {
 						panic(err)
 					}
 				}

@@ -172,6 +172,9 @@ type Source interface {
 	DrainDelta() forest.TrunkDelta
 	// Rebalances returns the cumulative number of scapegoat rebuilds.
 	Rebalances() int
+	// CheckBalanceDeep verifies the height budget of EVERY term node
+	// (O(n); the differential suites call it after each batch).
+	CheckBalanceDeep() error
 }
 
 // pipeKey identifies the work a pipeline does, for the multi-query
@@ -348,6 +351,15 @@ func (p *pipeline) replay(delta forest.TrunkDelta) {
 		}
 		p.attachNode(n)
 	}
+	// Moved roots: a structural edit relocated these whole subterms
+	// without rebuilding them, so every node under a moved root keeps its
+	// frozen (box, index, counts) unit untouched — no work, only the reuse
+	// credit (a subterm of weight w is a full binary term of 2w−1 nodes).
+	for _, m := range delta.Moved {
+		if _, ok := p.attach[m]; ok {
+			p.boxesReused += 2*m.Weight - 1
+		}
+	}
 	for _, n := range delta.Retired {
 		if ib, ok := p.attach[n]; ok {
 			if !kept[ib.Box] {
@@ -469,6 +481,12 @@ func (e *Engine) initEngine(src Source) {
 	e.snap.Store(&MultiSnapshot{snaps: map[QueryID]*Snapshot{}})
 	e.publishStats()
 }
+
+// CheckBalanceDeep verifies the height budget of every node of the
+// current term: the scapegoat invariant the structural edits must
+// maintain. O(n) — a test/differential-oracle hook, not a production
+// call. Writer-side: callers must not race it with mutations.
+func (e *Engine) CheckBalanceDeep() error { return e.src.CheckBalanceDeep() }
 
 // SetWorkers bounds the worker pool of the parallel write path: at most
 // n goroutines fan each trunk delta out across the standing queries'

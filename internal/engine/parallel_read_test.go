@@ -198,7 +198,7 @@ func TestParallelAllMatchesSequentialRandom(t *testing.T) {
 	queries := []string{"select:b", "ancestor", "childpair", "path://a//b"}
 	for seed := int64(0); seed < 4; seed++ {
 		rng := rand.New(rand.NewSource(700 + seed))
-		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false)
+		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false, true)
 		t.Run(fmt.Sprintf("tree%d", seed), func(t *testing.T) {
 			forEachScriptSnapshot(t, s, enumerate.ModeIndexed, func(step int, snap *engine.Snapshot) {
 				checkParallelReads(t, s, step, snap)
@@ -206,7 +206,7 @@ func TestParallelAllMatchesSequentialRandom(t *testing.T) {
 		})
 	}
 	rng := rand.New(rand.NewSource(800))
-	s := randomDiffScript(rng, "span", true)
+	s := randomDiffScript(rng, "span", true, true)
 	t.Run("word", func(t *testing.T) {
 		forEachScriptSnapshot(t, s, enumerate.ModeIndexed, func(step int, snap *engine.Snapshot) {
 			checkParallelReads(t, s, step, snap)

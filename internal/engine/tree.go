@@ -92,6 +92,53 @@ func (s *TreeSet) Delete(id tree.NodeID) (*MultiSnapshot, error) {
 	return s.Mutate(func() error { return s.f.Delete(id) })
 }
 
+// DeleteSubtree implements deleteSub(n): the whole subtree of n is
+// removed and one MultiSnapshot is published; repair cost is O(log|T| +
+// releasing the dropped boxes) per query.
+func (s *TreeSet) DeleteSubtree(id tree.NodeID) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.f.DeleteSubtree(id) })
+}
+
+// MoveSubtreeFirstChild implements moveSub(n, d): the subtree of n
+// becomes the first child subtree of d. The moved subtree's frozen
+// boxes are reused wholesale (TrunkDelta.Moved), so per-query repair is
+// O(log|T| + boundary), independent of the subtree size.
+func (s *TreeSet) MoveSubtreeFirstChild(id, dest tree.NodeID) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.f.MoveSubtreeFirstChild(id, dest) })
+}
+
+// MoveSubtreeRightSibling implements moveSubR(n, d): the subtree of n
+// becomes the right-sibling subtree of d (same reuse as
+// MoveSubtreeFirstChild).
+func (s *TreeSet) MoveSubtreeRightSibling(id, dest tree.NodeID) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.f.MoveSubtreeRightSibling(id, dest) })
+}
+
+// InsertSubtreeFirstChild implements insertSub(n, F): a copy of the
+// fragment becomes the first child subtree of n (bulk-built balanced
+// term, one splice). Returns the copy's root ID.
+func (s *TreeSet) InsertSubtreeFirstChild(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, *MultiSnapshot, error) {
+	var v tree.NodeID
+	m, err := s.Mutate(func() error {
+		var err error
+		v, err = s.f.InsertSubtreeFirstChild(id, frag)
+		return err
+	})
+	return v, m, err
+}
+
+// InsertSubtreeRightSibling implements insertSubR(n, F): a copy of the
+// fragment becomes the right-sibling subtree of n.
+func (s *TreeSet) InsertSubtreeRightSibling(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, *MultiSnapshot, error) {
+	var v tree.NodeID
+	m, err := s.Mutate(func() error {
+		var err error
+		v, err = s.f.InsertSubtreeRightSibling(id, frag)
+		return err
+	})
+	return v, m, err
+}
+
 // ApplyBatch applies the updates in order under one writer-lock hold and
 // publishes ONE MultiSnapshot for the whole batch. Box and index repair
 // is amortized across the batch per query: trunk nodes dirtied by
@@ -123,13 +170,25 @@ func (s *TreeSet) ApplyBatch(batch []Update) (*MultiSnapshot, []tree.NodeID, err
 				v, err = s.f.InsertRightSibling(u.Node, u.Label)
 			case OpDelete:
 				err = s.f.Delete(u.Node)
+			case OpDeleteSubtree:
+				err = s.f.DeleteSubtree(u.Node)
+			case OpMoveSubtreeFirstChild:
+				err = s.f.MoveSubtreeFirstChild(u.Node, u.Dest)
+			case OpMoveSubtreeRightSibling:
+				err = s.f.MoveSubtreeRightSibling(u.Node, u.Dest)
+			case OpInsertSubtreeFirstChild:
+				v, err = s.f.InsertSubtreeFirstChild(u.Node, u.Fragment)
+			case OpInsertSubtreeRightSibling:
+				v, err = s.f.InsertSubtreeRightSibling(u.Node, u.Fragment)
 			default:
 				err = fmt.Errorf("engine: update %v is not a tree operation", u.Op)
 			}
 			if err != nil {
 				return fmt.Errorf("engine: batch update %d (%v n%d): %w", i, u.Op, u.Node, err)
 			}
-			if u.Op == OpInsertFirstChild || u.Op == OpInsertRightSibling {
+			switch u.Op {
+			case OpInsertFirstChild, OpInsertRightSibling,
+				OpInsertSubtreeFirstChild, OpInsertSubtreeRightSibling:
 				ids[i] = v
 			}
 		}
@@ -200,6 +259,40 @@ func (e *TreeEngine) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.Node
 func (e *TreeEngine) Delete(id tree.NodeID) (*Snapshot, error) {
 	m, err := e.set.Delete(id)
 	return e.project(m), err
+}
+
+// DeleteSubtree implements deleteSub(n) (see TreeSet.DeleteSubtree).
+func (e *TreeEngine) DeleteSubtree(id tree.NodeID) (*Snapshot, error) {
+	m, err := e.set.DeleteSubtree(id)
+	return e.project(m), err
+}
+
+// MoveSubtreeFirstChild implements moveSub(n, d) (see
+// TreeSet.MoveSubtreeFirstChild).
+func (e *TreeEngine) MoveSubtreeFirstChild(id, dest tree.NodeID) (*Snapshot, error) {
+	m, err := e.set.MoveSubtreeFirstChild(id, dest)
+	return e.project(m), err
+}
+
+// MoveSubtreeRightSibling implements moveSubR(n, d) (see
+// TreeSet.MoveSubtreeRightSibling).
+func (e *TreeEngine) MoveSubtreeRightSibling(id, dest tree.NodeID) (*Snapshot, error) {
+	m, err := e.set.MoveSubtreeRightSibling(id, dest)
+	return e.project(m), err
+}
+
+// InsertSubtreeFirstChild implements insertSub(n, F), returning the
+// fragment copy's root ID.
+func (e *TreeEngine) InsertSubtreeFirstChild(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, *Snapshot, error) {
+	v, m, err := e.set.InsertSubtreeFirstChild(id, frag)
+	return v, e.project(m), err
+}
+
+// InsertSubtreeRightSibling implements insertSubR(n, F), returning the
+// fragment copy's root ID.
+func (e *TreeEngine) InsertSubtreeRightSibling(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, *Snapshot, error) {
+	v, m, err := e.set.InsertSubtreeRightSibling(id, frag)
+	return v, e.project(m), err
 }
 
 // ApplyBatch applies the updates in order under one writer-lock hold and

@@ -92,11 +92,40 @@ func (s *WordSet) Delete(id tree.NodeID) (*MultiSnapshot, error) {
 // MoveRange is the bulk word update sketched in the paper's conclusion:
 // it moves the k letters starting at position from so that they follow
 // position dest of the remaining word (dest = -1 prepends). Letter IDs
-// are preserved. The whole move publishes ONE MultiSnapshot: the
-// O(k·log n) box repair is amortized over a single Drain, the same
-// batching as ApplyBatch.
+// are preserved and the range travels as ONE shared rope piece
+// (TrunkDelta.Moved), so per-query repair is O(log n) regardless of k.
 func (s *WordSet) MoveRange(from, k, dest int) (*MultiSnapshot, error) {
 	return s.Mutate(func() error { return s.w.MoveRange(from, k, dest) })
+}
+
+// InsertRange inserts the labels at position pos (one bulk-built
+// balanced piece, one publication), returning the fresh letter IDs.
+func (s *WordSet) InsertRange(pos int, labels []tree.Label) ([]tree.NodeID, *MultiSnapshot, error) {
+	var ids []tree.NodeID
+	m, err := s.Mutate(func() error {
+		var err error
+		ids, err = s.w.InsertRange(pos, labels)
+		return err
+	})
+	return ids, m, err
+}
+
+// Concat appends the labels at the end of the word (forest
+// concatenation), returning the fresh letter IDs.
+func (s *WordSet) Concat(labels []tree.Label) ([]tree.NodeID, *MultiSnapshot, error) {
+	var ids []tree.NodeID
+	m, err := s.Mutate(func() error {
+		var err error
+		ids, err = s.w.Concat(labels)
+		return err
+	})
+	return ids, m, err
+}
+
+// DeleteRange removes the k letters from position from; the word must
+// stay nonempty.
+func (s *WordSet) DeleteRange(from, k int) (*MultiSnapshot, error) {
+	return s.Mutate(func() error { return s.w.DeleteRange(from, k) })
 }
 
 // ApplyBatch applies the letter updates in order under one writer-lock
@@ -121,6 +150,14 @@ func (s *WordSet) ApplyBatch(batch []Update) (*MultiSnapshot, []tree.NodeID, err
 				v, err = s.w.InsertBefore(u.Node, u.Label)
 			case OpDelete:
 				err = s.w.Delete(u.Node)
+			case OpMoveRange:
+				err = s.w.MoveRange(u.From, u.K, u.To)
+			case OpInsertRange:
+				_, err = s.w.InsertRange(u.From, u.Labels)
+			case OpDeleteRange:
+				err = s.w.DeleteRange(u.From, u.K)
+			case OpConcat:
+				_, err = s.w.Concat(u.Labels)
 			default:
 				err = fmt.Errorf("engine: update %v is not a word operation", u.Op)
 			}
@@ -201,6 +238,25 @@ func (e *WordEngine) Delete(id tree.NodeID) (*Snapshot, error) {
 // MoveRange moves k letters (see WordSet.MoveRange), publishing once.
 func (e *WordEngine) MoveRange(from, k, dest int) (*Snapshot, error) {
 	m, err := e.set.MoveRange(from, k, dest)
+	return e.project(m), err
+}
+
+// InsertRange inserts labels at a position (see WordSet.InsertRange).
+func (e *WordEngine) InsertRange(pos int, labels []tree.Label) ([]tree.NodeID, *Snapshot, error) {
+	ids, m, err := e.set.InsertRange(pos, labels)
+	return ids, e.project(m), err
+}
+
+// Concat appends labels at the end (see WordSet.Concat).
+func (e *WordEngine) Concat(labels []tree.Label) ([]tree.NodeID, *Snapshot, error) {
+	ids, m, err := e.set.Concat(labels)
+	return ids, e.project(m), err
+}
+
+// DeleteRange removes k letters from a position (see
+// WordSet.DeleteRange).
+func (e *WordEngine) DeleteRange(from, k int) (*Snapshot, error) {
+	m, err := e.set.DeleteRange(from, k)
 	return e.project(m), err
 }
 

@@ -148,6 +148,33 @@ func (m treeMutator) Delete(id tree.NodeID) error {
 	return err
 }
 
+// The structural half of workload.StructuralTreeMutator.
+
+func (m treeMutator) DeleteSubtree(id tree.NodeID) error {
+	_, err := m.e.DeleteSubtree(id)
+	return err
+}
+
+func (m treeMutator) MoveSubtreeFirstChild(id, dest tree.NodeID) error {
+	_, err := m.e.MoveSubtreeFirstChild(id, dest)
+	return err
+}
+
+func (m treeMutator) MoveSubtreeRightSibling(id, dest tree.NodeID) error {
+	_, err := m.e.MoveSubtreeRightSibling(id, dest)
+	return err
+}
+
+func (m treeMutator) InsertSubtreeFirstChild(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error) {
+	v, _, err := m.e.InsertSubtreeFirstChild(id, frag)
+	return v, err
+}
+
+func (m treeMutator) InsertSubtreeRightSibling(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error) {
+	v, _, err := m.e.InsertSubtreeRightSibling(id, frag)
+	return v, err
+}
+
 // Table renders the baseline as a markdown table for the benchtables
 // output.
 func (b ConcurrentBaseline) Table() Table {

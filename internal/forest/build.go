@@ -8,13 +8,14 @@ import (
 
 // Forest maintains an unranked tree together with its balanced forest
 // algebra term (the encoding ω of Lemma 7.4), under the edit operations
-// of Definition 7.1. It also tracks which term nodes were created or
-// modified since the last Drain, in bottom-up order, so that the dynamic
-// engine can rebuild exactly the circuit boxes of the hollowing trunk
-// (Lemma 7.3).
+// of Definition 7.1 plus the structural edits (subtree insert, delete,
+// move — see structural.go). The embedded editCore tracks which term
+// nodes were created, superseded or relocated since the last DrainDelta,
+// in bottom-up order, so that the dynamic engine can rebuild exactly the
+// circuit boxes of the hollowing trunk (Lemma 7.3).
 type Forest struct {
+	editCore
 	Tree *tree.Unranked
-	Root *Node
 
 	// leafOf maps every tree node to its term leaf (aᵗ if childless, a□
 	// otherwise); the bijection φ of Lemma 7.4.
@@ -23,132 +24,36 @@ type Forest struct {
 	// or ApplyVH) whose right subterm represents exactly its children
 	// forest.
 	plugOp map[tree.NodeID]*Node
-
-	// created lists term nodes needing circuit-box (re)construction, in
-	// an order where children precede parents.
-	created []*Node
-	// retired lists term nodes dropped from the term by path copying
-	// since the last DrainRetired: the engine uses it to release the
-	// attachments (boxes, indexes) of superseded trunk nodes eagerly.
-	retired []*Node
-	// prev maps a fresh node to the pre-batch node it path-copied (the
-	// same term position, one edit earlier), resolved through intra-batch
-	// chains; TrunkDelta.Prev hands it to consumers so signature-pruned
-	// repair can compare a rebuilt trunk box against its predecessor.
-	prev map[*Node]*Node
-
-	// Height budget: rebuild a subterm when its height exceeds
-	// HeightFactor·log₂(weight+1) + HeightBase (scapegoat rule).
-	HeightFactor float64
-	HeightBase   int
-
-	// Rebuilds counts subterm rebuilds triggered by the height rule
-	// (exposed for the amortization experiments).
-	Rebuilds int
-	// RebuiltWeight accumulates the total weight of rebuilt subterms.
-	RebuiltWeight int
 }
 
-// New encodes the unranked tree as a balanced forest algebra term.
+// New encodes the unranked tree as a balanced forest algebra term. This
+// IS the bulk load: one weight-driven divide-and-conquer pass over the
+// document (O(n) term nodes, O(n log n) work for the split choices)
+// instead of n incremental inserts with n trunk repairs — BulkLoad is
+// the documented alias.
 func New(t *tree.Unranked) *Forest {
 	f := &Forest{
-		Tree:         t,
-		leafOf:       map[tree.NodeID]*Node{},
-		plugOp:       map[tree.NodeID]*Node{},
-		HeightFactor: 2.4,
-		HeightBase:   10,
+		editCore: editCore{HeightFactor: 2.4, HeightBase: 10},
+		Tree:     t,
+		leafOf:   map[tree.NodeID]*Node{},
+		plugOp:   map[tree.NodeID]*Node{},
 	}
+	f.owner = f
 	f.Root = f.buildCluster([]*tree.UNode{t.Root}, nil)
 	return f
 }
 
-// record registers a node as created/modified for the dirty protocol.
-func (f *Forest) record(n *Node) { f.created = append(f.created, n) }
+// BulkLoad builds the balanced term for a whole document directly — the
+// structural-edit counterpart of n sequential inserts. It is New under
+// the name the edit language uses; the E-struct experiment measures the
+// gap against the incremental path.
+func BulkLoad(t *tree.Unranked) *Forest { return New(t) }
 
-// recordPrev notes that fresh supersedes old at the same term position.
-// Chains within one batch are resolved at record time (entries always
-// point at nodes that predate the batch, the ones consumers may hold
-// attachments for), so a lookup is O(1) and a batch of k edits over one
-// trunk maps its final copies to the pre-batch originals.
-func (f *Forest) recordPrev(fresh, old *Node) {
-	if f.prev == nil {
-		f.prev = map[*Node]*Node{}
-	}
-	if orig, ok := f.prev[old]; ok {
-		old = orig
-	}
-	f.prev[fresh] = old
-}
-
-// retire registers a node as dropped from the term. Shared subtrees are
-// never retired — only the nodes a path copy or rebuild actually
-// replaced. Nodes created and superseded within the same batch may be
-// retired too; consumers treat unknown nodes as a no-op.
-func (f *Forest) retire(n *Node) { f.retired = append(f.retired, n) }
-
-// retireSubterm retires a whole subterm (used when a scapegoat rebuild
-// replaces it with a freshly built cluster that shares nothing).
-func (f *Forest) retireSubterm(n *Node) {
-	if n == nil {
-		return
-	}
-	f.retireSubterm(n.Left)
-	f.retireSubterm(n.Right)
-	f.retired = append(f.retired, n)
-}
-
-// DrainRetired returns the nodes dropped from the term since the last
-// call and resets the list. Consumed by the dynamic engine right after
-// Drain, to release superseded attachments without delay.
-func (f *Forest) DrainRetired() []*Node {
-	out := f.retired
-	f.retired = nil
-	return out
-}
-
-// Drain returns the nodes whose circuit boxes must be rebuilt, children
-// before parents and deduplicated, and resets the dirty list. The
-// returned slice includes all ancestors up to the root (their boxes
-// depend on rebuilt children). Deduplication keeps the LAST occurrence:
-// a scapegoat rebuild re-dirties ancestors after their first recording,
-// and only the final position respects the children-first order.
-func (f *Forest) Drain() []*Node {
-	last := map[*Node]int{}
-	for i, n := range f.created {
-		last[n] = i
-	}
-	var out []*Node
-	for i, n := range f.created {
-		if last[n] == i && f.attached(n) {
-			out = append(out, n)
-		}
-	}
-	f.created = f.created[:0]
-	return out
-}
-
-// attached reports whether the node is still part of the current term
-// (edits may create nodes that a subsequent rebuild in the same batch
-// discards).
-func (f *Forest) attached(n *Node) bool {
-	for x := n; ; x = x.Parent {
-		if x.Parent == nil {
-			return x == f.Root
-		}
-		if x.Parent.Left != x && x.Parent.Right != x {
-			return false
-		}
-	}
-}
+// joinInner is the editCore allocation hook (termOwner).
+func (f *Forest) joinInner(op Op, l, r *Node) *Node { return f.newInner(op, l, r) }
 
 // Leaf returns the term leaf of a tree node.
 func (f *Forest) Leaf(id tree.NodeID) *Node { return f.leafOf[id] }
-
-// heightBudget is the scapegoat threshold for a subterm of the given
-// weight.
-func (f *Forest) heightBudget(weight int) int {
-	return int(f.HeightFactor*math.Log2(float64(weight+1))) + f.HeightBase
-}
 
 // clusterSizes computes the number of cluster nodes in each subtree of
 // the cluster (children of the hole node are not part of the cluster).

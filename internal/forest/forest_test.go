@@ -71,7 +71,7 @@ func TestBuildDecodeIdentity(t *testing.T) {
 		}
 		// Drain after initial build covers every node exactly once,
 		// children first.
-		drained := f.Drain()
+		drained := f.DrainDelta().Fresh
 		seen := map[*Node]bool{}
 		for _, n := range drained {
 			if seen[n] {
@@ -142,7 +142,7 @@ func TestEditsPreserveDecode(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		ut := randomTree(rng, 1+rng.Intn(30))
 		f := New(ut)
-		f.Drain()
+		f.DrainDelta()
 		for step := 0; step < 60; step++ {
 			if !applyRandomEdit(rng, f) {
 				continue
@@ -162,7 +162,7 @@ func TestEditsPreserveDecode(t *testing.T) {
 				t.Fatalf("trial %d step %d: height %d > budget %d",
 					trial, step, f.Root.Height, bound)
 			}
-			trunk := f.Drain()
+			trunk := f.DrainDelta().Fresh
 			h := HollowingFromTrunk(trunk)
 			if h.TrunkSize() == 0 {
 				t.Fatalf("trial %d step %d: empty trunk after edit", trial, step)
@@ -196,14 +196,14 @@ func TestAmortizedTrunkLogarithmic(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	ut := randomTree(rng, 3000)
 	f := New(ut)
-	f.Drain()
+	f.DrainDelta()
 	edits, totalTrunk := 0, 0
 	for step := 0; step < 2000; step++ {
 		if !applyRandomEdit(rng, f) {
 			continue
 		}
 		edits++
-		totalTrunk += len(f.Drain())
+		totalTrunk += len(f.DrainDelta().Fresh)
 	}
 	avg := float64(totalTrunk) / float64(edits)
 	limit := 14 * math.Log2(float64(f.Tree.Size()))
@@ -268,7 +268,7 @@ func TestWordEditStormBalanced(t *testing.T) {
 	w, _ := NewWord([]tree.Label{"a"})
 	ref := []tree.Label{"a"}
 	refIDs := []tree.NodeID{0}
-	w.Drain()
+	w.DrainDelta()
 	for step := 0; step < 3000; step++ {
 		switch rng.Intn(3) {
 		case 0: // insert

@@ -3,7 +3,7 @@ package forest
 // Hollowing is the formal update language of Definition 7.2: a new trunk
 // of term nodes whose □-leaves are filled by reused subterms of the
 // previous term (the function η). The dynamic engine consumes the trunk
-// in children-first order (Forest.Drain); this type packages the same
+// in children-first order (TrunkDelta.Fresh); this type packages the same
 // information for inspection and for the trunk-size experiments.
 type Hollowing struct {
 	// Trunk lists the nodes of T′′ that are not □-leaves: the freshly
@@ -66,13 +66,23 @@ type TrunkDelta struct {
 	// consumers release their attachments. Unknown nodes (never attached,
 	// or created and dropped within one batch) are a no-op.
 	Retired []*Node
+	// Moved lists the roots of maximal subterms a structural edit of this
+	// batch relocated WITHOUT rebuilding (a moved subtree's wholesale-
+	// shared chunks, a rope move's shared range piece). Every node under a
+	// Moved root keeps its pointer identity, is neither Fresh nor Retired,
+	// and keeps whatever attachments a consumer froze for it — consumers
+	// only account for the reuse (the engine credits BoxesReused). Purely
+	// informational: skipping it costs nothing but accounting.
+	Moved []*Node
 	// Root is the term root after the batch.
 	Root *Node
 }
 
 // Empty reports whether the delta carries no trunk work (the batch
 // changed nothing, or the delta was already drained).
-func (d TrunkDelta) Empty() bool { return len(d.Fresh) == 0 && len(d.Retired) == 0 }
+func (d TrunkDelta) Empty() bool {
+	return len(d.Fresh) == 0 && len(d.Retired) == 0 && len(d.Moved) == 0
+}
 
 // PrevOf returns the reuse hint for Fresh[i], or nil.
 func (d TrunkDelta) PrevOf(i int) *Node {
@@ -94,11 +104,4 @@ func prevSlice(fresh []*Node, prev map[*Node]*Node) []*Node {
 	}
 	clear(prev)
 	return out
-}
-
-// DrainDelta drains the dirty protocol ONCE into an immutable TrunkDelta
-// (Drain + DrainRetired + the current root) and resets both lists.
-func (f *Forest) DrainDelta() TrunkDelta {
-	fresh := f.Drain()
-	return TrunkDelta{Fresh: fresh, Prev: prevSlice(fresh, f.prev), Retired: f.DrainRetired(), Root: f.Root}
 }

@@ -9,7 +9,7 @@ func TestScapegoatTriggersEventually(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	ut := randomTree(rng, 50)
 	f := New(ut)
-	f.Drain()
+	f.DrainDelta()
 	// Grow a deep path via repeated first-child inserts: must trigger
 	// rebuilds to keep the height budget.
 	cur := ut.Root.ID
@@ -19,7 +19,7 @@ func TestScapegoatTriggersEventually(t *testing.T) {
 			t.Fatal(err)
 		}
 		cur = v
-		f.Drain()
+		f.DrainDelta()
 	}
 	if f.Rebuilds == 0 {
 		t.Fatal("scapegoat never triggered on adversarial growth")

@@ -1,0 +1,396 @@
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Structural edits: subtree insert (graft), subtree delete, subtree
+// move, and the O(n) bulk load. They generalize the leaf edits of
+// Definition 7.1 from splicing a single fresh leaf to splicing a whole
+// subterm, with the SAME publication discipline: path copying along the
+// touched trunk, sharing everything else, scapegoat rebuilds when a
+// height budget is exceeded.
+//
+// The heart is subterm EXTRACTION: given the root n of a tree subtree
+// S(n), carve a forest-typed term `moved` that represents exactly S(n)
+// out of the current term, leaving a term `rest` for the remaining
+// document — creating only O(extraction-spine) fresh nodes and sharing
+// every untouched chunk of BOTH sides wholesale. The correctness rests
+// on the cluster invariant: every subterm's piece decodes to consecutive
+// sibling subtrees minus (if context-typed) one hole node's children
+// forest. A complete subtree S(n) therefore never straddles a horizontal
+// split, and the only way it can be torn apart is a vertical operator
+// whose hole lies INSIDE S(n) — the split cases below, which stitch the
+// two parts back together with one fresh vertical node while sharing the
+// plugged forest wholesale.
+//
+// Extraction never rebuilds (rebuilds read the underlying tree, which
+// must first be brought consistent); fresh extraction-spine nodes that
+// bust their height budget are collected and repaired afterwards by
+// editCore.structuralFixup. The ordering invariant for every structural
+// edit is therefore: (1) tree edit, (2) extraction — pure term surgery,
+// (3) insertion splice, (4) deferred scapegoat fixups.
+
+// extractor holds the per-edit state of one subterm extraction.
+type extractor struct {
+	f *Forest
+	n tree.NodeID // root of the extracted tree subtree
+
+	// onPath marks the term ancestors of leafOf[n] (inclusive), captured
+	// BEFORE any surgery: it steers the descent.
+	onPath map[*Node]bool
+	// memo caches subtree-membership verdicts per tree node; one edit's
+	// membership tests amortize to O(tree depth) total.
+	memo map[tree.NodeID]bool
+	// frag resolves tree nodes already purged from the tree map (subtree
+	// delete runs the tree edit first); nil for moves.
+	frag map[tree.NodeID]*tree.UNode
+
+	// cands collects fresh spine nodes that exceed their height budget,
+	// bottom-up; structuralFixup repairs them after the splice.
+	cands []*Node
+	// movedShared collects the maximal wholesale-shared chunks inside the
+	// extracted term — the roots TrunkDelta.Moved reports so consumers
+	// keep (and count) their frozen attachments.
+	movedShared []*Node
+}
+
+func (f *Forest) newExtractor(n tree.NodeID, frag map[tree.NodeID]*tree.UNode) *extractor {
+	ex := &extractor{
+		f:      f,
+		n:      n,
+		onPath: map[*Node]bool{},
+		memo:   map[tree.NodeID]bool{},
+		frag:   frag,
+	}
+	for x := f.leafOf[n]; x != nil; x = x.Parent {
+		ex.onPath[x] = true
+	}
+	return ex
+}
+
+func (ex *extractor) node(id tree.NodeID) *tree.UNode {
+	if ex.frag != nil {
+		if u, ok := ex.frag[id]; ok {
+			return u
+		}
+	}
+	return ex.f.Tree.Node(id)
+}
+
+// inS reports whether tree node id lies in S(n), by walking the parent
+// chain with memoization. Subtree moves relocate n but not the relative
+// membership of its descendants, so running after the tree edit is safe.
+func (ex *extractor) inS(id tree.NodeID) bool {
+	if id == ex.n {
+		return true
+	}
+	if v, ok := ex.memo[id]; ok {
+		return v
+	}
+	var chain []tree.NodeID
+	verdict := false
+	for u := ex.node(id); u != nil; u = u.Parent {
+		if u.ID == ex.n {
+			verdict = true
+			break
+		}
+		if v, ok := ex.memo[u.ID]; ok {
+			verdict = v
+			break
+		}
+		chain = append(chain, u.ID)
+	}
+	for _, c := range chain {
+		ex.memo[c] = verdict
+	}
+	return verdict
+}
+
+// join allocates a fresh inner node for the rest spine, tracking prev
+// hints and scapegoat candidates.
+func (ex *extractor) join(op Op, l, r *Node, old *Node) *Node {
+	nn := ex.f.newInner(op, l, r)
+	if old != nil {
+		ex.f.recordPrev(nn, old)
+	}
+	if nn.Height > ex.f.heightBudget(nn.Weight) {
+		ex.cands = append(ex.cands, nn)
+	}
+	return nn
+}
+
+// concatOp is the horizontal concatenation matching the operand types.
+func concatOp(l, r *Node) Op {
+	switch {
+	case l.IsContext():
+		return ConcatVH
+	case r.IsContext():
+		return ConcatHV
+	default:
+		return ConcatHH
+	}
+}
+
+// run extracts S(n) out of the current term: the remaining document
+// becomes the new f.Root and the forest-typed term for S(n) is returned.
+// n must not be the document root (the tree layer already rejects that),
+// so the rest side is never empty.
+func (ex *extractor) run() *Node {
+	rest, moved := ex.extractF(ex.f.Root)
+	if rest == nil {
+		panic("forest: extraction emptied the document")
+	}
+	ex.f.Root = rest
+	rest.Parent = nil
+	return moved
+}
+
+// extractF extracts S(n) from the subterm x.
+// Precondition: S(n) ⊆ piece(x) (in particular x's hole, if any, is
+// outside S(n)) and leafOf[n] is under x. Returns (rest, moved): moved
+// is forest-typed and decodes exactly to S(n); rest decodes to
+// piece(x) \ S(n), keeps x's algebra type, and is nil iff that set is
+// empty (only possible when x is forest-typed — a context keeps at least
+// its hole leaf).
+func (ex *extractor) extractF(x *Node) (rest, moved *Node) {
+	if x == ex.f.leafOf[ex.n] {
+		// piece(x) = {n}: n is a childless leaf taken wholesale. (If n had
+		// children, its a□ leaf would have been captured by the wholesale
+		// or split case at its plug operator above.)
+		if x.Op != LeafTree {
+			panic("forest: extract reached a context leaf")
+		}
+		ex.movedShared = append(ex.movedShared, x)
+		return nil, x
+	}
+	switch x.Op {
+	case ConcatHH, ConcatHV, ConcatVH:
+		// S(n) is a complete subtree: it lies wholly on one side of any
+		// horizontal split.
+		if ex.onPath[x.Left] {
+			r, moved := ex.extractF(x.Left)
+			ex.f.retire(x)
+			if r == nil {
+				return x.Right, moved
+			}
+			return ex.join(concatOp(r, x.Right), r, x.Right, x), moved
+		}
+		r, moved := ex.extractF(x.Right)
+		ex.f.retire(x)
+		if r == nil {
+			return x.Left, moved
+		}
+		return ex.join(concatOp(x.Left, r), x.Left, r, x), moved
+
+	case ApplyVH, ComposeVV:
+		if x.Op == ApplyVH && x.Left == ex.f.leafOf[ex.n] {
+			// x = ⊙VH(n□, children forest of n): piece(x) = S(n) exactly —
+			// take the whole plug wholesale.
+			ex.movedShared = append(ex.movedShared, x)
+			return nil, x
+		}
+		if ex.onPath[x.Right] {
+			// n is inside the plugged part.
+			r, moved := ex.extractF(x.Right)
+			ex.f.retire(x)
+			if r == nil {
+				// Only possible for ⊙VH: the hole node w loses its entire
+				// children forest (n was its only child) — close the hole.
+				if x.Op != ApplyVH {
+					panic("forest: composition lost its lower context")
+				}
+				w := x.Left.HoleNode
+				delete(ex.f.plugOp, w)
+				return ex.f.retypeHolePath(x.Left, w), moved
+			}
+			return ex.join(x.Op, x.Left, r, x), moved
+		}
+		// n is inside the upper context x.Left (hole w).
+		w := x.Left.HoleNode
+		if ex.inS(w) {
+			// The hole is inside S(n): the extraction must SPLIT x.Left and
+			// carry the plugged part along with the moved subtree.
+			if x.Op != ApplyVH {
+				// A ⊙VV here would put x's own hole (inside w's children
+				// forest, hence inside S(n)) in S(n), contradicting
+				// S(n) ⊆ piece(x).
+				panic("forest: split at a vertical composition")
+			}
+			restL, movedCtx := ex.extractSplit(x.Left)
+			ex.movedShared = append(ex.movedShared, x.Right)
+			moved := ex.f.newInner(ApplyVH, movedCtx, x.Right)
+			if moved.Height > ex.f.heightBudget(moved.Weight) {
+				ex.cands = append(ex.cands, moved)
+			}
+			ex.f.retire(x)
+			return restL, moved
+		}
+		r, moved := ex.extractF(x.Left)
+		ex.f.retire(x)
+		if r == nil {
+			panic("forest: context extraction dropped its hole")
+		}
+		return ex.join(x.Op, r, x.Right, x), moved
+	}
+	panic(fmt.Sprintf("forest: extract reached foreign leaf %v", x.Op))
+}
+
+// extractSplit extracts the part of S(n) visible in the context x.
+// Precondition: x is context-typed, its hole h lies INSIDE S(n), and
+// n ∈ piece(x). Returns (rest, movedCtx): movedCtx is context-typed with
+// hole h and decodes to S(n) ∩ piece(x) (n's subtree truncated at h's
+// children); rest is forest-typed — the hole leaves with movedCtx — and
+// decodes to piece(x) \ S(n), nil iff empty.
+func (ex *extractor) extractSplit(x *Node) (rest, movedCtx *Node) {
+	switch x.Op {
+	case LeafCtx:
+		// piece(x) = {x.TreeID} ∋ n, so this is n□ itself (and n = h).
+		if x != ex.f.leafOf[ex.n] {
+			panic("forest: split reached a foreign context leaf")
+		}
+		ex.movedShared = append(ex.movedShared, x)
+		return nil, x
+
+	case ConcatHV:
+		// The hole (and with it n, an ancestor of it) is on the right.
+		if !ex.onPath[x.Right] {
+			panic("forest: split lost the hole path")
+		}
+		r, movedCtx := ex.extractSplit(x.Right)
+		ex.f.retire(x)
+		if r == nil {
+			return x.Left, movedCtx
+		}
+		return ex.join(ConcatHH, x.Left, r, x), movedCtx
+
+	case ConcatVH:
+		if !ex.onPath[x.Left] {
+			panic("forest: split lost the hole path")
+		}
+		r, movedCtx := ex.extractSplit(x.Left)
+		ex.f.retire(x)
+		if r == nil {
+			return x.Right, movedCtx
+		}
+		return ex.join(ConcatHH, r, x.Right, x), movedCtx
+
+	case ComposeVV:
+		// x = upper (hole w) ⊙VV lower (hole h).
+		if ex.onPath[x.Right] {
+			// n is strictly below w, inside the lower context.
+			r, movedCtx := ex.extractSplit(x.Right)
+			ex.f.retire(x)
+			if r == nil {
+				// w's whole children forest moved: close its hole.
+				w := x.Left.HoleNode
+				delete(ex.f.plugOp, w)
+				return ex.f.retypeHolePath(x.Left, w), movedCtx
+			}
+			return ex.join(ApplyVH, x.Left, r, x), movedCtx
+		}
+		// n is in the upper context; then w ∈ S(n) (n is an ancestor of h,
+		// which lies below w), so the upper context splits too and w's
+		// plugged part travels with the moved side, shared wholesale.
+		restL, movedL := ex.extractSplit(x.Left)
+		ex.movedShared = append(ex.movedShared, x.Right)
+		movedCtx = ex.f.newInner(ComposeVV, movedL, x.Right)
+		if movedCtx.Height > ex.f.heightBudget(movedCtx.Weight) {
+			ex.cands = append(ex.cands, movedCtx)
+		}
+		ex.f.retire(x)
+		return restL, movedCtx
+	}
+	panic(fmt.Sprintf("forest: split reached non-context operator %v", x.Op))
+}
+
+// InsertSubtreeFirstChild implements insertSub(n, F): a copy of the
+// fragment tree F becomes (under fresh node IDs) the first child subtree
+// of n. A balanced term for the fragment is bulk-built in O(|F|) and
+// spliced in by one path copy — total cost O(|F| + log n). Returns the
+// tree ID of the fragment copy's root.
+func (f *Forest) InsertSubtreeFirstChild(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error) {
+	v, err := f.Tree.GraftFirstChild(id, frag)
+	if err != nil {
+		return 0, err
+	}
+	s := f.buildCluster([]*tree.UNode{v}, nil)
+	f.spliceSubtermFirstChild(id, s)
+	return v.ID, nil
+}
+
+// InsertSubtreeRightSibling implements insertSubR(n, F): a copy of the
+// fragment tree F becomes the right-sibling subtree of n.
+func (f *Forest) InsertSubtreeRightSibling(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error) {
+	v, err := f.Tree.GraftRightSibling(id, frag)
+	if err != nil {
+		return 0, err
+	}
+	s := f.buildCluster([]*tree.UNode{v}, nil)
+	f.spliceSubtermRightSibling(id, s)
+	return v.ID, nil
+}
+
+// DeleteSubtree implements deleteSub(n): the whole subtree of n is
+// removed. The extraction spine costs O(log n) fresh nodes; retiring the
+// m dropped term nodes is Ω(m) inherently (each has engine attachments
+// to release).
+func (f *Forest) DeleteSubtree(id tree.NodeID) error {
+	fragRoot, _, err := f.Tree.DeleteSubtree(id)
+	if err != nil {
+		return err
+	}
+	frag := map[tree.NodeID]*tree.UNode{}
+	var walk func(u *tree.UNode)
+	walk = func(u *tree.UNode) {
+		frag[u.ID] = u
+		for c := u.FirstChild; c != nil; c = c.NextSib {
+			walk(c)
+		}
+	}
+	walk(fragRoot)
+	ex := f.newExtractor(id, frag)
+	moved := ex.run()
+	f.retireSubterm(moved)
+	for fid := range frag {
+		delete(f.leafOf, fid)
+		delete(f.plugOp, fid)
+	}
+	f.structuralFixup(ex.cands)
+	return nil
+}
+
+// MoveSubtreeFirstChild implements moveSub(n, d): the subtree of n is
+// detached and reattached as the first child subtree of d. The term side
+// extracts S(n) sharing its chunks wholesale (TrunkDelta.Moved reports
+// them) and splices it at the destination: O(log n + boundary) fresh
+// nodes, independent of |S(n)|.
+func (f *Forest) MoveSubtreeFirstChild(id, dest tree.NodeID) error {
+	if err := f.Tree.MoveSubtreeFirstChild(id, dest); err != nil {
+		return err
+	}
+	f.moveTerm(id, dest, (*Forest).spliceSubtermFirstChild)
+	return nil
+}
+
+// MoveSubtreeRightSibling implements moveSubR(n, d): the subtree of n is
+// detached and reattached as the right-sibling subtree of d.
+func (f *Forest) MoveSubtreeRightSibling(id, dest tree.NodeID) error {
+	if err := f.Tree.MoveSubtreeRightSibling(id, dest); err != nil {
+		return err
+	}
+	f.moveTerm(id, dest, (*Forest).spliceSubtermRightSibling)
+	return nil
+}
+
+func (f *Forest) moveTerm(id, dest tree.NodeID, splice func(*Forest, tree.NodeID, *Node)) {
+	ex := f.newExtractor(id, nil)
+	moved := ex.run()
+	splice(f, dest, moved)
+	for _, r := range ex.movedShared {
+		f.recordMoved(r)
+	}
+	f.structuralFixup(append(ex.cands, moved))
+}

@@ -8,51 +8,24 @@ import (
 
 // This file implements the edit operations of Definition 7.1 on the
 // maintained (tree, term) pair. Each edit performs O(1) local term
-// surgery at a leaf and then publishes the change by PATH COPYING: fresh
-// nodes are created along the leaf-to-root trunk while all untouched
-// subtrees are shared with the previous term version (exactly the shape
-// of the tree hollowings of Definition 7.2 — the trunk is new, the
-// □-leaves are reused). Superseded nodes are never modified, so circuit
-// boxes attached to them by the dynamic engine stay valid for readers
-// that captured the previous version. When the height budget of some
-// fresh subterm is exceeded, the topmost such subterm is rebuilt from the
-// underlying tree cluster (the scapegoat substitution for [30]'s
-// rotations, see the package comment). All fresh nodes are recorded for
-// Drain, children before parents.
-
-// spliceUp publishes repl in place of the child slot (p, wasLeft): it
-// builds fresh copies of every node from p up to the root, sharing the
-// off-trunk siblings, and then applies the scapegoat rule to the fresh
-// path (repl itself included). p and wasLeft must be captured BEFORE
-// repl's construction re-targets any parent pointers; p == nil makes
-// repl the new root.
-func (f *Forest) spliceUp(p *Node, wasLeft bool, repl *Node) {
-	var scapegoat *Node
-	if repl.Height > f.heightBudget(repl.Weight) {
-		scapegoat = repl
-	}
-	for p != nil {
-		// Capture the next slot before newInner redirects any pointers.
-		np, nwasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
-		var nn *Node
-		if wasLeft {
-			nn = f.newInner(p.Op, repl, p.Right)
-		} else {
-			nn = f.newInner(p.Op, p.Left, repl)
-		}
-		if nn.Height > f.heightBudget(nn.Weight) {
-			scapegoat = nn
-		}
-		f.recordPrev(nn, p)
-		f.retire(p)
-		repl, p, wasLeft = nn, np, nwasLeft
-	}
-	f.Root = repl
-	repl.Parent = nil
-	if scapegoat != nil {
-		f.rebuildSubterm(scapegoat)
-	}
-}
+// surgery at a leaf and then publishes the change by PATH COPYING
+// through the shared editCore.spliceUp: fresh nodes are created along
+// the leaf-to-root trunk while all untouched subtrees are shared with
+// the previous term version (exactly the shape of the tree hollowings of
+// Definition 7.2 — the trunk is new, the □-leaves are reused).
+// Superseded nodes are never modified, so circuit boxes attached to them
+// by the dynamic engine stay valid for readers that captured the
+// previous version. When the height budget of some fresh subterm is
+// exceeded, the topmost such subterm is rebuilt from the underlying tree
+// cluster (the scapegoat substitution for [30]'s rotations, see the
+// package comment). All fresh nodes are recorded for DrainDelta,
+// children before parents.
+//
+// The insert operations splice a SUBTERM, not just a leaf: the leaf
+// edits of Definition 7.1 pass a single fresh leaf, the structural edits
+// of structural.go pass whole balanced subterms (a bulk-built fragment,
+// a moved subtree) through the same two splice shapes. That is the
+// generalization this file and structural.go share.
 
 // slotOf captures the parent slot of n for a later spliceUp.
 func slotOf(n *Node) (p *Node, wasLeft bool) {
@@ -62,7 +35,8 @@ func slotOf(n *Node) (p *Node, wasLeft bool) {
 // rebuildSubterm replaces the subterm rooted at t by a freshly balanced
 // term for the same cluster, then publishes it by path copying. The
 // rebuilt term is within its height budget and path copies only shrink
-// heights, so the nested scapegoat check cannot cascade.
+// heights, so the nested scapegoat check cannot cascade. (termOwner
+// hook: the Forest side rebuilds from the underlying tree cluster.)
 func (f *Forest) rebuildSubterm(t *Node) {
 	f.Rebuilds++
 	f.RebuiltWeight += t.Weight
@@ -125,6 +99,59 @@ func (f *Forest) Relabel(id tree.NodeID, l tree.Label) error {
 	return nil
 }
 
+// spliceSubtermFirstChild splices the forest-typed subterm s so that the
+// forest it represents becomes the leading children of tree node id. The
+// TREE already reflects the insertion; the term-side leafOf/plugOp state
+// still reflects the previous version (which is how the childless case
+// is detected). This is the single splice shape behind InsertFirstChild
+// (s = one fresh leaf) and the structural subtree insert/move (s = a
+// bulk-built or extracted subterm).
+func (f *Forest) spliceSubtermFirstChild(id tree.NodeID, s *Node) {
+	p := f.leafOf[id]
+	if p.Op == LeafTree {
+		// id was childless: its aᵗ leaf becomes a□ plugged with the new
+		// forest: ⊙VH(id□, s).
+		pp, wasLeft := slotOf(p)
+		ctx := f.newLeafCtx(f.Tree.Node(id))
+		ap := f.newInner(ApplyVH, ctx, s)
+		f.retire(p)
+		f.spliceUp(pp, wasLeft, ap)
+		return
+	}
+	// Children exist: prepend s to the subterm X that represents them
+	// (the right child of the plug operation of id). The plug node itself
+	// is copied, not modified.
+	op := f.plugOp[id]
+	pp, wasLeft := slotOf(op)
+	x := op.Right
+	var nx *Node
+	if x.IsContext() {
+		nx = f.newInner(ConcatHV, s, x)
+	} else {
+		nx = f.newInner(ConcatHH, s, x)
+	}
+	nop := f.newInner(op.Op, op.Left, nx)
+	f.retire(op)
+	f.spliceUp(pp, wasLeft, nop)
+}
+
+// spliceSubtermRightSibling splices the forest-typed subterm s so that
+// its forest follows the whole subtree of id in the sibling order. The
+// term leaf of id occupies exactly id's slot in its sibling segment, so
+// wrapping it with a horizontal concatenation inserts s right after id's
+// subtree.
+func (f *Forest) spliceSubtermRightSibling(id tree.NodeID, s *Node) {
+	a := f.leafOf[id]
+	p, wasLeft := slotOf(a)
+	var nn *Node
+	if a.IsContext() {
+		nn = f.newInner(ConcatVH, a, s)
+	} else {
+		nn = f.newInner(ConcatHH, a, s)
+	}
+	f.spliceUp(p, wasLeft, nn)
+}
+
 // InsertFirstChild implements insert(n, l): a new l-labeled node becomes
 // the first child of n.
 func (f *Forest) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
@@ -132,56 +159,18 @@ func (f *Forest) InsertFirstChild(id tree.NodeID, l tree.Label) (tree.NodeID, er
 	if err != nil {
 		return 0, err
 	}
-	p := f.leafOf[id]
-	if p.Op == LeafTree {
-		// n was childless: its aᵗ leaf becomes a□ plugged with the new
-		// singleton forest: ⊙VH(n□, vᵗ).
-		pp, wasLeft := slotOf(p)
-		ctx := f.newLeafCtx(f.Tree.Node(id))
-		lv := f.newLeafTree(v)
-		ap := f.newInner(ApplyVH, ctx, lv)
-		f.retire(p)
-		f.spliceUp(pp, wasLeft, ap)
-	} else {
-		// Children exist: prepend vᵗ to the subterm X that represents
-		// them (the right child of the plug operation of n). The plug
-		// node itself is copied, not modified.
-		op := f.plugOp[id]
-		pp, wasLeft := slotOf(op)
-		x := op.Right
-		lv := f.newLeafTree(v)
-		var nx *Node
-		if x.IsContext() {
-			nx = f.newInner(ConcatHV, lv, x)
-		} else {
-			nx = f.newInner(ConcatHH, lv, x)
-		}
-		nop := f.newInner(op.Op, op.Left, nx)
-		f.retire(op)
-		f.spliceUp(pp, wasLeft, nop)
-	}
+	f.spliceSubtermFirstChild(id, f.newLeafTree(v))
 	return v.ID, nil
 }
 
 // InsertRightSibling implements insertR(n, l): a new l-labeled node
-// becomes the right sibling of n. The term leaf of n occupies exactly
-// n's slot in its sibling segment, so wrapping it with a horizontal
-// concatenation inserts v right after the whole subtree of n.
+// becomes the right sibling of n.
 func (f *Forest) InsertRightSibling(id tree.NodeID, l tree.Label) (tree.NodeID, error) {
 	v, err := f.Tree.InsertRightSibling(id, l)
 	if err != nil {
 		return 0, err
 	}
-	s := f.leafOf[id]
-	p, wasLeft := slotOf(s)
-	lv := f.newLeafTree(v)
-	var nn *Node
-	if s.IsContext() {
-		nn = f.newInner(ConcatVH, s, lv)
-	} else {
-		nn = f.newInner(ConcatHH, s, lv)
-	}
-	f.spliceUp(p, wasLeft, nn)
+	f.spliceSubtermRightSibling(id, f.newLeafTree(v))
 	return v.ID, nil
 }
 
@@ -249,11 +238,3 @@ func (f *Forest) retypeHolePath(c *Node, w tree.NodeID) *Node {
 		panic("forest: malformed hole path")
 	}
 }
-
-// TermRoot returns the root of the current term (dynamic-engine
-// interface, shared with Word).
-func (f *Forest) TermRoot() *Node { return f.Root }
-
-// Rebalances returns the number of scapegoat rebuilds performed so far
-// (dynamic-engine interface, shared with Word).
-func (f *Forest) Rebalances() int { return f.Rebuilds }

@@ -2,7 +2,6 @@ package forest
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/tree"
 )
@@ -11,36 +10,37 @@ import (
 // term over its letters (the word specialization of Section 8 /
 // Corollary 8.4: a word is a forest of single-node trees). Letters carry
 // stable IDs so that assignments survive edits at other positions. The
-// supported edits are the usual local ones: insert a letter, delete a
-// letter, replace (relabel) a letter. Like Forest, edits publish fresh
-// nodes along the trunk by path copying and share untouched subtrees, so
-// circuit boxes attached to superseded nodes stay valid for concurrent
-// readers of older versions.
+// word shares the whole splice/rebalance/dirty machinery with Forest
+// through the embedded editCore: edits publish fresh nodes along the
+// trunk by path copying and share untouched subtrees, so circuit boxes
+// attached to superseded nodes stay valid for concurrent readers of
+// older versions. The structural edits (range move/insert/delete/concat
+// and the document split, see bulk.go) are rope split/join over the same
+// core.
 type Word struct {
-	Root *Node
+	editCore
 
-	leafOf  map[tree.NodeID]*Node
-	nextID  tree.NodeID
-	size    int
-	created []*Node
-	retired []*Node
-	prev    map[*Node]*Node // see Forest.recordPrev
+	leafOf map[tree.NodeID]*Node
+	nextID tree.NodeID
+	size   int
 
-	HeightFactor float64
-	HeightBase   int
-	Rebuilds     int
+	// ropeCands collects fresh rope-join nodes exceeding their height
+	// budget during one structural edit; drained into structuralFixup.
+	ropeCands []*Node
 }
 
-// NewWord builds the balanced term for the given nonempty word.
+// NewWord builds the balanced term for the given nonempty word. This is
+// the word bulk load: one O(n) balanced build instead of n inserts —
+// BulkLoadWord is the documented alias.
 func NewWord(letters []tree.Label) (*Word, error) {
 	if len(letters) == 0 {
 		return nil, fmt.Errorf("forest: the empty word has no term encoding")
 	}
 	w := &Word{
-		leafOf:       map[tree.NodeID]*Node{},
-		HeightFactor: 1.4,
-		HeightBase:   6,
+		editCore: editCore{HeightFactor: 1.4, HeightBase: 6},
+		leafOf:   map[tree.NodeID]*Node{},
 	}
+	w.owner = w
 	leaves := make([]*Node, len(letters))
 	for i, l := range letters {
 		leaves[i] = w.newLetter(l)
@@ -50,6 +50,10 @@ func NewWord(letters []tree.Label) (*Word, error) {
 	return w, nil
 }
 
+// BulkLoadWord builds the balanced term for a whole word directly — the
+// structural-edit counterpart of n sequential inserts.
+func BulkLoadWord(letters []tree.Label) (*Word, error) { return NewWord(letters) }
+
 func (w *Word) newLetter(l tree.Label) *Node {
 	n := &Node{Op: LeafTree, Label: l, TreeID: w.nextID, Weight: 1, HoleNode: tree.InvalidNode}
 	w.leafOf[n.TreeID] = n
@@ -57,69 +61,6 @@ func (w *Word) newLetter(l tree.Label) *Node {
 	w.record(n)
 	return n
 }
-
-func (w *Word) record(n *Node) { w.created = append(w.created, n) }
-
-func (w *Word) retire(n *Node) { w.retired = append(w.retired, n) }
-
-// recordPrev mirrors Forest.recordPrev (chain-resolved reuse hints).
-func (w *Word) recordPrev(fresh, old *Node) {
-	if w.prev == nil {
-		w.prev = map[*Node]*Node{}
-	}
-	if orig, ok := w.prev[old]; ok {
-		old = orig
-	}
-	w.prev[fresh] = old
-}
-
-// DrainDelta mirrors Forest.DrainDelta: one immutable, replayable
-// TrunkDelta per batch for the dynamic engine.
-func (w *Word) DrainDelta() TrunkDelta {
-	fresh := w.Drain()
-	return TrunkDelta{Fresh: fresh, Prev: prevSlice(fresh, w.prev), Retired: w.DrainRetired(), Root: w.Root}
-}
-
-// DrainRetired mirrors Forest.DrainRetired for the dynamic engine.
-func (w *Word) DrainRetired() []*Node {
-	out := w.retired
-	w.retired = nil
-	return out
-}
-
-// Drain mirrors Forest.Drain for the dynamic engine.
-func (w *Word) Drain() []*Node {
-	last := map[*Node]int{}
-	for i, n := range w.created {
-		last[n] = i
-	}
-	var out []*Node
-	for i, n := range w.created {
-		if last[n] == i && w.attached(n) {
-			out = append(out, n)
-		}
-	}
-	w.created = w.created[:0]
-	return out
-}
-
-func (w *Word) attached(n *Node) bool {
-	for x := n; ; x = x.Parent {
-		if x.Parent == nil {
-			return x == w.Root
-		}
-		if x.Parent.Left != x && x.Parent.Right != x {
-			return false
-		}
-	}
-}
-
-// TermRoot returns the root of the term (dynamic-engine interface).
-func (w *Word) TermRoot() *Node { return w.Root }
-
-// Rebalances returns the number of scapegoat rebuilds performed so far
-// (dynamic-engine interface).
-func (w *Word) Rebalances() int { return w.Rebuilds }
 
 // Len returns the current word length.
 func (w *Word) Len() int { return w.size }
@@ -180,45 +121,22 @@ func (w *Word) newInner(l, r *Node) *Node {
 	return n
 }
 
-func (w *Word) heightBudget(weight int) int {
-	return int(w.HeightFactor*math.Log2(float64(weight+1))) + w.HeightBase
-}
-
-// spliceUp publishes repl in place of the child slot (p, wasLeft) by
-// path copying, mirroring Forest.spliceUp: fresh ⊕HH copies up to the
-// root, shared siblings, scapegoat rule applied to the fresh path.
-func (w *Word) spliceUp(p *Node, wasLeft bool, repl *Node) {
-	var scapegoat *Node
-	if repl.Height > w.heightBudget(repl.Weight) {
-		scapegoat = repl
+// joinInner is the editCore allocation hook (termOwner); a word term is
+// ⊕HH-only, so the operator is fixed.
+func (w *Word) joinInner(op Op, l, r *Node) *Node {
+	if op != ConcatHH {
+		panic("forest: non-⊕HH operator in a word term")
 	}
-	for p != nil {
-		np, nwasLeft := p.Parent, p.Parent != nil && p.Parent.Left == p
-		var nn *Node
-		if wasLeft {
-			nn = w.newInner(repl, p.Right)
-		} else {
-			nn = w.newInner(p.Left, repl)
-		}
-		if nn.Height > w.heightBudget(nn.Weight) {
-			scapegoat = nn
-		}
-		w.recordPrev(nn, p)
-		w.retire(p)
-		repl, p, wasLeft = nn, np, nwasLeft
-	}
-	w.Root = repl
-	repl.Parent = nil
-	if scapegoat != nil {
-		w.rebuildSubterm(scapegoat)
-	}
+	return w.newInner(l, r)
 }
 
 // rebuildSubterm rebuilds the subterm over its letter leaves, which are
 // reused (their labels, and hence their circuit boxes, are unchanged),
-// then publishes the balanced replacement by path copying.
+// then publishes the balanced replacement by path copying (termOwner
+// hook).
 func (w *Word) rebuildSubterm(t *Node) {
 	w.Rebuilds++
+	w.RebuiltWeight += t.Weight
 	var leaves []*Node
 	var rec func(x *Node)
 	rec = func(x *Node) {

@@ -165,6 +165,14 @@ func (t *Unranked) Delete(id NodeID) error {
 	if n.Parent == nil {
 		return fmt.Errorf("tree: delete: node n%d is the root", id)
 	}
+	t.detach(n)
+	delete(t.nodes, id)
+	return nil
+}
+
+// detach unlinks n from its parent and siblings, leaving the subtree's
+// internal pointers intact (the detached fragment stays walkable).
+func (t *Unranked) detach(n *UNode) {
 	p := n.Parent
 	if n.PrevSib != nil {
 		n.PrevSib.NextSib = n.NextSib
@@ -177,8 +185,199 @@ func (t *Unranked) Delete(id NodeID) error {
 		p.LastChild = n.PrevSib
 	}
 	n.Parent, n.PrevSib, n.NextSib = nil, nil, nil
-	delete(t.nodes, id)
+}
+
+// InSubtree reports whether node v lies in the subtree rooted at n
+// (inclusive), by walking v's parent chain. O(depth(v)).
+func (t *Unranked) InSubtree(n, v NodeID) bool {
+	for x := t.nodes[v]; x != nil; x = x.Parent {
+		if x.ID == n {
+			return true
+		}
+	}
+	return false
+}
+
+// SubtreeSize returns the number of nodes in the subtree rooted at id, or
+// 0 if the node does not exist.
+func (t *Unranked) SubtreeSize(id NodeID) int {
+	n := t.nodes[id]
+	if n == nil {
+		return 0
+	}
+	var rec func(x *UNode) int
+	rec = func(x *UNode) int {
+		s := 1
+		for c := x.FirstChild; c != nil; c = c.NextSib {
+			s += rec(c)
+		}
+		return s
+	}
+	return rec(n)
+}
+
+// DeleteSubtree implements the structural edit deleteSub(n): remove the
+// whole subtree rooted at n. The root is not deletable (the tree must
+// stay nonempty). The detached fragment is returned with its internal
+// parent/child/sibling links intact — callers that maintain per-node
+// side structure (the forest algebra term's leaf map) walk it to release
+// their entries — but its nodes are no longer addressable through the
+// tree. O(|subtree|).
+func (t *Unranked) DeleteSubtree(id NodeID) (*UNode, int, error) {
+	n := t.nodes[id]
+	if n == nil {
+		return nil, 0, fmt.Errorf("tree: deleteSub: node n%d does not exist", id)
+	}
+	if n.Parent == nil {
+		return nil, 0, fmt.Errorf("tree: deleteSub: node n%d is the root", id)
+	}
+	t.detach(n)
+	count := 0
+	var purge func(x *UNode)
+	purge = func(x *UNode) {
+		delete(t.nodes, x.ID)
+		count++
+		for c := x.FirstChild; c != nil; c = c.NextSib {
+			purge(c)
+		}
+	}
+	purge(n)
+	return n, count, nil
+}
+
+// moveChecks validates a subtree move: both nodes exist, the moved node
+// is not the root, and the destination is not inside the moved subtree
+// (which would disconnect the tree). O(depth(dest)).
+func (t *Unranked) moveChecks(op string, id, dest NodeID) (*UNode, *UNode, error) {
+	n := t.nodes[id]
+	if n == nil {
+		return nil, nil, fmt.Errorf("tree: %s: node n%d does not exist", op, id)
+	}
+	d := t.nodes[dest]
+	if d == nil {
+		return nil, nil, fmt.Errorf("tree: %s: destination n%d does not exist", op, dest)
+	}
+	if n.Parent == nil {
+		return nil, nil, fmt.Errorf("tree: %s: node n%d is the root", op, id)
+	}
+	if t.InSubtree(id, dest) {
+		return nil, nil, fmt.Errorf("tree: %s: destination n%d is inside the moved subtree of n%d", op, dest, id)
+	}
+	return n, d, nil
+}
+
+// MoveSubtreeFirstChild implements move(n, dest): detach the subtree
+// rooted at n and reattach it as the FIRST CHILD of dest. Node IDs and
+// the subtree's internal structure are preserved. O(depth) validation
+// plus O(1) pointer surgery.
+func (t *Unranked) MoveSubtreeFirstChild(id, dest NodeID) error {
+	n, d, err := t.moveChecks("move", id, dest)
+	if err != nil {
+		return err
+	}
+	t.detach(n)
+	n.Parent = d
+	n.NextSib = d.FirstChild
+	if d.FirstChild != nil {
+		d.FirstChild.PrevSib = n
+	} else {
+		d.LastChild = n
+	}
+	d.FirstChild = n
 	return nil
+}
+
+// MoveSubtreeRightSibling implements moveR(n, dest): detach the subtree
+// rooted at n and reattach it as the RIGHT SIBLING of dest. dest must not
+// be the root (the result must stay a tree). O(depth) validation plus
+// O(1) pointer surgery.
+func (t *Unranked) MoveSubtreeRightSibling(id, dest NodeID) error {
+	n, d, err := t.moveChecks("moveR", id, dest)
+	if err != nil {
+		return err
+	}
+	if d.Parent == nil {
+		return fmt.Errorf("tree: moveR: destination n%d is the root", dest)
+	}
+	t.detach(n)
+	n.Parent = d.Parent
+	n.PrevSib = d
+	n.NextSib = d.NextSib
+	if d.NextSib != nil {
+		d.NextSib.PrevSib = n
+	} else {
+		d.Parent.LastChild = n
+	}
+	d.NextSib = n
+	return nil
+}
+
+// graft deep-copies the fragment rooted at src (from another tree) into
+// this tree under fresh node IDs, returning the copy's root. O(|fragment|).
+func (t *Unranked) graft(src *UNode, parent *UNode) *UNode {
+	n := t.newNode(src.Label)
+	n.Parent = parent
+	var prev *UNode
+	for c := src.FirstChild; c != nil; c = c.NextSib {
+		cn := t.graft(c, n)
+		if prev == nil {
+			n.FirstChild = cn
+		} else {
+			prev.NextSib = cn
+			cn.PrevSib = prev
+		}
+		prev = cn
+	}
+	n.LastChild = prev
+	return n
+}
+
+// GraftFirstChild implements the structural edit insertSub(n, F): a copy
+// of the fragment tree F (under fresh IDs — the fragment itself is not
+// consumed) becomes the first child of n. Returns the copy's root.
+func (t *Unranked) GraftFirstChild(id NodeID, frag *Unranked) (*UNode, error) {
+	n := t.nodes[id]
+	if n == nil {
+		return nil, fmt.Errorf("tree: insertSub: node n%d does not exist", id)
+	}
+	if frag == nil || frag.Root == nil {
+		return nil, fmt.Errorf("tree: insertSub: empty fragment")
+	}
+	v := t.graft(frag.Root, n)
+	v.NextSib = n.FirstChild
+	if n.FirstChild != nil {
+		n.FirstChild.PrevSib = v
+	} else {
+		n.LastChild = v
+	}
+	n.FirstChild = v
+	return v, nil
+}
+
+// GraftRightSibling implements insertSubR(n, F): a copy of the fragment
+// tree F (under fresh IDs) becomes the right sibling of n. Returns the
+// copy's root.
+func (t *Unranked) GraftRightSibling(id NodeID, frag *Unranked) (*UNode, error) {
+	n := t.nodes[id]
+	if n == nil {
+		return nil, fmt.Errorf("tree: insertSubR: node n%d does not exist", id)
+	}
+	if n.Parent == nil {
+		return nil, fmt.Errorf("tree: insertSubR: node n%d is the root", id)
+	}
+	if frag == nil || frag.Root == nil {
+		return nil, fmt.Errorf("tree: insertSubR: empty fragment")
+	}
+	v := t.graft(frag.Root, n.Parent)
+	v.PrevSib = n
+	v.NextSib = n.NextSib
+	if n.NextSib != nil {
+		n.NextSib.PrevSib = v
+	} else {
+		n.Parent.LastChild = v
+	}
+	n.NextSib = v
+	return v, nil
 }
 
 // String renders the tree as an S-expression, e.g. "(a (b) (c (d)))".

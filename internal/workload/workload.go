@@ -209,6 +209,223 @@ func (ed *Editor) Step() error {
 	return ed.m.Relabel(ed.m.Tree().Root.ID, pick(ed.rng, "a", "b", "c"))
 }
 
+// StructuralTreeMutator extends TreeMutator with the subtree edits of
+// the structural edit language: whole-subtree delete, move and graft.
+// Implemented by baseline.RebuildEnumerator and (via snapshot-dropping
+// adapters) by the engine writers, so the structural update streams
+// drive both sides of a differential run.
+type StructuralTreeMutator interface {
+	TreeMutator
+	DeleteSubtree(id tree.NodeID) error
+	MoveSubtreeFirstChild(id, dest tree.NodeID) error
+	MoveSubtreeRightSibling(id, dest tree.NodeID) error
+	InsertSubtreeFirstChild(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error)
+	InsertSubtreeRightSibling(id tree.NodeID, frag *tree.Unranked) (tree.NodeID, error)
+}
+
+// RandomFragment builds a small random tree of n nodes over {a, b, c},
+// suitable as a graft argument for the subtree inserts.
+func RandomFragment(rng *rand.Rand, n int) *tree.Unranked {
+	if n < 1 {
+		n = 1
+	}
+	return tva.RandomUnrankedTree(rng, n, []tree.Label{"a", "b", "c"})
+}
+
+// EditWeights configures the mix of a StructuralEditor. A kind with
+// weight 0 never fires; kinds that cannot apply at the drawn node (e.g.
+// a subtree move whose destination would be inside the moved subtree)
+// are redrawn, so the realized mix tracks the weights closely instead of
+// degrading to relabels the way Apply does.
+type EditWeights struct {
+	Relabel        int
+	InsertLeaf     int // insert first child / right sibling (even split)
+	DeleteLeaf     int
+	InsertSubtree  int // graft a RandomFragment (even split child/sibling)
+	DeleteSubtree  int
+	MoveSubtree    int // relocate a whole subtree (even split child/sibling)
+	MaxFragment    int // largest graft size (default 8)
+	MaxDeleteRatio int // skip subtree deletes larger than size/ratio (default 4)
+}
+
+// DefaultStructuralWeights is the structural mix of the differential
+// suites and experiment E-struct: half leaf edits, half subtree edits.
+func DefaultStructuralWeights() EditWeights {
+	return EditWeights{Relabel: 20, InsertLeaf: 20, DeleteLeaf: 10, InsertSubtree: 20, DeleteSubtree: 10, MoveSubtree: 20}
+}
+
+// Structural edit kinds, indexing StructuralEditor.Counts.
+const (
+	KindRelabel = iota
+	KindInsertLeaf
+	KindDeleteLeaf
+	KindInsertSubtree
+	KindDeleteSubtree
+	KindMoveSubtree
+	numKinds
+)
+
+// StructuralEditor draws weighted structural edits, reproducible from
+// its rng. Like Editor it tracks live node IDs itself (lazily dropping
+// stale ones) so per-step bookkeeping stays sublinear in the tree.
+type StructuralEditor struct {
+	m      StructuralTreeMutator
+	rng    *rand.Rand
+	w      EditWeights
+	ids    []tree.NodeID
+	Counts [numKinds]int // realized edits by kind
+}
+
+// NewStructuralEditor indexes the current nodes of the mutator's tree.
+func NewStructuralEditor(m StructuralTreeMutator, w EditWeights, rng *rand.Rand) *StructuralEditor {
+	if w.MaxFragment <= 0 {
+		w.MaxFragment = 8
+	}
+	if w.MaxDeleteRatio <= 0 {
+		w.MaxDeleteRatio = 4
+	}
+	ed := &StructuralEditor{m: m, rng: rng, w: w}
+	for _, n := range m.Tree().Nodes() {
+		ed.ids = append(ed.ids, n.ID)
+	}
+	return ed
+}
+
+// pickLive draws a random live node ID, compacting stale entries.
+func (ed *StructuralEditor) pickLive() *tree.UNode {
+	for len(ed.ids) > 0 {
+		i := ed.rng.Intn(len(ed.ids))
+		if n := ed.m.Tree().Node(ed.ids[i]); n != nil {
+			return n
+		}
+		ed.ids[i] = ed.ids[len(ed.ids)-1]
+		ed.ids = ed.ids[:len(ed.ids)-1]
+	}
+	return ed.m.Tree().Root
+}
+
+// trackSubtree records the IDs of a freshly grafted subtree.
+func (ed *StructuralEditor) trackSubtree(root tree.NodeID) {
+	t := ed.m.Tree()
+	var rec func(n *tree.UNode)
+	rec = func(n *tree.UNode) {
+		ed.ids = append(ed.ids, n.ID)
+		for c := n.FirstChild; c != nil; c = c.NextSib {
+			rec(c)
+		}
+	}
+	if n := t.Node(root); n != nil {
+		rec(n)
+	}
+}
+
+// drawKind samples an edit kind by weight.
+func (ed *StructuralEditor) drawKind() int {
+	w := [numKinds]int{ed.w.Relabel, ed.w.InsertLeaf, ed.w.DeleteLeaf, ed.w.InsertSubtree, ed.w.DeleteSubtree, ed.w.MoveSubtree}
+	total := 0
+	for _, x := range w {
+		total += x
+	}
+	if total == 0 {
+		return KindRelabel
+	}
+	r := ed.rng.Intn(total)
+	for k, x := range w {
+		if r < x {
+			return k
+		}
+		r -= x
+	}
+	return KindRelabel
+}
+
+// Step performs one weighted edit; kinds that cannot apply at the drawn
+// node are redrawn (bounded attempts), falling back to a root relabel.
+func (ed *StructuralEditor) Step() error {
+	t := ed.m.Tree()
+	for attempt := 0; attempt < 16; attempt++ {
+		n := ed.pickLive()
+		l := pick(ed.rng, "a", "b", "c")
+		switch ed.drawKind() {
+		case KindRelabel:
+			ed.Counts[KindRelabel]++
+			return ed.m.Relabel(n.ID, l)
+		case KindInsertLeaf:
+			if ed.rng.Intn(2) == 0 || n.Parent == nil {
+				v, err := ed.m.InsertFirstChild(n.ID, l)
+				if err == nil {
+					ed.ids = append(ed.ids, v)
+					ed.Counts[KindInsertLeaf]++
+				}
+				return err
+			}
+			v, err := ed.m.InsertRightSibling(n.ID, l)
+			if err == nil {
+				ed.ids = append(ed.ids, v)
+				ed.Counts[KindInsertLeaf]++
+			}
+			return err
+		case KindDeleteLeaf:
+			if !n.IsLeaf() || n.Parent == nil {
+				continue
+			}
+			if err := ed.m.Delete(n.ID); err != nil {
+				return err
+			}
+			ed.Counts[KindDeleteLeaf]++
+			return nil
+		case KindInsertSubtree:
+			frag := RandomFragment(ed.rng, 1+ed.rng.Intn(ed.w.MaxFragment))
+			var v tree.NodeID
+			var err error
+			if ed.rng.Intn(2) == 0 || n.Parent == nil {
+				v, err = ed.m.InsertSubtreeFirstChild(n.ID, frag)
+			} else {
+				v, err = ed.m.InsertSubtreeRightSibling(n.ID, frag)
+			}
+			if err == nil {
+				ed.trackSubtree(v)
+				ed.Counts[KindInsertSubtree]++
+			}
+			return err
+		case KindDeleteSubtree:
+			if n.Parent == nil {
+				continue
+			}
+			// Keep the document from collapsing: skip deletes of more
+			// than 1/MaxDeleteRatio of the tree.
+			if t.SubtreeSize(n.ID) > t.Size()/ed.w.MaxDeleteRatio {
+				continue
+			}
+			if err := ed.m.DeleteSubtree(n.ID); err != nil {
+				return err
+			}
+			ed.Counts[KindDeleteSubtree]++
+			return nil
+		case KindMoveSubtree:
+			if n.Parent == nil {
+				continue
+			}
+			dest := ed.pickLive()
+			if t.InSubtree(n.ID, dest.ID) {
+				continue
+			}
+			var err error
+			if ed.rng.Intn(2) == 0 || dest.Parent == nil {
+				err = ed.m.MoveSubtreeFirstChild(n.ID, dest.ID)
+			} else {
+				err = ed.m.MoveSubtreeRightSibling(n.ID, dest.ID)
+			}
+			if err == nil {
+				ed.Counts[KindMoveSubtree]++
+			}
+			return err
+		}
+	}
+	ed.Counts[KindRelabel]++
+	return ed.m.Relabel(t.Root.ID, pick(ed.rng, "a", "b", "c"))
+}
+
 // AncestorQuery returns the standing query of experiments E1-E4 over the
 // alphabet {a, b, c}: select every node x (any label) that has an
 // a-labeled proper ancestor. Four automaton states.
