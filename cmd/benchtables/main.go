@@ -37,6 +37,12 @@
 //	                         # BulkLoad vs sequential construction, S3:
 //	                         # weighted structural workload with rebalance
 //	                         # accounting) and write its JSON baseline
+//	benchtables -delta BENCH_delta.json
+//	                         # run the answer-delta streaming experiment
+//	                         # (E-delta: per-publication subscriber cost
+//	                         # vs changed-answer count, plus the scale
+//	                         # sweep pinning the change at 2 answers)
+//	                         # and write its JSON baseline
 //	benchtables -build BENCH_build.json
 //	                         # run the box-construction experiment (B1:
 //	                         # build throughput plus per-update repair ns
@@ -83,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	parallel := fs.String("parallel", "", "run the parallel-write-path experiment and write its JSON baseline to this path")
 	enumparallel := fs.String("enumparallel", "", "run the parallel-enumeration experiment and write its JSON baseline to this path")
 	structural := fs.String("structural", "", "run the structural-edit experiment and write its JSON baseline to this path")
+	delta := fs.String("delta", "", "run the answer-delta streaming experiment and write its JSON baseline to this path")
 	build := fs.String("build", "", "run the box-construction experiment and write its JSON baseline to this path")
 	buildref := fs.String("buildref", "", "embed a previous -build baseline (its \"current\" run) as the pre-PR reference of this -build run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
@@ -151,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	start := time.Now()
 	// Baseline flags alone skip the table sweep unless IDs were
 	// requested.
-	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *enumparallel == "" && *structural == "" && *build == "") || len(want) > 0
+	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *enumparallel == "" && *structural == "" && *delta == "" && *build == "") || len(want) > 0
 	if runTables {
 		for _, id := range order {
 			if len(want) > 0 && !want[id] {
@@ -256,6 +263,21 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 		fmt.Fprintf(stderr, "[E-struct done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *structural)
+	}
+	if *delta != "" {
+		t0 := time.Now()
+		base := experiments.Delta(*quick)
+		fmt.Fprintln(stdout, base.Table().Markdown())
+		fmt.Fprintln(stdout, base.ScaleTable().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*delta, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[E-delta done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *delta)
 	}
 	if *build != "" {
 		t0 := time.Now()

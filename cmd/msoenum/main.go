@@ -65,6 +65,16 @@
 //	                cores): the rank range [0, Count()) is partitioned
 //	                across per-worker count-guided descents and streamed
 //	                back in enumeration order via Snapshot.Chunks
+//
+// Answer-delta streaming:
+//
+//	-watch          with -edits: print the initial results once, then per
+//	                edit (or per batch with -batch) only the CHANGE — one
+//	                "+assignment" line per answer gained, one
+//	                "-assignment" line per answer lost — read from the
+//	                engine's Subscribe stream, which computes deltas on
+//	                the write path in time proportional to the change,
+//	                not the answer-set size
 package main
 
 import (
@@ -113,8 +123,12 @@ func run(args []string, w io.Writer) error {
 	countFlag := fs.Bool("count", false, "print only result counts (O(poly|Q|) for unambiguous queries)")
 	pageFlag := fs.String("page", "", "print results OFF:LIM by direct access instead of the first -max")
 	jobsFlag := fs.Int("jobs", 1, "workers for full-result drains (0 = all cores); order is preserved")
+	watchFlag := fs.Bool("watch", false, "with -edits: stream per-edit answer deltas (+/- lines) instead of re-printing results")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watchFlag && *editsFlag == "" {
+		return fmt.Errorf("-watch needs -edits")
 	}
 	if *jobsFlag < 0 {
 		return fmt.Errorf("-jobs wants N >= 0")
@@ -164,6 +178,22 @@ func run(args []string, w io.Writer) error {
 	}
 	printAll(w, qs.Snapshot(), queries, view)
 
+	// -watch: one Subscribe stream per standing query. The first delta of
+	// a subscription is the base-version resync; the base results were
+	// just printed, so it is consumed and dropped here, and every
+	// publication below prints only its +/- lines.
+	var watchers []<-chan enumtrees.Delta
+	if *watchFlag {
+		for _, q := range queries {
+			ch, err := qs.Subscribe(q.id)
+			if err != nil {
+				return fmt.Errorf("subscribe %q: %w", q.spec, err)
+			}
+			<-ch
+			watchers = append(watchers, ch)
+		}
+	}
+
 	if *editsFlag != "" {
 		var edits []string
 		for _, ed := range strings.Split(*editsFlag, ";") {
@@ -190,7 +220,11 @@ func run(args []string, w io.Writer) error {
 				}
 			}
 			fmt.Fprintf(w, "\nafter batch of %d edits (snapshot v%d): %s\n", len(batch), m.Version(), t)
-			printAll(w, m, queries, view)
+			if *watchFlag {
+				printDeltas(w, m.Version(), queries, watchers)
+			} else {
+				printAll(w, m, queries, view)
+			}
 		} else {
 			for _, ed := range edits {
 				m, err := applyEdit(w, qs, ed)
@@ -198,7 +232,11 @@ func run(args []string, w io.Writer) error {
 					return fmt.Errorf("edit %q: %w", ed, err)
 				}
 				fmt.Fprintf(w, "\nafter %q: %s\n", ed, t)
-				printAll(w, m, queries, view)
+				if *watchFlag {
+					printDeltas(w, m.Version(), queries, watchers)
+				} else {
+					printAll(w, m, queries, view)
+				}
 			}
 		}
 	}
@@ -396,6 +434,39 @@ type printView struct {
 	pageLim int
 	max     int
 	jobs    int
+}
+
+// printDeltas drains each query's Subscribe stream up to the just-
+// published version and prints only the change: one "+assignment" line
+// per answer gained, one "-assignment" line per answer lost (both
+// sorted by key). A resync delta (possible if the terminal consumer
+// ever fell far behind) prints the re-established result count instead.
+func printDeltas(w io.Writer, target uint64, queries []standing, chans []<-chan enumtrees.Delta) {
+	for i, q := range queries {
+		if len(queries) > 1 {
+			fmt.Fprintf(w, "[%s]\n", q.spec)
+		}
+		adds, rems := 0, 0
+		for v := uint64(0); v < target; {
+			d, ok := <-chans[i]
+			if !ok {
+				return
+			}
+			if d.Resync != nil {
+				fmt.Fprintf(w, "  (resync: %d result(s) at v%d)\n", d.Resync.Count(), d.Version)
+			}
+			for _, a := range d.Added {
+				fmt.Fprintf(w, "  +%v\n", a)
+				adds++
+			}
+			for _, a := range d.Removed {
+				fmt.Fprintf(w, "  -%v\n", a)
+				rems++
+			}
+			v = d.Version
+		}
+		fmt.Fprintf(w, "%d added, %d removed\n", adds, rems)
+	}
 }
 
 // printAll prints each standing query's results; with several queries

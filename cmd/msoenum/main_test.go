@@ -188,3 +188,58 @@ func TestPageFlagTrailingGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestWatchFlag: -watch prints only the change per edit — one +/- line
+// per answer gained/lost — instead of re-printing full results.
+func TestWatchFlag(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (a (b)))", "-query", "select:b",
+		"-watch", "-edits", "relabel 1 a; relabel 1 b; insert 2 b")
+	for _, want := range []string{
+		"-{<X0:n1>}", // relabel 1 a loses the answer at node 1
+		"+{<X0:n1>}", // relabel 1 b regains it
+		"+{<X0:n4>}", // insert 2 b gains the fresh node
+		"0 added, 1 removed",
+		"1 added, 0 removed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in -watch output:\n%s", want, out)
+		}
+	}
+	// The base results print once; edits must NOT re-print result counts.
+	if strings.Count(out, "result(s)") != 1 {
+		t.Fatalf("-watch re-printed full results:\n%s", out)
+	}
+}
+
+// TestWatchBatch: with -batch the whole edit stream is one publication,
+// so -watch prints one composed delta (internal churn cancelled).
+func TestWatchBatch(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (c))", "-query", "select:b", "-batch",
+		"-watch", "-edits", "relabel 1 c; relabel 2 b")
+	if !strings.Contains(out, "+{<X0:n2>}") || !strings.Contains(out, "-{<X0:n1>}") {
+		t.Fatalf("missing batch delta lines:\n%s", out)
+	}
+	if !strings.Contains(out, "1 added, 1 removed") {
+		t.Fatalf("missing delta footer:\n%s", out)
+	}
+}
+
+// TestWatchMultiQuery: each standing query gets its own delta block.
+func TestWatchMultiQuery(t *testing.T) {
+	out := runOut(t, "-tree", "(a (b) (c))", "-query", "select:b", "-query", "select:c",
+		"-watch", "-edits", "relabel 2 b")
+	if !strings.Contains(out, "[select:b]") || !strings.Contains(out, "[select:c]") {
+		t.Fatalf("missing per-query blocks:\n%s", out)
+	}
+	if !strings.Contains(out, "+{<X0:n2>}") || !strings.Contains(out, "-{<X0:n2>}") {
+		t.Fatalf("missing per-query delta lines:\n%s", out)
+	}
+}
+
+// TestWatchNeedsEdits rejects -watch without -edits.
+func TestWatchNeedsEdits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tree", "(a (b))", "-query", "select:b", "-watch"}, &buf); err == nil {
+		t.Fatal("-watch without -edits accepted")
+	}
+}

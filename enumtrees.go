@@ -128,6 +128,23 @@
 // standing queries pay the repair of one (per-edit cost scales with
 // Stats().Pipelines, not Queries). Options.NoDedupe opts a registration
 // out; see EngineStats.RegistrationsDeduped.
+//
+// # Answer-delta streaming
+//
+// A registered query can be subscribed: each publication then pushes
+// one Delta carrying exactly the answers the edit added and removed,
+// computed in time proportional to the change rather than the answer
+// set, so a standing monitor never re-reads what it already holds.
+//
+//	ch, _ := qs.Subscribe(q1)
+//	first := <-ch                 // always a resync: the base answer set
+//	for d := range ch {           // closed by Unregister
+//	    apply(d.Removed, d.Added) // exact diff, contiguous by version
+//	}
+//
+// The writer never blocks on a slow consumer: undelivered deltas
+// coalesce (Delta.Coalesced), degrading to a snapshot resync past
+// SetDeltaResyncLimit. See the Delta type and DESIGN.md §11.
 package enumtrees
 
 import (
@@ -277,6 +294,16 @@ type (
 	// work vs per-query repair, safe to read concurrently with the
 	// parallel write path.
 	EngineStats = engine.EngineStats
+	// Delta is one push notification of a standing query's answer
+	// change, delivered on the channel returned by Subscribe
+	// (QuerySet.Subscribe / Engine.Subscribe / WordEngine.Subscribe):
+	// the publication version plus the answers added and removed, so a
+	// monitor pays per edit for the CHANGE, not a full re-read. The
+	// first Delta of a subscription carries a Resync snapshot as the
+	// base; consecutive deltas are coalesced (Coalesced flag) when the
+	// consumer falls behind, degrading to a fresh Resync past the
+	// engine's limit. See DESIGN.md §11.
+	Delta = engine.Delta
 )
 
 // InvalidNode is the sentinel NodeID meaning "no node" (unapplied batch

@@ -5,7 +5,11 @@
 // every edit is paid once; each monitor only adds its own logarithmic
 // box repair. The session shows:
 //
-//   - an MSO monitor ("every figure without a caption", Corollary 8.3),
+//   - an MSO monitor ("every figure without a caption", Corollary 8.3)
+//     wired onto the PUSH API: a Subscribe stream delivers, per edit,
+//     only the answers gained and lost — computed on the write path in
+//     time proportional to the change, so the alerting cost of an edit
+//     tracks the diff even when the document holds thousands of matches,
 //   - a path monitor ("figures directly under a section", compiled to a
 //     compact nondeterministic automaton),
 //   - a monitor REGISTERED LATE, halfway through the session, against
@@ -49,6 +53,44 @@ func reportUncaptioned(w io.Writer, snap *enumtrees.Snapshot, t *enumtrees.Tree)
 
 func reportCount(w io.Writer, name string, snap *enumtrees.Snapshot) {
 	fmt.Fprintf(w, "  [%s] %d match(es)\n", name, snap.Count())
+}
+
+// watchDeltas drains the uncaptioned monitor's Subscribe stream up to
+// the just-published version, printing only what CHANGED: a figure that
+// lost its caption is gained, a figure that got one is resolved. The
+// first few of each are shown by node; the footer carries the totals.
+func watchDeltas(w io.Writer, ch <-chan enumtrees.Delta, target uint64) {
+	const show = 3
+	adds, rems := 0, 0
+	for v := uint64(0); v < target; {
+		d, ok := <-ch
+		if !ok {
+			return
+		}
+		if d.Resync != nil {
+			fmt.Fprintf(w, "  [delta] resynced at v%d (%d uncaptioned)\n", d.Version, d.Resync.Count())
+		}
+		for _, a := range d.Added {
+			if adds < show {
+				fmt.Fprintf(w, "  [delta] +uncaptioned fig node %d\n", a[0].Node)
+			}
+			adds++
+		}
+		for _, a := range d.Removed {
+			if rems < show {
+				fmt.Fprintf(w, "  [delta] -uncaptioned fig node %d\n", a[0].Node)
+			}
+			rems++
+		}
+		v = d.Version
+	}
+	if adds > show {
+		fmt.Fprintf(w, "  [delta]  … %d more gained\n", adds-show)
+	}
+	if rems > show {
+		fmt.Fprintf(w, "  [delta]  … %d more resolved\n", rems-show)
+	}
+	fmt.Fprintf(w, "  [delta] %d gained, %d resolved\n", adds, rems)
 }
 
 func main() {
@@ -98,6 +140,16 @@ func run(w io.Writer) error {
 	reportUncaptioned(w, m.Query(uncap), t)
 	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 
+	// The uncaptioned monitor goes PUSH: from here on it never re-reads
+	// its answer set — each publication delivers only the answers gained
+	// and lost. The subscription's first delta is the base resync (the
+	// base was just printed above, so it is consumed and dropped).
+	uncapCh, err := qs.Subscribe(uncap)
+	if err != nil {
+		return err
+	}
+	<-uncapCh
+
 	// An editing session: captions appear and disappear, figures are
 	// added; after each edit every standing monitor re-answers instantly
 	// from the same MultiSnapshot.
@@ -112,7 +164,7 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	reportUncaptioned(w, m.Query(uncap), t)
+	watchDeltas(w, uncapCh, m.Version())
 	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 
 	fmt.Fprintln(w, "\nedit: grow the document with 500 random captioned figures (batched)")
@@ -134,19 +186,23 @@ func run(w io.Writer) error {
 			Label: "fig",
 		}
 	}
-	_, figIDs, err := qs.ApplyBatch(figBatch)
+	mFigs, figIDs, err := qs.ApplyBatch(figBatch)
 	if err != nil {
 		return err
 	}
+	// One publication, 500 new uncaptioned figures: the subscriber gets
+	// them as ONE delta, without re-reading the other 500+ answers.
+	watchDeltas(w, uncapCh, mFigs.Version())
 	capBatch := make([]enumtrees.Update, len(figIDs))
 	for i, fig := range figIDs {
 		capBatch[i] = enumtrees.Update{Op: enumtrees.OpInsertFirstChild, Node: fig, Label: "caption"}
 	}
+	fmt.Fprintln(w, "edit: caption them all (batched)")
 	m, _, err = qs.ApplyBatch(capBatch)
 	if err != nil {
 		return err
 	}
-	reportUncaptioned(w, m.Query(uncap), t)
+	watchDeltas(w, uncapCh, m.Version())
 	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 	lastFig := figIDs[len(figIDs)-1]
 
@@ -187,7 +243,7 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	reportUncaptioned(w, m.Query(uncap), t)
+	watchDeltas(w, uncapCh, m.Version())
 	reportCount(w, "/doc/sec/fig", m.Query(secFigs))
 	reportCount(w, "captions", m.Query(caps))
 	reportCount(w, "captions (twin)", m.Query(capsTwin))

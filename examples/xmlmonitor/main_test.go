@@ -7,8 +7,10 @@ import (
 )
 
 // TestXMLMonitorRuns smoke-tests the multi-monitor session: shared
-// QuerySet, 500-figure batched growth, late registration, a duplicate
-// subscriber deduped onto the shared pipeline, unregister.
+// QuerySet, a push subscriber on the uncaptioned monitor (per-edit
+// answer deltas instead of re-reads), 500-figure batched growth, late
+// registration, a duplicate subscriber deduped onto the shared
+// pipeline, unregister.
 func TestXMLMonitorRuns(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf); err != nil {
@@ -18,8 +20,13 @@ func TestXMLMonitorRuns(t *testing.T) {
 	for _, want := range []string{
 		"compiled MSO query",
 		"standing monitors: 2",
-		"all figures captioned ✓",
 		"uncaptioned figure in section node",
+		"[delta] -uncaptioned fig node 6", // captioning the bare figure streams one removal
+		"[delta] 0 gained, 1 resolved",
+		"[delta]  … 497 more gained", // the 500-figure batch arrives as ONE delta
+		"[delta] 500 gained, 0 resolved",
+		"[delta] 0 gained, 500 resolved", // and the caption batch cancels it
+		"[delta] 1 gained, 0 resolved",   // the deep caption delete streams one addition
 		"subscribe late: caption monitor",
 		"[captions] 503 match(es)", // at registration, against the grown document
 		"subscribe twin: a second dashboard wants the same caption monitor",

@@ -1,0 +1,456 @@
+package engine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/enumerate"
+	"repro/internal/tree"
+)
+
+// This file is the differential oracle of answer-delta streaming: the
+// same edit scripts as differential_test.go run through an engine with a
+// Subscribe consumer attached, and after every batch the consumer's
+// materialized set — the initial resync folded with every received
+// Delta — is compared against a full re-enumeration of the published
+// snapshot. The fold is STRICT (removing an absent answer or adding a
+// present one fails immediately), so the deltas must be exact, not just
+// eventually consistent. Unambiguous queries exercise the count-guided
+// co-descent differ; the ambiguous path query and ModeNaive exercise the
+// full-drain fallback.
+
+const deltaRecvTimeout = 30 * time.Second
+
+// deltaConsumer folds a subscription's Delta stream into a materialized
+// answer set, strictly.
+type deltaConsumer struct {
+	ch        <-chan engine.Delta
+	set       map[string]tree.Assignment
+	version   uint64
+	coalesced int
+	resyncs   int
+}
+
+func newDeltaConsumer(t *testing.T, ch <-chan engine.Delta) *deltaConsumer {
+	t.Helper()
+	c := &deltaConsumer{ch: ch, set: map[string]tree.Assignment{}}
+	d := c.recv(t)
+	if d.Resync == nil {
+		t.Fatalf("first delta of a subscription must be a resync, got %+v", d)
+	}
+	c.fold(t, d)
+	return c
+}
+
+func (c *deltaConsumer) recv(t *testing.T) engine.Delta {
+	t.Helper()
+	select {
+	case d, ok := <-c.ch:
+		if !ok {
+			t.Fatalf("delta channel closed at version %d", c.version)
+		}
+		return d
+	case <-time.After(deltaRecvTimeout):
+		t.Fatalf("no delta within %v (at version %d)", deltaRecvTimeout, c.version)
+	}
+	panic("unreachable")
+}
+
+func (c *deltaConsumer) fold(t *testing.T, d engine.Delta) {
+	t.Helper()
+	if d.Version < c.version {
+		t.Fatalf("delta version went backwards: %d after %d", d.Version, c.version)
+	}
+	if d.Coalesced {
+		c.coalesced++
+	}
+	if d.Resync != nil {
+		if d.Added != nil || d.Removed != nil {
+			t.Fatalf("resync delta carries a diff: %+v", d)
+		}
+		c.resyncs++
+		c.set = map[string]tree.Assignment{}
+		for a := range d.Resync.Results() {
+			c.set[a.Key()] = a
+		}
+		c.version = d.Version
+		return
+	}
+	for _, a := range d.Removed {
+		k := a.Key()
+		if _, ok := c.set[k]; !ok {
+			t.Fatalf("delta v%d removes absent answer %s", d.Version, k)
+		}
+		delete(c.set, k)
+	}
+	for _, a := range d.Added {
+		k := a.Key()
+		if _, ok := c.set[k]; ok {
+			t.Fatalf("delta v%d adds already-present answer %s", d.Version, k)
+		}
+		c.set[k] = a
+	}
+	c.version = d.Version
+}
+
+// advance folds deltas until the consumer's version reaches target (the
+// just-published version; coalesced deltas may cover several steps in
+// one receive, but never overshoot the latest publication).
+func (c *deltaConsumer) advance(t *testing.T, target uint64) {
+	t.Helper()
+	for c.version < target {
+		c.fold(t, c.recv(t))
+	}
+	if c.version != target {
+		t.Fatalf("delta stream overshot: at %d, wanted %d", c.version, target)
+	}
+}
+
+func (c *deltaConsumer) keys() []string {
+	out := make([]string, 0, len(c.set))
+	for k := range c.set {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// deltaEngine is the slice of TreeEngine/WordEngine the replay needs.
+type deltaEngine interface {
+	ApplyBatch([]engine.Update) (*engine.Snapshot, []tree.NodeID, error)
+	Subscribe() (<-chan engine.Delta, error)
+	Snapshot() *engine.Snapshot
+}
+
+// runDeltaScript replays one script with a subscriber attached and
+// fails on any divergence between the delta-replayed set and a full
+// re-enumeration of the published snapshot after every batch.
+func runDeltaScript(t *testing.T, s *diffScript, opts engine.Options) {
+	t.Helper()
+	var e deltaEngine
+	if s.isWord {
+		q, err := diffWordQuery(s.query)
+		if err != nil {
+			t.Fatalf("script query: %v\nscript:\n%s", err, s)
+		}
+		we, err := engine.NewWord(s.letters, q, opts)
+		if err != nil {
+			t.Fatalf("engine: %v\nscript:\n%s", err, s)
+		}
+		e = we
+	} else {
+		q, err := diffTreeQuery(s.query)
+		if err != nil {
+			t.Fatalf("script query: %v\nscript:\n%s", err, s)
+		}
+		ut, err := tree.ParseUnranked(s.tree)
+		if err != nil {
+			t.Fatalf("script tree: %v\nscript:\n%s", err, s)
+		}
+		te, err := engine.NewTree(ut, q, opts)
+		if err != nil {
+			t.Fatalf("engine: %v\nscript:\n%s", err, s)
+		}
+		e = te
+	}
+	ch, err := e.Subscribe()
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	c := newDeltaConsumer(t, ch)
+	if want := resultKeys(e.Snapshot().Results()); !slices.Equal(c.keys(), want) {
+		t.Fatalf("initial resync diverges\nreplayed: %v\nfull:     %v\nscript:\n%s", c.keys(), want, s)
+	}
+	for bi, raw := range s.batches {
+		batch := make([]engine.Update, 0, len(raw))
+		for _, ed := range raw {
+			u, err := parseDiffEdit(ed)
+			if err != nil {
+				t.Fatalf("%v\nscript:\n%s", err, s)
+			}
+			batch = append(batch, u)
+		}
+		snap, _, err := e.ApplyBatch(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v\nscript:\n%s", bi, err, s)
+		}
+		c.advance(t, snap.Version())
+		if want := resultKeys(snap.Results()); !slices.Equal(c.keys(), want) {
+			t.Fatalf("batch %d: delta replay diverges\nreplayed: %v\nfull:     %v\nscript:\n%s",
+				bi, c.keys(), want, s)
+		}
+	}
+}
+
+// TestDeltaReplayCorpus replays the committed differential corpus with a
+// delta subscriber (all query kinds, including the ambiguous path query
+// on the fallback path).
+func TestDeltaReplayCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "differential", "*.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus scripts found")
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := parseDiffScript(string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runDeltaScript(t, s, engine.Options{})
+		})
+	}
+}
+
+// TestDeltaReplayRandom draws random leaf-edit scripts — trees across
+// all query kinds and words — and checks the delta replay after every
+// batch.
+func TestDeltaReplayRandom(t *testing.T) {
+	queries := []string{"select:b", "ancestor", "childpair", "path://a//b"}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(500 + seed))
+		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false, false)
+		t.Run(fmt.Sprintf("tree%d", seed), func(t *testing.T) { runDeltaScript(t, s, engine.Options{}) })
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(600 + seed))
+		s := randomDiffScript(rng, "span", true, false)
+		t.Run(fmt.Sprintf("word%d", seed), func(t *testing.T) { runDeltaScript(t, s, engine.Options{}) })
+	}
+}
+
+// TestDeltaReplayStructural is the structural half: subtree moves,
+// grafts and deletes (whose repair reuses moved regions wholesale — the
+// exact units the co-descent prunes on) and word range ops, against
+// ambiguous and unambiguous automata.
+func TestDeltaReplayStructural(t *testing.T) {
+	queries := []string{"select:b", "ancestor", "childpair", "path://a//b"}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(700 + seed))
+		s := randomDiffScript(rng, queries[seed%int64(len(queries))], false, true)
+		t.Run(fmt.Sprintf("tree%d", seed), func(t *testing.T) { runDeltaScript(t, s, engine.Options{}) })
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(800 + seed))
+		s := randomDiffScript(rng, "span", true, true)
+		t.Run(fmt.Sprintf("word%d", seed), func(t *testing.T) { runDeltaScript(t, s, engine.Options{}) })
+	}
+}
+
+// TestDeltaReplayModeNaive forces the non-indexed fallback (no counts,
+// no co-descent) through the same structural replay.
+func TestDeltaReplayModeNaive(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		rng := rand.New(rand.NewSource(900 + seed))
+		s := randomDiffScript(rng, "select:b", false, true)
+		t.Run(fmt.Sprintf("tree%d", seed), func(t *testing.T) {
+			runDeltaScript(t, s, engine.Options{Mode: enumerate.ModeNaive})
+		})
+	}
+}
+
+// TestDeltaCoalescing starves the consumer while many batches publish:
+// the pending delta must coalesce (Coalesced set), the composed fold
+// must still land exactly on the final answer set, and with a tiny
+// resync limit the composition must degrade to a snapshot resync.
+func TestDeltaCoalescing(t *testing.T) {
+	build := func(t *testing.T) (*engine.TreeEngine, <-chan engine.Delta) {
+		ut, err := tree.ParseUnranked("(a (b) (c) (b) (c) (b) (c))")
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := diffTreeQuery("select:b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.NewTree(ut, q, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := e.Subscribe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, ch
+	}
+	churn := func(t *testing.T, e *engine.TreeEngine) *engine.Snapshot {
+		// Far more publications than channel capacity + pending slot can
+		// hold without the consumer draining: coalescing must engage.
+		var last *engine.Snapshot
+		for i := 0; i < 64; i++ {
+			l := tree.Label("b")
+			if i%2 == 1 {
+				l = "c"
+			}
+			snap, _, err := e.ApplyBatch([]engine.Update{
+				{Op: engine.OpRelabel, Node: 1, Label: l},
+				{Op: engine.OpRelabel, Node: 3, Label: l},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = snap
+		}
+		return last
+	}
+	t.Run("coalesce", func(t *testing.T) {
+		e, ch := build(t)
+		last := churn(t, e)
+		c := newDeltaConsumer(t, ch)
+		c.advance(t, last.Version())
+		if c.coalesced == 0 {
+			t.Fatal("64 undrained publications never coalesced")
+		}
+		if want := resultKeys(last.Results()); !slices.Equal(c.keys(), want) {
+			t.Fatalf("coalesced replay diverges\nreplayed: %v\nfull: %v", c.keys(), want)
+		}
+		if st := e.Set().Stats(); st.DeltasCoalesced == 0 {
+			t.Fatalf("Stats().DeltasCoalesced = 0 after coalescing run: %+v", st)
+		}
+	})
+	t.Run("resync", func(t *testing.T) {
+		e, ch := build(t)
+		e.Set().SetDeltaResyncLimit(1)
+		ch2, err := e.Subscribe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := churn(t, e)
+		for _, watch := range []<-chan engine.Delta{ch, ch2} {
+			c := newDeltaConsumer(t, watch)
+			c.advance(t, last.Version())
+			if want := resultKeys(last.Results()); !slices.Equal(c.keys(), want) {
+				t.Fatalf("replay diverges\nreplayed: %v\nfull: %v", c.keys(), want)
+			}
+		}
+	})
+}
+
+// TestDeltaResyncEngages: with resync limit 1, any coalesced composition
+// with ≥2 changed answers must arrive as a Resync delta.
+func TestDeltaResyncEngages(t *testing.T) {
+	ut, err := tree.ParseUnranked("(a (b) (c) (b) (c))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := diffTreeQuery("select:b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.NewTree(ut, q, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Set().SetDeltaResyncLimit(1)
+	ch, err := e.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume the seed resync FIRST, then starve: otherwise every
+	// publication merges into the still-pending seed and the overflow
+	// path never runs.
+	c := newDeltaConsumer(t, ch)
+	var last *engine.Snapshot
+	for i := 0; i < 64; i++ {
+		l := tree.Label("b")
+		if i%2 == 1 {
+			l = "c"
+		}
+		snap, _, err := e.ApplyBatch([]engine.Update{
+			{Op: engine.OpRelabel, Node: 1, Label: l},
+			{Op: engine.OpRelabel, Node: 3, Label: l},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = snap
+	}
+	c.advance(t, last.Version())
+	if c.resyncs < 2 { // the seed resync plus at least one overflow
+		t.Fatalf("starved subscription with limit 1 never resynced (resyncs=%d, coalesced=%d)",
+			c.resyncs, c.coalesced)
+	}
+	if want := resultKeys(last.Results()); !slices.Equal(c.keys(), want) {
+		t.Fatalf("resync replay diverges\nreplayed: %v\nfull: %v", c.keys(), want)
+	}
+}
+
+// TestDeltaUnregisterCloses: unregistering the query closes every
+// subscriber channel.
+func TestDeltaUnregisterCloses(t *testing.T) {
+	ut, err := tree.ParseUnranked("(a (b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := diffTreeQuery("select:b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.NewTree(ut, q, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := e.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set().Unregister(e.ID()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(deltaRecvTimeout)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return // closed, as required
+			}
+		case <-deadline:
+			t.Fatal("channel not closed after Unregister")
+		}
+	}
+}
+
+// TestDeltaStats: a subscribed engine surfaces the delta counters.
+func TestDeltaStats(t *testing.T) {
+	ut, err := tree.ParseUnranked("(a (b) (c))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := diffTreeQuery("select:b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.NewTree(ut, q, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := e.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := e.ApplyBatch([]engine.Update{{Op: engine.OpRelabel, Node: 2, Label: "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newDeltaConsumer(t, ch)
+	c.advance(t, snap.Version())
+	st := e.Set().Stats()
+	if st.DeltasEmitted == 0 {
+		t.Fatalf("DeltasEmitted = 0 after a subscribed publication: %+v", st)
+	}
+	if st.AnswersAdded != 1 || st.AnswersRemoved != 0 {
+		t.Fatalf("AnswersAdded/Removed = %d/%d, want 1/0", st.AnswersAdded, st.AnswersRemoved)
+	}
+}

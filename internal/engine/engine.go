@@ -463,6 +463,22 @@ type Engine struct {
 	// .BoxesReused stay cumulative and monotone.
 	boxesReleased  int
 	reusedReleased int
+
+	// subs is the delta-streaming subscriber registry (delta.go): per
+	// QueryID, the live Subscribe channels fed at publication time.
+	// differ is the engine's reusable count-guided co-descent differ;
+	// publication is serialized under e.mu, so one instance suffices.
+	subs             map[QueryID][]*subscriber
+	differ           *enumerate.Differ
+	deltaResyncLimit int
+	// Write-path delta counters (mutated under e.mu during publication,
+	// surfaced via EngineStats): deltas offered to subscribers, answers
+	// added/removed across computed per-pipeline diffs, and offers that
+	// coalesced into a still-pending delivery.
+	deltasEmitted   int64
+	answersAdded    int64
+	answersRemoved  int64
+	deltasCoalesced int64
 }
 
 // initEngine wires the shared fields around the freshly built source,
@@ -659,6 +675,7 @@ func (e *Engine) Unregister(id QueryID) error {
 	delete(e.pipes, id)
 	i := slices.Index(e.order, id)
 	e.order = slices.Delete(e.order, i, i+1)
+	e.closeSubsLocked(id)
 	e.applyAndPublish()
 	return nil
 }
@@ -818,6 +835,7 @@ func (e *Engine) applyAndPublish() *MultiSnapshot {
 	for _, id := range ids {
 		m.snaps[id] = snaps[e.pipes[id]]
 	}
+	e.dispatchDeltas(e.snap.Load(), m)
 	e.snap.Store(m)
 	e.publishStats()
 	return m

@@ -1,0 +1,117 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/leaktest"
+	"repro/internal/tree"
+	"repro/internal/tva"
+	"repro/internal/workload"
+)
+
+// Goroutine-leak guards over the engine's goroutine-spawning paths: the
+// PR 6 parallel streaming read (Chunks fans out workers that must die on
+// an early break) and the delta-subscription lifecycle (each Subscribe
+// starts a delivery goroutine that must die on Unregister, even with an
+// undelivered pending delta and no consumer). Run under -race in CI.
+
+func leakEngine(t *testing.T, n int) *engine.TreeEngine {
+	t.Helper()
+	ut, err := workload.Tree(workload.ShapeRandom, n, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tva.SelectLabel([]tree.Label{"a", "b", "c"}, "b", 0)
+	e, err := engine.NewTree(ut, q, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestLeakChunksEarlyBreak breaks out of a fanned-out Chunks stream
+// after the first chunk; the producer workers behind it must wind down.
+func TestLeakChunksEarlyBreak(t *testing.T) {
+	e := leakEngine(t, 2000)
+	leaktest.Check(t, func() {
+		for range 20 {
+			snap := e.Snapshot()
+			for chunk := range snap.Chunks(4, 8) {
+				_ = chunk
+				break // early break: workers + feeder must terminate
+			}
+		}
+	})
+}
+
+// TestLeakSubscribeUnregisterChurn churns subscriptions with pending
+// undelivered deltas and no consumer ever draining: every delivery
+// goroutine must exit once its query is unregistered.
+func TestLeakSubscribeUnregisterChurn(t *testing.T) {
+	leaktest.Check(t, func() {
+		for range 10 {
+			e := leakEngine(t, 200)
+			var chans []<-chan engine.Delta
+			for range 5 {
+				ch, err := e.Subscribe()
+				if err != nil {
+					t.Fatal(err)
+				}
+				chans = append(chans, ch)
+			}
+			// Publications pile deltas onto the never-draining
+			// subscribers (seed resync still pending, offers coalesce).
+			for i := range 4 {
+				l := tree.Label("b")
+				if i%2 == 1 {
+					l = "c"
+				}
+				if _, _, err := e.ApplyBatch([]engine.Update{{Op: engine.OpRelabel, Node: 1, Label: l}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.Set().Unregister(e.ID()); err != nil {
+				t.Fatal(err)
+			}
+			// Channels must be closed — drain to the close without help
+			// from any writer.
+			for _, ch := range chans {
+				for range ch {
+				}
+			}
+		}
+	})
+}
+
+// TestLeakSubscribeWithActiveConsumer is the well-behaved variant: a
+// consumer drains until close; after Unregister nothing survives.
+func TestLeakSubscribeWithActiveConsumer(t *testing.T) {
+	leaktest.Check(t, func() {
+		e := leakEngine(t, 500)
+		ch, err := e.Subscribe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range ch {
+			}
+		}()
+		for i := range 8 {
+			l := tree.Label("b")
+			if i%2 == 1 {
+				l = "c"
+			}
+			if _, _, err := e.ApplyBatch([]engine.Update{{Op: engine.OpRelabel, Node: 1, Label: l}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Set().Unregister(e.ID()); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	})
+}

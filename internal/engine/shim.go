@@ -28,6 +28,11 @@ func (s shim) project(m *MultiSnapshot) *Snapshot {
 // MultiSnapshot: still one atomic load, no locks.
 func (s shim) Snapshot() *Snapshot { return s.project(s.eng.Snapshot()) }
 
+// Subscribe opens an answer-delta stream for this engine's query: one
+// Delta per publication, coalescing under backpressure, closed when the
+// engine is unregistered. See Engine.Subscribe.
+func (s shim) Subscribe() (<-chan Delta, error) { return s.eng.Subscribe(s.id) }
+
 // BoxesRebuilt returns the cumulative number of circuit boxes built for
 // this query, including the initial construction (the update-work
 // counter of the amortization experiments). Like every shim method it

@@ -81,6 +81,21 @@ type EngineStats struct {
 	// calls that fanned out across more than one worker (read live,
 	// like AnswersEnumerated).
 	ParallelDrains int64
+	// DeltasEmitted is the cumulative number of answer deltas offered to
+	// Subscribe consumers (one per subscriber per publication; the
+	// initial resync seeding a subscription is not counted).
+	DeltasEmitted int64
+	// AnswersAdded / AnswersRemoved accumulate the sizes of the computed
+	// per-pipeline answer diffs (counted once per distinct pipeline per
+	// publication, regardless of the number of subscribers sharing it):
+	// the work the delta stream SHIPS, as opposed to the answer-set
+	// sizes a full re-read would pay.
+	AnswersAdded   int64
+	AnswersRemoved int64
+	// DeltasCoalesced is the cumulative number of offers that merged
+	// into a still-undelivered pending delta because the consumer fell
+	// behind (each surfaces to that consumer as Delta.Coalesced).
+	DeltasCoalesced int64
 }
 
 // Stats returns the engine's latest published work counters: one atomic
@@ -118,6 +133,10 @@ func (e *Engine) publishStats() {
 		ProgramCacheSize:     circuit.ProgramCacheSize(),
 		AnswersEnumerated:    e.reads.answersEnumerated.Load(),
 		ParallelDrains:       e.reads.parallelDrains.Load(),
+		DeltasEmitted:        e.deltasEmitted,
+		AnswersAdded:         e.answersAdded,
+		AnswersRemoved:       e.answersRemoved,
+		DeltasCoalesced:      e.deltasCoalesced,
 	}
 	// Repair-work counters sum over DISTINCT pipelines (a shared
 	// pipeline's work is paid once, so it is counted once); the

@@ -1,0 +1,112 @@
+package enumerate
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/circuit"
+	"repro/internal/tree"
+)
+
+// leafBoxFor hand-assembles a leaf box with one var gate per entry,
+// each behind its own ∪-gate (gate i ← var i).
+func leafBoxFor(vars ...circuit.VarGate) *circuit.Box {
+	b := &circuit.Box{Vars: vars}
+	b.Unions = make([]circuit.UnionGate, len(vars))
+	b.VarOut = make([][]int32, len(vars))
+	for i := range vars {
+		b.Unions[i] = circuit.UnionGate{Vars: []int32{int32(i)}}
+		b.VarOut[i] = []int32{int32(i)}
+	}
+	return b
+}
+
+// productBoxOver hand-assembles an inner box with a single ×-gate
+// pairing ∪-gate 0 of each child, behind ∪-gate 0.
+func productBoxOver(l, r *IndexedBox) *IndexedBox {
+	b := &circuit.Box{
+		Left:     l.Box,
+		Right:    r.Box,
+		Times:    []circuit.TimesGate{{Left: 0, Right: 0}},
+		Unions:   []circuit.UnionGate{{Times: []int32{0}}},
+		TimesOut: [][]int32{{0}},
+		WLeft:    bitset.MatrixOn(make([]uint64, bitset.Words(len(l.Box.Unions), 1)), len(l.Box.Unions), 1),
+		WRight:   bitset.MatrixOn(make([]uint64, bitset.Words(len(r.Box.Unions), 1)), len(r.Box.Unions), 1),
+	}
+	return Wrap(b, l, r, true)
+}
+
+func gset(n int, elems ...int) bitset.Set {
+	s := bitset.NewSet(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+func keysOf(as []tree.Assignment) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Key()
+	}
+	return out
+}
+
+// TestDifferLeaf covers the leaf-level contract: pointer-shared regions
+// with equal gate sets prune to an empty delta, gate-set narrowing emits
+// exactly the dropped var route, a nil side drains the other in full,
+// and the emptyOK flag diffs as the empty assignment.
+func TestDifferLeaf(t *testing.T) {
+	b := Wrap(leafBoxFor(
+		circuit.VarGate{Set: 1, Node: 3},
+		circuit.VarGate{Set: 1, Node: 7},
+	), nil, nil, true)
+	g01 := gset(2, 0, 1)
+	g0 := gset(2, 0)
+
+	d := NewDiffer(ModeIndexed)
+	if a, r := d.Diff(b, g01, false, b, g01, false); len(a)+len(r) != 0 {
+		t.Fatalf("shared region with equal gates must prune: added %v removed %v", a, r)
+	}
+	a, r := d.Diff(b, g01, false, b, g0, false)
+	if len(a) != 0 || len(r) != 1 || r[0].Key() != "7:0;" {
+		t.Fatalf("gate narrowing: added %v removed %v", keysOf(a), keysOf(r))
+	}
+	a, r = d.Diff(nil, bitset.NewSet(0), false, b, g0, false)
+	if len(r) != 0 || len(a) != 1 || a[0].Key() != "3:0;" {
+		t.Fatalf("nil old side: added %v removed %v", keysOf(a), keysOf(r))
+	}
+	a, r = d.Diff(b, g0, true, b, g0, false)
+	if len(a) != 0 || len(r) != 1 || len(r[0]) != 0 {
+		t.Fatalf("emptyOK drop: added %v removed %v", keysOf(a), keysOf(r))
+	}
+}
+
+// TestDifferProductSharedFactor changes one factor of a product region:
+// the diff must route through the shared-factor grouping (the other
+// factor is pointer-shared) and emit exactly the old and new products.
+func TestDifferProductSharedFactor(t *testing.T) {
+	l := Wrap(leafBoxFor(circuit.VarGate{Set: 1, Node: 1}), nil, nil, true)
+	r1 := Wrap(leafBoxFor(circuit.VarGate{Set: 2, Node: 2}), nil, nil, true)
+	r2 := Wrap(leafBoxFor(circuit.VarGate{Set: 2, Node: 9}), nil, nil, true)
+	o := productBoxOver(l, r1)
+	n := productBoxOver(l, r2)
+	g := gset(1, 0)
+
+	d := NewDiffer(ModeIndexed)
+	a, rm := d.Diff(o, g, false, n, g, false)
+	if len(a) != 1 || a[0].Key() != "1:0;9:1;" {
+		t.Fatalf("added = %v", keysOf(a))
+	}
+	if len(rm) != 1 || rm[0].Key() != "1:0;2:1;" {
+		t.Fatalf("removed = %v", keysOf(rm))
+	}
+
+	// Same structure on both sides: even though the parent wrappers are
+	// distinct pointers, the shared-factor recursion bottoms out on the
+	// pointer-shared leaves and the delta is empty.
+	n2 := productBoxOver(l, r1)
+	if a, rm := d.Diff(o, g, false, n2, g, false); len(a)+len(rm) != 0 {
+		t.Fatalf("identical versions: added %v removed %v", keysOf(a), keysOf(rm))
+	}
+}

@@ -1,0 +1,62 @@
+// Package leaktest is a tiny goroutine-leak guard for tests: snapshot
+// the goroutine count before the scenario, run it, and poll until the
+// count returns to the baseline — failing with a full stack dump if it
+// does not. It exists for the engine's goroutine-spawning read and
+// subscription paths (Chunks early-break, Subscribe/Unregister churn),
+// where a forgotten cancellation shows up as a goroutine that outlives
+// the test body.
+//
+// Counting goroutines is deliberately crude but dependency-free and
+// race-detector-friendly: scenarios that legitimately keep background
+// goroutines (none in this repo) would need a more surgical guard.
+package leaktest
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check runs fn and asserts that every goroutine it started is gone
+// shortly after it returns. Call it at the top of a test:
+//
+//	leaktest.Check(t, func() { ...scenario... })
+//
+// The goroutine count is allowed to transiently exceed the baseline
+// while fn runs; only the settled count after fn matters. Polls for up
+// to 5 seconds before failing (goroutine teardown is asynchronous —
+// e.g. a delivery goroutine observing a closed done channel).
+func Check(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s",
+		before, runtime.NumGoroutine(), condense(string(buf[:n])))
+}
+
+// condense drops testing-harness goroutines from a stack dump so the
+// leaked ones stand out.
+func condense(dump string) string {
+	var keep []string
+	for _, g := range strings.Split(dump, "\n\n") {
+		if strings.Contains(g, "testing.") || strings.Contains(g, "runtime.Stack") {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	return strings.Join(keep, "\n\n")
+}
