@@ -43,6 +43,13 @@
 //	                         # vs changed-answer count, plus the scale
 //	                         # sweep pinning the change at 2 answers)
 //	                         # and write its JSON baseline
+//	benchtables -kernels BENCH_kernels.json
+//	                         # run the vectorized-kernel experiment
+//	                         # (E-kernel: AVX2/POPCNT dispatch vs the
+//	                         # portable Go loops, kernel-level ns/op and
+//	                         # end-to-end repair/drain, with the host's
+//	                         # CPU feature flags recorded) and write its
+//	                         # JSON baseline
 //	benchtables -build BENCH_build.json
 //	                         # run the box-construction experiment (B1:
 //	                         # build throughput plus per-update repair ns
@@ -90,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	enumparallel := fs.String("enumparallel", "", "run the parallel-enumeration experiment and write its JSON baseline to this path")
 	structural := fs.String("structural", "", "run the structural-edit experiment and write its JSON baseline to this path")
 	delta := fs.String("delta", "", "run the answer-delta streaming experiment and write its JSON baseline to this path")
+	kernels := fs.String("kernels", "", "run the vectorized-kernel experiment and write its JSON baseline to this path")
 	build := fs.String("build", "", "run the box-construction experiment and write its JSON baseline to this path")
 	buildref := fs.String("buildref", "", "embed a previous -build baseline (its \"current\" run) as the pre-PR reference of this -build run")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
@@ -158,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	start := time.Now()
 	// Baseline flags alone skip the table sweep unless IDs were
 	// requested.
-	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *enumparallel == "" && *structural == "" && *delta == "" && *build == "") || len(want) > 0
+	runTables := (*concurrent == "" && *multiquery == "" && *directaccess == "" && *parallel == "" && *enumparallel == "" && *structural == "" && *delta == "" && *kernels == "" && *build == "") || len(want) > 0
 	if runTables {
 		for _, id := range order {
 			if len(want) > 0 && !want[id] {
@@ -278,6 +286,20 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 		fmt.Fprintf(stderr, "[E-delta done in %v, baseline written to %s]\n",
 			time.Since(t0).Round(time.Millisecond), *delta)
+	}
+	if *kernels != "" {
+		t0 := time.Now()
+		base := experiments.Kernels(*quick)
+		fmt.Fprintln(stdout, base.Table().Markdown())
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*kernels, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "[E-kernel done in %v, baseline written to %s]\n",
+			time.Since(t0).Round(time.Millisecond), *kernels)
 	}
 	if *build != "" {
 		t0 := time.Now()

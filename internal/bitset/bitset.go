@@ -43,23 +43,10 @@ func (s Set) Remove(i int) { s.words[i>>6] &^= 1 << uint(i&63) }
 func (s Set) Has(i int) bool { return s.words[i>>6]&(1<<uint(i&63)) != 0 }
 
 // Empty reports whether the set has no elements.
-func (s Set) Empty() bool {
-	for _, w := range s.words {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (s Set) Empty() bool { return !anyWords(s.words) }
 
 // Count returns the number of elements in the set.
-func (s Set) Count() int {
-	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
+func (s Set) Count() int { return popcountWords(s.words) }
 
 // Clear removes all elements.
 func (s Set) Clear() {
@@ -85,35 +72,16 @@ func (s Set) CopyFrom(o Set) {
 }
 
 // Or adds every element of o to s.
-func (s Set) Or(o Set) {
-	for i, w := range o.words {
-		s.words[i] |= w
-	}
-}
+func (s Set) Or(o Set) { orWords(s.words, o.words) }
 
 // And removes from s every element not in o.
-func (s Set) And(o Set) {
-	for i, w := range o.words {
-		s.words[i] &= w
-	}
-}
+func (s Set) And(o Set) { andWords(s.words, o.words) }
 
 // AndNot removes from s every element of o.
-func (s Set) AndNot(o Set) {
-	for i, w := range o.words {
-		s.words[i] &^= w
-	}
-}
+func (s Set) AndNot(o Set) { andNotWords(s.words, o.words) }
 
 // Intersects reports whether s and o share an element.
-func (s Set) Intersects(o Set) bool {
-	for i, w := range o.words {
-		if s.words[i]&w != 0 {
-			return true
-		}
-	}
-	return false
-}
+func (s Set) Intersects(o Set) bool { return intersectWords(s.words, o.words) }
 
 // Equal reports whether s and o contain exactly the same elements.
 func (s Set) Equal(o Set) bool {
@@ -136,6 +104,46 @@ func (s Set) First() int {
 		}
 	}
 	return -1
+}
+
+// Next returns the smallest element ≥ i, or -1 if there is none. It is
+// the closure-free iteration primitive for hot loops:
+//
+//	for g := s.Next(0); g >= 0; g = s.Next(g + 1) { ... }
+func (s Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	wi := i >> 6
+	if wi >= len(s.words) {
+		return -1
+	}
+	if w := s.words[wi] >> uint(i&63); w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if w := s.words[wi]; w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Single returns the set's sole element when it has exactly one, else
+// (-1, false) — the closure-free form of the "is this provenance a
+// singleton" test of the direct-access descent.
+func (s Set) Single() (int, bool) {
+	e := -1
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		if e >= 0 || w&(w-1) != 0 {
+			return -1, false
+		}
+		e = i<<6 + bits.TrailingZeros64(w)
+	}
+	return e, e >= 0
 }
 
 // ForEach calls f for every element in increasing order. If f returns

@@ -73,60 +73,81 @@ func IdentityOn(bits []uint64, n int) Matrix {
 // ComposeInto is Compose OR-accumulating into a caller-provided
 // destination matrix, which must be a.Rows×b.Cols and ALL-FALSE on
 // entry (typically carved with MatrixOn from a fresh allocation; the
-// helper does not clear it — see MatrixOn). It returns dst.
+// helper does not clear it — see MatrixOn), and must not alias a or b.
+// It returns dst.
 //
 // This is the composition hot loop of the enumeration descent, so it is
 // written word-parallel twice over: when every matrix fits one word per
 // row (the common case — boxes rarely carry more than 64 ∪-gates) the
 // whole composition runs on raw words with no closure calls and an
-// all-zero early exit per row; the general path unrolls the per-word OR
-// by four.
+// all-zero early exit per row; the general multi-word path goes through
+// the dispatched composeRows kernel — AVX2 row accumulation on amd64
+// hosts that support it, an inlined TrailingZeros64 word loop otherwise.
 func ComposeInto(dst, a, b Matrix) Matrix {
+	checkCompose(dst, a, b)
+	if a.stride == 1 && b.stride == 1 {
+		composeRows1(dst.bits, a.bits, b.bits, a.Rows)
+		return dst
+	}
+	composeRows(dst.bits, a.bits, b.bits, a.Rows, a.stride, b.stride)
+	return dst
+}
+
+// checkCompose validates the ComposeInto shape contract.
+func checkCompose(dst, a, b Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("bitset: ComposeInto dimension mismatch %d != %d", a.Cols, b.Rows))
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("bitset: ComposeInto destination is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	if a.stride == 1 && b.stride == 1 {
-		// Single-word rows on both sides: row i of the result is the OR of
-		// the b-rows selected by the bits of a's row word.
-		for i := 0; i < a.Rows; i++ {
-			w := a.bits[i]
-			if w == 0 {
-				continue
-			}
-			acc := dst.bits[i]
-			for w != 0 {
-				acc |= b.bits[bits.TrailingZeros64(w)]
-				w &= w - 1
-			}
-			dst.bits[i] = acc
-		}
-		return dst
-	}
-	for i := 0; i < a.Rows; i++ {
-		row := dst.bits[i*dst.stride : (i+1)*dst.stride]
-		a.Row(i).ForEach(func(j int) bool {
-			orWords(row, b.bits[j*b.stride:(j+1)*b.stride])
-			return true
-		})
-	}
-	return dst
 }
 
-// orWords ORs src into dst (equal lengths), unrolled by four words.
-func orWords(dst, src []uint64) {
-	_ = dst[len(src)-1]
-	w := 0
-	for ; w+4 <= len(src); w += 4 {
-		dst[w] |= src[w]
-		dst[w+1] |= src[w+1]
-		dst[w+2] |= src[w+2]
-		dst[w+3] |= src[w+3]
+// composeRows1 is the single-word-rows composition fast path: row i of
+// the result is the OR of the b-row words selected by the bits of a's
+// row word, accumulated in a register.
+func composeRows1(dst, a, b []uint64, rows int) {
+	for i := 0; i < rows; i++ {
+		w := a[i]
+		if w == 0 {
+			continue
+		}
+		acc := dst[i]
+		for w != 0 {
+			acc |= b[bits.TrailingZeros64(w)]
+			w &= w - 1
+		}
+		dst[i] = acc
 	}
-	for ; w < len(src); w++ {
-		dst[w] |= src[w]
+}
+
+// ComposeManyInto is ComposeInto batched over many left operands
+// sharing one right operand: dsts[i] = as[i] ∘ b, accumulated into
+// dsts[i] (same all-false, non-aliasing contract as ComposeInto). The
+// batch form exists for the per-box wiring loops — the index builder
+// composes every child relation of a box against the same W matrix —
+// where it amortizes the validation and kernel dispatch across the
+// whole box instead of paying them per matrix.
+func ComposeManyInto(dsts, as []Matrix, b Matrix) {
+	if len(dsts) != len(as) {
+		panic(fmt.Sprintf("bitset: ComposeManyInto got %d destinations for %d operands", len(dsts), len(as)))
+	}
+	for i := range as {
+		checkCompose(dsts[i], as[i], b)
+	}
+	if b.stride == 1 {
+		for i := range as {
+			if a := as[i]; a.stride == 1 {
+				composeRows1(dsts[i].bits, a.bits, b.bits, a.Rows)
+			} else {
+				composeRows(dsts[i].bits, a.bits, b.bits, a.Rows, a.stride, b.stride)
+			}
+		}
+		return
+	}
+	for i := range as {
+		a := as[i]
+		composeRows(dsts[i].bits, a.bits, b.bits, a.Rows, a.stride, b.stride)
 	}
 }
 
@@ -154,23 +175,13 @@ func (m Matrix) Clone() Matrix {
 }
 
 // Empty reports whether no entry is set.
-func (m Matrix) Empty() bool {
-	for _, w := range m.bits {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (m Matrix) Empty() bool { return !anyWords(m.bits) }
 
-// Count returns the number of true entries.
-func (m Matrix) Count() int {
-	c := 0
-	for i := 0; i < m.Rows; i++ {
-		c += m.Row(i).Count()
-	}
-	return c
-}
+// Count returns the number of true entries. Padding bits past Cols are
+// an invariant zero (Set masks, ComposeInto only ORs rows together), so
+// the count is one flat popcount sweep over the backing — POPCNT lanes
+// on amd64 — rather than a per-row walk.
+func (m Matrix) Count() int { return popcountWords(m.bits) }
 
 // Equal reports whether m and o have identical dimensions and entries.
 func (m Matrix) Equal(o Matrix) bool {
@@ -221,23 +232,62 @@ func (m Matrix) NonEmptyRowsInto(dst Set) Set {
 // RowEmpty reports whether row i has no true entry, without materializing
 // the row as a Set.
 func (m Matrix) RowEmpty(i int) bool {
-	for _, w := range m.bits[i*m.stride : (i+1)*m.stride] {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
+	return !anyWords(m.bits[i*m.stride : (i+1)*m.stride])
 }
 
 // ColUnion returns the union of the rows indexed by rows, i.e. the image of
-// the set rows under the relation.
+// the set rows under the relation. The row scan is an inlined
+// TrailingZeros64 word loop (no closure per element) feeding the
+// dispatched OR kernel.
 func (m Matrix) ColUnion(rows Set) Set {
 	out := NewSet(m.Cols)
-	rows.ForEach(func(i int) bool {
-		out.Or(m.Row(i))
-		return true
-	})
+	for wi, w := range rows.words {
+		base := wi << 6
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			orWords(out.words, m.bits[i*m.stride:(i+1)*m.stride])
+		}
+	}
 	return out
+}
+
+// SetCol sets (int(r), j) for every r in rows — the bulk form of Set
+// used by the circuit builder's wire-matrix loops, which paint one
+// ancestor column across many descendant rows. The column word and mask
+// are computed once for the whole batch.
+func (m Matrix) SetCol(rows []int32, j int) {
+	wj := j >> 6
+	mask := uint64(1) << uint(j&63)
+	for _, r := range rows {
+		m.bits[int(r)*m.stride+wj] |= mask
+	}
+}
+
+// RowsIntersectingInto adds to dst every row index whose row shares an
+// element with g, and returns dst. dst must have capacity m.Rows; g is
+// truncated or zero-extended to the row width as needed. This is the
+// "which wires land in the changed gate set" scan of the answer-delta
+// pipeline, run per repair — one dispatched intersection kernel per row
+// instead of a Set materialization + closure walk.
+func (m Matrix) RowsIntersectingInto(g Set, dst Set) Set {
+	if dst.n != m.Rows {
+		panic(fmt.Sprintf("bitset: RowsIntersectingInto capacity %d, want %d", dst.n, m.Rows))
+	}
+	n := m.stride
+	if len(g.words) < n {
+		n = len(g.words)
+	}
+	if n == 0 {
+		return dst
+	}
+	gw := g.words[:n]
+	for i := 0; i < m.Rows; i++ {
+		if intersectWords(m.bits[i*m.stride:i*m.stride+n], gw) {
+			dst.words[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return dst
 }
 
 // Compose returns the relational composition a∘b as a matrix:

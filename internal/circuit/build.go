@@ -304,12 +304,8 @@ func (bd *Builder) innerGates(b *Box, ip *innerProgram, left, right *Box) {
 	b.WLeft, b.WRight = bitset.NewMatrixPair(l, len(b.Unions), r, len(b.Unions))
 	for ui := range b.Unions {
 		u := &b.Unions[ui]
-		for _, cl := range u.LeftUnions {
-			b.WLeft.Set(int(cl), ui)
-		}
-		for _, cr := range u.RightUnions {
-			b.WRight.Set(int(cr), ui)
-		}
+		b.WLeft.SetCol(u.LeftUnions, ui)
+		b.WRight.SetCol(u.RightUnions, ui)
 	}
 }
 
@@ -355,12 +351,8 @@ func (b *Box) rebuildWires() {
 	b.WLeft = bitset.NewMatrix(len(b.Left.Unions), len(b.Unions))
 	b.WRight = bitset.NewMatrix(len(b.Right.Unions), len(b.Unions))
 	for ui, u := range b.Unions {
-		for _, l := range u.LeftUnions {
-			b.WLeft.Set(int(l), ui)
-		}
-		for _, r := range u.RightUnions {
-			b.WRight.Set(int(r), ui)
-		}
+		b.WLeft.SetCol(u.LeftUnions, ui)
+		b.WRight.SetCol(u.RightUnions, ui)
 	}
 }
 

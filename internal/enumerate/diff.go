@@ -249,6 +249,9 @@ func (d *Differ) diffVars(o *IndexedBox, Go bitset.Set, n *IndexedBox, Gn bitset
 // into any routed gate of this box ({l : W.Row(l) ∩ G ≠ ∅}).
 func neRow(w bitset.Matrix, rows int, g bitset.Set) bitset.Set {
 	out := bitset.NewSet(rows)
+	if rows == w.Rows {
+		return w.RowsIntersectingInto(g, out)
+	}
 	for l := 0; l < rows; l++ {
 		if w.Row(l).Intersects(g) {
 			out.Add(l)

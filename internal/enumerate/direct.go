@@ -160,16 +160,10 @@ func weightOf(w []*big.Int, col int) *big.Int {
 // singleCol returns the sole element of a provenance set, or
 // ErrAmbiguous if it has more than one (see the file comment).
 func singleCol(s bitset.Set) (int, error) {
-	c := s.First()
-	if c < 0 {
-		return -1, ErrAmbiguous // callers only pass nonempty provenances
-	}
-	single := true
-	s.ForEach(func(i int) bool {
-		single = i == c
-		return single
-	})
-	if !single {
+	c, ok := s.Single()
+	if !ok {
+		// Empty or more than one element; callers only pass nonempty
+		// provenances, so this means ambiguity either way.
 		return -1, ErrAmbiguous
 	}
 	return c, nil

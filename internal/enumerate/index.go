@@ -67,6 +67,12 @@ type Indexer struct {
 	seeds    []targetKey
 	leftPos  []int16
 	rightPos []int16
+	// batchDst/batchSrc collect each side's (destination, child-relation)
+	// pairs for the batched ComposeManyInto in buildBoxIndex. They are
+	// cleared (headers zeroed) after every build so the scratch never
+	// keeps a previous index generation's backing arrays alive.
+	batchDst []bitset.Matrix
+	batchSrc []bitset.Matrix
 }
 
 // Wrap builds the IndexedBox for a box whose children wrappers are given
@@ -323,23 +329,49 @@ func (ix *Indexer) buildBoxIndex(n *IndexedBox) *BoxIndex {
 		off += w
 		return out
 	}
-	for pos, k := range seeds {
-		switch k.side {
-		case 0:
-			idx.Targets[pos] = n
-			idx.Rel[pos] = bitset.IdentityOn(carve(nu), nu)
-		case 1:
-			idx.Targets[pos] = li.Targets[k.ci]
-			rel := li.Rel[k.ci]
-			idx.Rel[pos] = bitset.ComposeInto(bitset.MatrixOn(carve(rel.Rows), rel.Rows, nu), rel, b.WLeft)
-			leftPos[k.ci] = int16(pos)
-		default:
-			idx.Targets[pos] = ri.Targets[k.ci]
-			rel := ri.Rel[k.ci]
-			idx.Rel[pos] = bitset.ComposeInto(bitset.MatrixOn(carve(rel.Rows), rel.Rows, nu), rel, b.WRight)
-			rightPos[k.ci] = int16(pos)
-		}
+	// Seeds are sorted by side — the box itself, then all left-child
+	// targets, then all right-child targets — so each side is one
+	// contiguous run and its compositions against the shared wire matrix
+	// go through a single batched ComposeManyInto call (one validation
+	// and one kernel dispatch per box side, not per target).
+	idx.Targets[0] = n
+	idx.Rel[0] = bitset.IdentityOn(carve(nu), nu)
+	i2 := 1
+	for i2 < nt && seeds[i2].side == 1 {
+		i2++
 	}
+	bDst := ix.batchDst[:0]
+	bSrc := ix.batchSrc[:0]
+	for pos := 1; pos < i2; pos++ {
+		k := seeds[pos]
+		idx.Targets[pos] = li.Targets[k.ci]
+		rel := li.Rel[k.ci]
+		idx.Rel[pos] = bitset.MatrixOn(carve(rel.Rows), rel.Rows, nu)
+		bDst = append(bDst, idx.Rel[pos])
+		bSrc = append(bSrc, rel)
+		leftPos[k.ci] = int16(pos)
+	}
+	bitset.ComposeManyInto(bDst, bSrc, b.WLeft)
+	bDst, bSrc = bDst[:0], bSrc[:0]
+	for pos := i2; pos < nt; pos++ {
+		k := seeds[pos]
+		idx.Targets[pos] = ri.Targets[k.ci]
+		rel := ri.Rel[k.ci]
+		idx.Rel[pos] = bitset.MatrixOn(carve(rel.Rows), rel.Rows, nu)
+		bDst = append(bDst, idx.Rel[pos])
+		bSrc = append(bSrc, rel)
+		rightPos[k.ci] = int16(pos)
+	}
+	bitset.ComposeManyInto(bDst, bSrc, b.WRight)
+	// Drop the matrix headers from the scratch so stale backings from
+	// this build don't stay reachable across later repairs.
+	for i := range bDst[:cap(bDst)] {
+		bDst[:cap(bDst)][i] = bitset.Matrix{}
+	}
+	for i := range bSrc[:cap(bSrc)] {
+		bSrc[:cap(bSrc)][i] = bitset.Matrix{}
+	}
+	ix.batchDst, ix.batchSrc = bDst[:0], bSrc[:0]
 
 	// Step 5: lca table, flat row-major.
 	idx.lca = make([]int16, nt*nt)
@@ -451,12 +483,11 @@ func (idx *BoxIndex) combineFbb(f1, e1, f2, e2 int16) (f, e int16) {
 // fib(g) in preorder (Equation (1)); -1 if Γ is empty.
 func (idx *BoxIndex) FoldFib(gamma bitset.Set) int16 {
 	best := int16(-1)
-	gamma.ForEach(func(g int) bool {
+	for g := gamma.Next(0); g >= 0; g = gamma.Next(g + 1) {
 		if f := idx.Fib[g]; best < 0 || f < best {
 			best = f
 		}
-		return true
-	})
+	}
 	return best
 }
 
@@ -464,17 +495,14 @@ func (idx *BoxIndex) FoldFib(gamma bitset.Set) int16 {
 // (Equation (2) with Observation 6.2, generalized to handle gates whose
 // singleton fbb is undefined); -1 if undefined.
 func (idx *BoxIndex) FoldFbb(gamma bitset.Set) int16 {
-	f, e := int16(-1), int16(-1)
-	first := true
-	gamma.ForEach(func(g int) bool {
-		if first {
-			f, e = idx.FbbF[g], idx.FbbE[g]
-			first = false
-			return true
-		}
+	g := gamma.Next(0)
+	if g < 0 {
+		return -1
+	}
+	f, e := idx.FbbF[g], idx.FbbE[g]
+	for g = gamma.Next(g + 1); g >= 0; g = gamma.Next(g + 1) {
 		f, e = idx.combineFbb(f, e, idx.FbbF[g], idx.FbbE[g])
-		return true
-	})
+	}
 	return f
 }
 

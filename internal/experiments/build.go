@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/engine"
 	"repro/internal/tree"
 	"repro/internal/tva"
@@ -76,6 +77,10 @@ type BuildBaseline struct {
 	CPUs       int    `json:"cpus"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	QuerySpec  string `json:"query_spec"`
+	// Kernels records the bitset kernel dispatch of the measuring binary
+	// (CPU features, vector set) — part of the environment block, since
+	// repair cost depends on which kernels ran.
+	Kernels bitset.KernelInfo `json:"kernels"`
 
 	Current BuildRun  `json:"current"`
 	PrePR   *BuildRun `json:"pre_pr,omitempty"`
@@ -117,6 +122,7 @@ func Build(quick bool) BuildBaseline {
 		CPUs:       runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		QuerySpec:  spec,
+		Kernels:    bitset.Kernels(),
 	}
 
 	// Preprocessing throughput: full pipeline builds, mean over `builds`

@@ -6,7 +6,7 @@ import (
 )
 
 func TestSmokeQuickTables(t *testing.T) {
-	for _, tb := range []Table{E8JumpAblation(true), E10MatMul(true), T1Homogenize(), T2Translation(), F1Order()} {
+	for _, tb := range []Table{E8JumpAblation(true), E10MatMul(true), T1Homogenize(), T2Translation(), F1Order(), Kernels(true).Table()} {
 		if len(tb.Rows) == 0 {
 			t.Fatalf("%s: empty", tb.ID)
 		}
